@@ -1,0 +1,736 @@
+//! Log-structured archival store with a time index and graceful aging.
+//!
+//! Records append into a page buffer; full pages program into the current
+//! block; full blocks seal into *segments* tracked by an in-RAM time
+//! index (`[start, end]` per segment — the paper's "simple time-based
+//! index structure"). When no erased block remains, the oldest segment is
+//! reclaimed: its scalar content is folded into a wavelet summary (and
+//! previously aged summaries are re-aged one level), its events are
+//! carried forward verbatim, and the block is erased for reuse. Old data
+//! thus loses resolution gracefully instead of disappearing.
+
+use std::collections::VecDeque;
+
+use presto_net::FlashModel;
+use presto_sim::{EnergyLedger, SimTime};
+use presto_wavelet::AgingLadder;
+
+use crate::flash::{FlashDevice, FlashError};
+use crate::record::{summary_record, summary_values, Quality, Record, RecordPayload};
+
+/// Archive configuration.
+#[derive(Clone, Debug)]
+pub struct ArchiveConfig {
+    /// Flash device model.
+    pub flash: FlashModel,
+    /// Flash capacity in bytes.
+    pub capacity_bytes: usize,
+    /// Enable wavelet aging on reclamation (otherwise old data is lost).
+    pub aging_enabled: bool,
+    /// Aging level applied to raw scalars on first reclamation.
+    pub base_aging_level: u8,
+    /// Quantizer step for summaries.
+    pub quant_step: f64,
+}
+
+impl Default for ArchiveConfig {
+    fn default() -> Self {
+        ArchiveConfig {
+            flash: FlashModel::dataflash(),
+            capacity_bytes: 1 << 20, // 1 MiB default for tests; motes get more
+            aging_enabled: true,
+            base_aging_level: 2,
+            quant_step: 0.05,
+        }
+    }
+}
+
+/// A sample returned by a range query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArchivedSample {
+    /// Sample (or reconstructed) timestamp.
+    pub timestamp: SimTime,
+    /// Value.
+    pub value: f64,
+    /// Exact or aged provenance.
+    pub quality: Quality,
+}
+
+/// A semantic event returned by an event query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchivedEvent {
+    /// Event timestamp.
+    pub timestamp: SimTime,
+    /// Application event type.
+    pub event_type: u16,
+    /// Application payload.
+    pub data: Vec<u8>,
+}
+
+/// Archive errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ArchiveError {
+    /// Underlying flash failure.
+    Flash(FlashError),
+    /// A single record exceeds the page payload capacity.
+    RecordTooLarge,
+}
+
+impl From<FlashError> for ArchiveError {
+    fn from(e: FlashError) -> Self {
+        ArchiveError::Flash(e)
+    }
+}
+
+#[derive(Clone, Debug)]
+struct SegmentMeta {
+    block: usize,
+    start: SimTime,
+    end: SimTime,
+    records: u32,
+    /// Pages programmed in this segment's block.
+    pages_used: usize,
+}
+
+/// Store-level statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ArchiveStats {
+    /// Records appended since creation.
+    pub records_appended: u64,
+    /// Segments reclaimed (aged or dropped).
+    pub segments_reclaimed: u64,
+    /// Scalar samples folded into summaries so far.
+    pub samples_aged: u64,
+}
+
+/// The sensor-local archival store.
+pub struct ArchiveStore {
+    flash: FlashDevice,
+    config: ArchiveConfig,
+    ladder: AgingLadder,
+    /// Sealed + current segments, oldest first. The last entry is the
+    /// currently filling segment.
+    segments: VecDeque<SegmentMeta>,
+    free_blocks: VecDeque<usize>,
+    page_buf: Vec<u8>,
+    stats: ArchiveStats,
+}
+
+impl ArchiveStore {
+    /// Creates an empty archive.
+    pub fn new(config: ArchiveConfig) -> Self {
+        let flash = FlashDevice::new(config.flash.clone(), config.capacity_bytes);
+        assert!(flash.block_count() >= 2, "archive needs at least 2 blocks");
+        let mut free_blocks: VecDeque<usize> = (0..flash.block_count()).collect();
+        let first = free_blocks.pop_front().expect("at least two blocks");
+        let ladder = AgingLadder::new(config.quant_step);
+        let mut segments = VecDeque::new();
+        segments.push_back(SegmentMeta {
+            block: first,
+            start: SimTime::MAX,
+            end: SimTime::ZERO,
+            records: 0,
+            pages_used: 0,
+        });
+        ArchiveStore {
+            flash,
+            config,
+            ladder,
+            segments,
+            free_blocks,
+            page_buf: Vec::new(),
+            stats: ArchiveStats::default(),
+        }
+    }
+
+    /// Appends a scalar reading.
+    pub fn append_scalar(
+        &mut self,
+        t: SimTime,
+        value: f64,
+        ledger: &mut EnergyLedger,
+    ) -> Result<(), ArchiveError> {
+        self.append(Record::scalar(t, value), ledger)
+    }
+
+    /// Appends a semantic event.
+    pub fn append_event(
+        &mut self,
+        t: SimTime,
+        event_type: u16,
+        data: Vec<u8>,
+        ledger: &mut EnergyLedger,
+    ) -> Result<(), ArchiveError> {
+        self.append(Record::event(t, event_type, data), ledger)
+    }
+
+    /// Appends any record.
+    pub fn append(&mut self, rec: Record, ledger: &mut EnergyLedger) -> Result<(), ArchiveError> {
+        let enc = rec.encode();
+        let payload_capacity = self.flash.page_bytes() - 2;
+        if enc.len() > payload_capacity {
+            return Err(ArchiveError::RecordTooLarge);
+        }
+        if self.page_buf.len() + enc.len() > payload_capacity {
+            self.flush_page(ledger)?;
+        }
+        self.page_buf.extend_from_slice(&enc);
+        let seg = self.segments.back_mut().expect("current segment exists");
+        seg.start = seg.start.min(rec.timestamp);
+        seg.end = seg.end.max(rec.timestamp);
+        seg.records += 1;
+        self.stats.records_appended += 1;
+        Ok(())
+    }
+
+    /// Programs the current page buffer into flash (no-op when empty).
+    pub fn flush_page(&mut self, ledger: &mut EnergyLedger) -> Result<(), ArchiveError> {
+        if self.page_buf.is_empty() {
+            return Ok(());
+        }
+        // Current segment might be full: seal and open a new block. The
+        // re-appended carry-forward records inside `open_new_block` can
+        // fill the fresh block too, so re-check until a page slot exists.
+        while self
+            .segments
+            .back()
+            .expect("current segment exists")
+            .pages_used
+            >= self.flash.pages_per_block()
+        {
+            self.open_new_block(ledger)?;
+        }
+        let seg = self.segments.back_mut().expect("current segment exists");
+        let page = seg.block * self.flash.pages_per_block() + seg.pages_used;
+        let mut data = Vec::with_capacity(2 + self.page_buf.len());
+        data.extend_from_slice(&(self.page_buf.len() as u16).to_le_bytes());
+        data.extend_from_slice(&self.page_buf);
+        self.flash.program(page, &data, ledger)?;
+        seg.pages_used += 1;
+        self.page_buf.clear();
+        Ok(())
+    }
+
+    /// Seals the current segment and starts a new one on a fresh block,
+    /// reclaiming the oldest segment if no erased block remains.
+    fn open_new_block(&mut self, ledger: &mut EnergyLedger) -> Result<(), ArchiveError> {
+        let carried = if self.free_blocks.is_empty() {
+            self.reclaim_oldest(ledger)?
+        } else {
+            Vec::new()
+        };
+        let block = self
+            .free_blocks
+            .pop_front()
+            .expect("reclaim produced a free block");
+        self.segments.push_back(SegmentMeta {
+            block,
+            start: SimTime::MAX,
+            end: SimTime::ZERO,
+            records: 0,
+            pages_used: 0,
+        });
+        // Re-append carried-forward records (summaries + events) into the
+        // fresh segment. They are far smaller than a block.
+        for rec in carried {
+            self.append(rec, ledger)?;
+        }
+        Ok(())
+    }
+
+    /// Reclaims the oldest sealed segment, returning the records to carry
+    /// forward (aged summaries + preserved events).
+    fn reclaim_oldest(&mut self, ledger: &mut EnergyLedger) -> Result<Vec<Record>, ArchiveError> {
+        let seg = self
+            .segments
+            .pop_front()
+            .expect("at least one sealed segment when flash is full");
+        let records = self.read_segment(&seg, ledger)?;
+        self.flash.erase_block(seg.block, ledger)?;
+        self.free_blocks.push_back(seg.block);
+        self.stats.segments_reclaimed += 1;
+
+        if !self.config.aging_enabled {
+            return Ok(Vec::new());
+        }
+
+        let mut carried = Vec::new();
+        // Scalars → one summary at the base aging level.
+        let scalars: Vec<&Record> = records
+            .iter()
+            .filter(|r| matches!(r.payload, RecordPayload::Scalar(_)))
+            .collect();
+        if scalars.len() >= 2 {
+            let values: Vec<f64> = scalars
+                .iter()
+                .map(|r| match r.payload {
+                    RecordPayload::Scalar(v) => v,
+                    _ => unreachable!("filtered to scalars"),
+                })
+                .collect();
+            let start = scalars.first().expect("non-empty").timestamp;
+            let end = scalars.last().expect("non-empty").timestamp;
+            let level = self.config.base_aging_level;
+            let summary = self.ladder.summarize(&values, level as usize);
+            carried.push(summary_record(
+                end,
+                level,
+                start,
+                end,
+                values.len() as u32,
+                &summary,
+            ));
+            self.stats.samples_aged += values.len() as u64;
+        }
+        // Existing summaries → re-aged one more level (halved again).
+        for r in &records {
+            if let RecordPayload::Summary {
+                level,
+                start,
+                end,
+                count,
+                bytes,
+            } = &r.payload
+            {
+                let Some(values) = summary_values(bytes) else {
+                    continue;
+                };
+                if values.len() <= 1 {
+                    carried.push(r.clone());
+                    continue;
+                }
+                let resummary = self.ladder.summarize(&values, 1);
+                carried.push(summary_record(
+                    r.timestamp,
+                    level.saturating_add(1),
+                    *start,
+                    *end,
+                    *count,
+                    &resummary,
+                ));
+            }
+        }
+        // Events are carried forward verbatim: the paper treats archived
+        // event logs (surveillance) as the primary PAST-query payload.
+        for r in records {
+            if matches!(r.payload, RecordPayload::Event { .. }) {
+                carried.push(r);
+            }
+        }
+        // Budget the carry-forward set to half a block so re-aged
+        // summaries cannot snowball across reclamations and consume the
+        // whole device: beyond the budget, the *oldest* summaries are
+        // finally forgotten (events are kept preferentially).
+        let budget = self.flash.page_bytes() * self.flash.pages_per_block() / 2;
+        let mut total: usize = carried.iter().map(Record::encoded_len).sum();
+        if total > budget {
+            // Oldest summaries (smallest covered start) drop first.
+            let mut order: Vec<usize> = (0..carried.len()).collect();
+            order.sort_by_key(|&i| match &carried[i].payload {
+                RecordPayload::Summary { start, .. } => (0u8, start.as_micros()),
+                _ => (1u8, carried[i].timestamp.as_micros()),
+            });
+            let mut drop = std::collections::HashSet::new();
+            for &i in &order {
+                if total <= budget {
+                    break;
+                }
+                if matches!(carried[i].payload, RecordPayload::Summary { .. }) {
+                    total -= carried[i].encoded_len();
+                    drop.insert(i);
+                }
+            }
+            let mut kept = Vec::with_capacity(carried.len() - drop.len());
+            for (i, r) in carried.into_iter().enumerate() {
+                if !drop.contains(&i) {
+                    kept.push(r);
+                }
+            }
+            carried = kept;
+        }
+        Ok(carried)
+    }
+
+    /// Reads and decodes every record of a segment.
+    fn read_segment(
+        &mut self,
+        seg: &SegmentMeta,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<Record>, ArchiveError> {
+        let mut out = Vec::with_capacity(seg.records as usize);
+        let base = seg.block * self.flash.pages_per_block();
+        for p in base..base + seg.pages_used {
+            let data = self.flash.read(p, ledger)?;
+            if data.len() < 2 {
+                continue;
+            }
+            let used = u16::from_le_bytes([data[0], data[1]]) as usize;
+            let mut body = &data[2..2 + used.min(data.len() - 2)];
+            while !body.is_empty() {
+                let Some((rec, consumed)) = Record::decode(body) else {
+                    break;
+                };
+                out.push(rec);
+                body = &body[consumed..];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Queries scalar samples in `[t0, t1]`, oldest first. Aged ranges
+    /// come back as evenly re-spaced reconstructed samples tagged
+    /// [`Quality::Aged`].
+    pub fn query_range(
+        &mut self,
+        t0: SimTime,
+        t1: SimTime,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<ArchivedSample>, ArchiveError> {
+        let mut out = Vec::new();
+        let metas: Vec<SegmentMeta> = self
+            .segments
+            .iter()
+            .filter(|s| s.records > 0 && s.start <= t1 && s.end >= t0)
+            .cloned()
+            .collect();
+        for seg in metas {
+            for rec in self.read_segment(&seg, ledger)? {
+                Self::collect_scalar(&rec, t0, t1, &mut out);
+            }
+        }
+        // Records still in the RAM page buffer.
+        let mut body = self.page_buf.as_slice();
+        while !body.is_empty() {
+            let Some((rec, consumed)) = Record::decode(body) else {
+                break;
+            };
+            Self::collect_scalar(&rec, t0, t1, &mut out);
+            body = &body[consumed..];
+        }
+        out.sort_by_key(|s| s.timestamp);
+        Ok(out)
+    }
+
+    fn collect_scalar(rec: &Record, t0: SimTime, t1: SimTime, out: &mut Vec<ArchivedSample>) {
+        match &rec.payload {
+            RecordPayload::Scalar(v) => {
+                if rec.timestamp >= t0 && rec.timestamp <= t1 {
+                    out.push(ArchivedSample {
+                        timestamp: rec.timestamp,
+                        value: *v,
+                        quality: Quality::Exact,
+                    });
+                }
+            }
+            RecordPayload::Summary {
+                level,
+                start,
+                end,
+                bytes,
+                ..
+            } => {
+                if *start > t1 || *end < t0 {
+                    return;
+                }
+                let Some(values) = summary_values(bytes) else {
+                    return;
+                };
+                let n = values.len();
+                if n == 0 {
+                    return;
+                }
+                let span = end.as_micros().saturating_sub(start.as_micros());
+                for (k, v) in values.iter().enumerate() {
+                    let frac = if n == 1 {
+                        0.0
+                    } else {
+                        k as f64 / (n - 1) as f64
+                    };
+                    let ts = SimTime::from_micros(start.as_micros() + (span as f64 * frac) as u64);
+                    if ts >= t0 && ts <= t1 {
+                        out.push(ArchivedSample {
+                            timestamp: ts,
+                            value: *v,
+                            quality: Quality::Aged(*level),
+                        });
+                    }
+                }
+            }
+            RecordPayload::Event { .. } => {}
+        }
+    }
+
+    /// Queries semantic events in `[t0, t1]`, oldest first.
+    pub fn query_events(
+        &mut self,
+        t0: SimTime,
+        t1: SimTime,
+        ledger: &mut EnergyLedger,
+    ) -> Result<Vec<ArchivedEvent>, ArchiveError> {
+        let mut out = Vec::new();
+        let metas: Vec<SegmentMeta> = self
+            .segments
+            .iter()
+            .filter(|s| s.records > 0 && s.start <= t1 && s.end >= t0)
+            .cloned()
+            .collect();
+        for seg in metas {
+            for rec in self.read_segment(&seg, ledger)? {
+                if let RecordPayload::Event { event_type, data } = rec.payload {
+                    if rec.timestamp >= t0 && rec.timestamp <= t1 {
+                        out.push(ArchivedEvent {
+                            timestamp: rec.timestamp,
+                            event_type,
+                            data,
+                        });
+                    }
+                }
+            }
+        }
+        let mut body = self.page_buf.as_slice();
+        while !body.is_empty() {
+            let Some((rec, consumed)) = Record::decode(body) else {
+                break;
+            };
+            if let RecordPayload::Event { event_type, data } = rec.payload {
+                if rec.timestamp >= t0 && rec.timestamp <= t1 {
+                    out.push(ArchivedEvent {
+                        timestamp: rec.timestamp,
+                        event_type,
+                        data,
+                    });
+                }
+            }
+            body = &body[consumed..];
+        }
+        out.sort_by_key(|e| e.timestamp);
+        Ok(out)
+    }
+
+    /// Earliest timestamp still queryable (exactly or aged).
+    pub fn oldest_available(&self) -> Option<SimTime> {
+        self.segments
+            .iter()
+            .filter(|s| s.records > 0)
+            .map(|s| s.start)
+            .min()
+    }
+
+    /// Store statistics.
+    pub fn stats(&self) -> ArchiveStats {
+        self.stats
+    }
+
+    /// Underlying flash statistics.
+    pub fn flash_stats(&self) -> crate::flash::FlashStats {
+        self.flash.stats()
+    }
+
+    /// Number of live segments (including the one being filled).
+    pub fn segment_count(&self) -> usize {
+        self.segments.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_sim::SimDuration;
+
+    fn small_config(capacity: usize) -> ArchiveConfig {
+        ArchiveConfig {
+            capacity_bytes: capacity,
+            ..ArchiveConfig::default()
+        }
+    }
+
+    fn fill(
+        store: &mut ArchiveStore,
+        n: u64,
+        step: SimDuration,
+        ledger: &mut EnergyLedger,
+    ) -> Vec<(SimTime, f64)> {
+        let mut out = Vec::new();
+        for i in 0..n {
+            let t = SimTime::ZERO + step * i;
+            let v = 20.0 + (i as f64 * 0.01).sin() * 5.0;
+            store.append_scalar(t, v, ledger).unwrap();
+            out.push((t, v));
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrip_within_capacity() {
+        let mut store = ArchiveStore::new(small_config(1 << 20));
+        let mut l = EnergyLedger::new();
+        let written = fill(&mut store, 1000, SimDuration::from_secs(31), &mut l);
+        let got = store
+            .query_range(SimTime::ZERO, SimTime::from_days(1), &mut l)
+            .unwrap();
+        assert_eq!(got.len(), 1000);
+        for (s, (t, v)) in got.iter().zip(&written) {
+            assert_eq!(s.timestamp, *t);
+            assert!((s.value - v).abs() < 1e-3);
+            assert_eq!(s.quality, Quality::Exact);
+        }
+    }
+
+    #[test]
+    fn range_query_filters() {
+        let mut store = ArchiveStore::new(small_config(1 << 20));
+        let mut l = EnergyLedger::new();
+        fill(&mut store, 100, SimDuration::from_secs(10), &mut l);
+        let got = store
+            .query_range(SimTime::from_secs(200), SimTime::from_secs(400), &mut l)
+            .unwrap();
+        assert_eq!(got.len(), 21); // 200, 210, ..., 400
+        assert!(got
+            .iter()
+            .all(|s| s.timestamp >= SimTime::from_secs(200)
+                && s.timestamp <= SimTime::from_secs(400)));
+    }
+
+    #[test]
+    fn events_roundtrip_and_filter() {
+        let mut store = ArchiveStore::new(small_config(1 << 20));
+        let mut l = EnergyLedger::new();
+        store
+            .append_event(SimTime::from_secs(5), 1, vec![0xAA], &mut l)
+            .unwrap();
+        store
+            .append_event(SimTime::from_secs(15), 2, vec![0xBB, 0xCC], &mut l)
+            .unwrap();
+        store
+            .append_scalar(SimTime::from_secs(10), 21.0, &mut l)
+            .unwrap();
+        let evs = store
+            .query_events(SimTime::from_secs(10), SimTime::from_secs(20), &mut l)
+            .unwrap();
+        assert_eq!(evs.len(), 1);
+        assert_eq!(evs[0].event_type, 2);
+        assert_eq!(evs[0].data, vec![0xBB, 0xCC]);
+    }
+
+    #[test]
+    fn aging_preserves_old_ranges_at_reduced_quality() {
+        // Tiny flash: forces several reclamations.
+        let mut store = ArchiveStore::new(small_config(16 * 1024));
+        let mut l = EnergyLedger::new();
+        fill(&mut store, 4000, SimDuration::from_secs(31), &mut l);
+        assert!(store.stats().segments_reclaimed > 0);
+
+        // The earliest data must still be queryable, but aged.
+        let early = store
+            .query_range(SimTime::ZERO, SimTime::from_secs(31 * 500), &mut l)
+            .unwrap();
+        assert!(!early.is_empty(), "old range vanished");
+        assert!(
+            early.iter().any(|s| matches!(s.quality, Quality::Aged(_))),
+            "old data not aged"
+        );
+        // Aged values still approximate the signal.
+        for s in &early {
+            assert!(
+                (s.value - 20.0).abs() < 6.0,
+                "implausible value {}",
+                s.value
+            );
+        }
+        // Recent data stays exact.
+        let late = store
+            .query_range(
+                SimTime::from_secs(31 * 3900),
+                SimTime::from_secs(31 * 4000),
+                &mut l,
+            )
+            .unwrap();
+        assert!(late.iter().all(|s| s.quality == Quality::Exact));
+    }
+
+    #[test]
+    fn without_aging_old_data_is_dropped() {
+        let cfg = ArchiveConfig {
+            aging_enabled: false,
+            ..small_config(16 * 1024)
+        };
+        let mut store = ArchiveStore::new(cfg);
+        let mut l = EnergyLedger::new();
+        fill(&mut store, 4000, SimDuration::from_secs(31), &mut l);
+        assert!(store.stats().segments_reclaimed > 0);
+        let early = store
+            .query_range(SimTime::ZERO, SimTime::from_secs(31 * 100), &mut l)
+            .unwrap();
+        assert!(early.is_empty(), "dropped data reappeared");
+    }
+
+    #[test]
+    fn events_survive_reclamation() {
+        let mut store = ArchiveStore::new(small_config(16 * 1024));
+        let mut l = EnergyLedger::new();
+        store
+            .append_event(SimTime::from_secs(1), 42, vec![1, 2, 3], &mut l)
+            .unwrap();
+        fill(&mut store, 4000, SimDuration::from_secs(31), &mut l);
+        assert!(store.stats().segments_reclaimed > 0);
+        let evs = store
+            .query_events(SimTime::ZERO, SimTime::from_secs(2), &mut l)
+            .unwrap();
+        assert_eq!(evs.len(), 1, "event lost during reclamation");
+        assert_eq!(evs[0].event_type, 42);
+    }
+
+    #[test]
+    fn repeated_reclamation_compounds_aging_levels() {
+        let mut store = ArchiveStore::new(small_config(8 * 1024));
+        let mut l = EnergyLedger::new();
+        fill(&mut store, 8000, SimDuration::from_secs(31), &mut l);
+        let early = store
+            .query_range(SimTime::ZERO, SimTime::from_secs(31 * 200), &mut l)
+            .unwrap();
+        let max_level = early
+            .iter()
+            .filter_map(|s| match s.quality {
+                Quality::Aged(lv) => Some(lv),
+                Quality::Exact => None,
+            })
+            .max();
+        assert!(
+            max_level.unwrap_or(0) > ArchiveConfig::default().base_aging_level,
+            "levels did not compound: {max_level:?}"
+        );
+    }
+
+    #[test]
+    fn oversized_record_rejected() {
+        let mut store = ArchiveStore::new(small_config(1 << 16));
+        let mut l = EnergyLedger::new();
+        let big = vec![0u8; 10_000];
+        assert_eq!(
+            store.append_event(SimTime::ZERO, 1, big, &mut l),
+            Err(ArchiveError::RecordTooLarge)
+        );
+    }
+
+    #[test]
+    fn append_energy_is_small_and_charged() {
+        let mut store = ArchiveStore::new(small_config(1 << 20));
+        let mut l = EnergyLedger::new();
+        fill(&mut store, 1000, SimDuration::from_secs(31), &mut l);
+        let flash_j = l.storage_total();
+        assert!(flash_j > 0.0);
+        // Archiving 1000 scalars must cost far less than radioing them:
+        // the architectural premise of local archival.
+        let radio_j = presto_net::RadioModel::mica2().tx_energy(1000 * 15);
+        assert!(radio_j / flash_j > 10.0, "ratio {}", radio_j / flash_j);
+    }
+
+    #[test]
+    fn oldest_available_tracks_reclamation() {
+        let mut store = ArchiveStore::new(small_config(1 << 20));
+        let mut l = EnergyLedger::new();
+        assert_eq!(store.oldest_available(), None);
+        fill(&mut store, 10, SimDuration::from_secs(31), &mut l);
+        assert_eq!(store.oldest_available(), Some(SimTime::ZERO));
+    }
+}

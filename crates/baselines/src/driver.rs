@@ -1,0 +1,279 @@
+//! Shared deployment driver for the architecture comparison.
+//!
+//! Every arm — the three baselines here and PRESTO in `presto-core` —
+//! runs the same Intel-Lab-style workload and the same Poisson query
+//! stream, and reports the same [`ArchReport`] row, so the regenerated
+//! Table 1 compares like with like.
+
+use presto_net::{LinkModel, LossProcess};
+use presto_sensor::{PushPolicy, SensorConfig, SensorNode};
+use presto_sim::metrics::Summary;
+use presto_sim::{SimDuration, SimRng, SimTime};
+use presto_workloads::{LabDeployment, LabParams, QueryGen, QueryParams, QuerySpec};
+
+/// Configuration shared by every architecture arm.
+#[derive(Clone, Debug)]
+pub struct DriverConfig {
+    /// Number of sensors under the proxy.
+    pub sensors: usize,
+    /// Simulated duration in days.
+    pub days: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Workload parameters.
+    pub lab: LabParams,
+    /// Query workload parameters.
+    pub queries: QueryParams,
+    /// Uplink/downlink frame loss probability.
+    pub loss: f64,
+}
+
+impl Default for DriverConfig {
+    fn default() -> Self {
+        let sensors = 8;
+        DriverConfig {
+            sensors,
+            days: 2,
+            seed: 42,
+            lab: LabParams {
+                sensors,
+                ..LabParams::default()
+            },
+            queries: QueryParams {
+                sensors,
+                proxies: 1,
+                group_fraction: 0.0,
+                rate_per_hour: 20.0,
+                ..QueryParams::default()
+            },
+            loss: 0.05,
+        }
+    }
+}
+
+/// One row of the regenerated Table 1.
+#[derive(Clone, Debug)]
+pub struct ArchReport {
+    /// Architecture label.
+    pub label: String,
+    /// Mean sensor energy, joules per day (all categories).
+    pub sensor_energy_per_day_j: f64,
+    /// Mean sensor *radio* energy, joules per day.
+    pub radio_energy_per_day_j: f64,
+    /// Mean NOW-query latency, milliseconds.
+    pub now_latency_mean_ms: f64,
+    /// 95th-percentile NOW-query latency, milliseconds.
+    pub now_latency_p95_ms: f64,
+    /// Mean absolute NOW answer error vs ground truth.
+    pub now_error_mean: f64,
+    /// Fraction of PAST queries answered with data.
+    pub past_answered_fraction: f64,
+    /// Mean payload bytes offered to the MAC per sensor per day.
+    pub bytes_per_sensor_per_day: f64,
+    /// Whether the architecture supports historical queries at all.
+    pub supports_past: bool,
+    /// Whether prediction is used anywhere in the answer path.
+    pub uses_prediction: bool,
+}
+
+/// A built deployment: nodes, their downlink links, the workload, and
+/// the query stream (merged and time-sorted against epochs by callers).
+pub struct Deployment {
+    /// Sensor nodes.
+    pub nodes: Vec<SensorNode>,
+    /// Per-sensor downlink link models.
+    pub downlinks: Vec<LinkModel>,
+    /// The workload generator.
+    pub lab: LabDeployment,
+    /// The query stream, time-ordered.
+    pub queries: Vec<QuerySpec>,
+    /// Ground truth: `truth[epoch][sensor]`.
+    pub truth: Vec<Vec<f64>>,
+    /// Epoch length.
+    pub epoch: SimDuration,
+}
+
+/// Builds a deployment with the given push policy applied to every node.
+pub fn build(cfg: &DriverConfig, push: PushPolicy, lpl: SimDuration) -> Deployment {
+    let lab = LabDeployment::new(
+        LabParams {
+            sensors: cfg.sensors,
+            ..cfg.lab.clone()
+        },
+        cfg.seed,
+    );
+    let rng = SimRng::new(cfg.seed);
+    let loss = |p: f64, r: SimRng| {
+        if p > 0.0 {
+            LinkModel::new(LossProcess::Bernoulli(p), r)
+        } else {
+            LinkModel::perfect()
+        }
+    };
+    let nodes = (0..cfg.sensors)
+        .map(|i| {
+            let config = SensorConfig {
+                push: push.clone(),
+                duty: presto_net::DutyCycle::lpl(lpl),
+                ..SensorConfig::default()
+            };
+            SensorNode::new(
+                i as u16,
+                config,
+                loss(cfg.loss, rng.split(&format!("uplink-{i}"))),
+            )
+        })
+        .collect();
+    let downlinks = (0..cfg.sensors)
+        .map(|i| loss(cfg.loss, rng.split(&format!("downlink-{i}"))))
+        .collect();
+    let queries = QueryGen::new(
+        QueryParams {
+            sensors: cfg.sensors,
+            ..cfg.queries.clone()
+        },
+        cfg.seed ^ 0x51ab,
+    )
+    .generate(
+        // Let queries start after a warm-up day (or half the horizon).
+        SimTime::from_hours((cfg.days * 24 / 4).max(6)),
+        SimDuration::from_days(cfg.days) - SimDuration::from_hours((cfg.days * 24 / 4).max(6)),
+    );
+    let epoch = cfg.lab.epoch;
+    Deployment {
+        nodes,
+        downlinks,
+        lab,
+        queries,
+        truth: Vec::new(),
+        epoch,
+    }
+}
+
+/// Accumulates per-query measurements into an [`ArchReport`].
+#[derive(Default)]
+pub struct ReportBuilder {
+    /// NOW latencies, ms.
+    pub now_latency_ms: Summary,
+    /// NOW absolute errors.
+    pub now_error: Summary,
+    /// PAST queries issued.
+    pub past_total: u64,
+    /// PAST queries answered with at least one sample.
+    pub past_answered: u64,
+}
+
+impl ReportBuilder {
+    /// Finalizes the report from the builder plus node ledgers.
+    pub fn finish(
+        self,
+        label: &str,
+        nodes: &[SensorNode],
+        days: u64,
+        supports_past: bool,
+        uses_prediction: bool,
+    ) -> ArchReport {
+        let n = nodes.len().max(1) as f64;
+        let d = days.max(1) as f64;
+        let total: f64 = nodes.iter().map(|s| s.ledger().total()).sum();
+        let radio: f64 = nodes.iter().map(|s| s.ledger().radio_total()).sum();
+        let bytes: f64 = nodes.iter().map(|s| s.stats().bytes_sent as f64).sum();
+        ArchReport {
+            label: label.to_string(),
+            sensor_energy_per_day_j: total / n / d,
+            radio_energy_per_day_j: radio / n / d,
+            now_latency_mean_ms: self.now_latency_ms.mean(),
+            now_latency_p95_ms: self.now_latency_ms.p95(),
+            now_error_mean: self.now_error.mean(),
+            past_answered_fraction: if self.past_total == 0 {
+                0.0
+            } else {
+                self.past_answered as f64 / self.past_total as f64
+            },
+            bytes_per_sensor_per_day: bytes / n / d,
+            supports_past,
+            uses_prediction,
+        }
+    }
+}
+
+/// Renders a collection of reports as the Table 1 text block.
+pub fn render_table(reports: &[ArchReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<28} {:>12} {:>12} {:>12} {:>12} {:>10} {:>10} {:>12} {:>6} {:>6}\n",
+        "architecture",
+        "J/day/node",
+        "radio J/day",
+        "now ms",
+        "now p95 ms",
+        "now err",
+        "past frac",
+        "B/day/node",
+        "past",
+        "pred"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<28} {:>12.2} {:>12.2} {:>12.1} {:>12.1} {:>10.3} {:>10.2} {:>12.0} {:>6} {:>6}\n",
+            r.label,
+            r.sensor_energy_per_day_j,
+            r.radio_energy_per_day_j,
+            r.now_latency_mean_ms,
+            r.now_latency_p95_ms,
+            r.now_error_mean,
+            r.past_answered_fraction,
+            r.bytes_per_sensor_per_day,
+            if r.supports_past { "yes" } else { "no" },
+            if r.uses_prediction { "yes" } else { "no" },
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_creates_matching_counts() {
+        let cfg = DriverConfig::default();
+        let d = build(&cfg, PushPolicy::Silent, SimDuration::from_secs(1));
+        assert_eq!(d.nodes.len(), cfg.sensors);
+        assert_eq!(d.downlinks.len(), cfg.sensors);
+        assert!(!d.queries.is_empty());
+        // Queries arrive after the warm-up period.
+        assert!(d.queries[0].arrival >= SimTime::from_hours(6));
+    }
+
+    #[test]
+    fn report_builder_aggregates() {
+        let cfg = DriverConfig {
+            sensors: 2,
+            ..DriverConfig::default()
+        };
+        let d = build(&cfg, PushPolicy::Silent, SimDuration::from_secs(1));
+        let mut rb = ReportBuilder::default();
+        rb.now_latency_ms.record(10.0);
+        rb.now_latency_ms.record(20.0);
+        rb.now_error.record(0.5);
+        rb.past_total = 4;
+        rb.past_answered = 3;
+        let r = rb.finish("test", &d.nodes, 2, true, false);
+        assert_eq!(r.now_latency_mean_ms, 15.0);
+        assert_eq!(r.past_answered_fraction, 0.75);
+        assert!(r.supports_past);
+        assert!(!r.uses_prediction);
+        let table = render_table(&[r]);
+        assert!(table.contains("test"));
+        assert!(table.contains("architecture"));
+    }
+
+    #[test]
+    fn deterministic_build() {
+        let cfg = DriverConfig::default();
+        let a = build(&cfg, PushPolicy::Silent, SimDuration::from_secs(1));
+        let b = build(&cfg, PushPolicy::Silent, SimDuration::from_secs(1));
+        assert_eq!(a.queries, b.queries);
+    }
+}

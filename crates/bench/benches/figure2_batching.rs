@@ -1,0 +1,70 @@
+//! Criterion bench over the Figure 2 sweep arms: measures the simulation
+//! cost of each push policy on a fixed one-day trace, and doubles as a
+//! regression check that the arms still run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use presto_baselines::valuepush::energy_of_policy;
+use presto_sensor::PushPolicy;
+use presto_sim::SimDuration;
+use presto_wavelet::CodecParams;
+use presto_workloads::{LabDeployment, LabParams};
+
+fn bench_arms(c: &mut Criterion) {
+    let trace = LabDeployment::single_sensor_trace(
+        LabParams {
+            events_per_day: 0.0,
+            ..LabParams::default()
+        },
+        2005,
+        SimDuration::from_days(1),
+    );
+    let mut group = c.benchmark_group("figure2_arms");
+    group.sample_size(10);
+
+    group.bench_function("value_driven_d1", |b| {
+        b.iter(|| energy_of_policy(&trace, PushPolicy::ValueDriven { delta: 1.0 }, 0.0, 1))
+    });
+    group.bench_function("value_driven_d2", |b| {
+        b.iter(|| energy_of_policy(&trace, PushPolicy::ValueDriven { delta: 2.0 }, 0.0, 1))
+    });
+    for mins in [16.5f64, 132.0, 1058.0] {
+        group.bench_with_input(
+            BenchmarkId::new("batched_raw", format!("{mins}min")),
+            &mins,
+            |b, &mins| {
+                b.iter(|| {
+                    energy_of_policy(
+                        &trace,
+                        PushPolicy::Batched {
+                            interval: SimDuration::from_mins_f64(mins),
+                            compression: None,
+                        },
+                        0.0,
+                        1,
+                    )
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("batched_wavelet", format!("{mins}min")),
+            &mins,
+            |b, &mins| {
+                b.iter(|| {
+                    energy_of_policy(
+                        &trace,
+                        PushPolicy::Batched {
+                            interval: SimDuration::from_mins_f64(mins),
+                            compression: Some(CodecParams::denoising()),
+                        },
+                        0.0,
+                        1,
+                    )
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_arms);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion bench over the Table 1 architecture arms on a short shared
+//! workload: tracks the cost of simulating each architecture.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use presto_baselines::{direct, stream, valuepush, DriverConfig};
+use presto_core::run_presto;
+
+fn quick_cfg() -> DriverConfig {
+    DriverConfig {
+        sensors: 3,
+        days: 1,
+        ..DriverConfig::default()
+    }
+}
+
+fn bench_architectures(c: &mut Criterion) {
+    let cfg = quick_cfg();
+    let mut group = c.benchmark_group("table1_architectures");
+    group.sample_size(10);
+    group.bench_function("direct_query", |b| b.iter(|| direct::run(&cfg)));
+    group.bench_function("stream_all", |b| b.iter(|| stream::run(&cfg, true)));
+    group.bench_function("stream_batched", |b| b.iter(|| stream::run(&cfg, false)));
+    group.bench_function("value_push", |b| b.iter(|| valuepush::run(&cfg, 1.0)));
+    group.bench_function("presto", |b| b.iter(|| run_presto(&cfg)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_architectures);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! E1: rare-event recall — model-driven push vs periodic pull.
+
+use presto_bench::experiments::{e1_rare_events, render_json};
+
+fn main() {
+    let days = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(7);
+    let r = e1_rare_events(days, 11);
+    print!(
+        "{}",
+        render_json(
+            &format!(
+                "E1 — rare-event recall over {days} days ({} events injected)",
+                r.events
+            ),
+            &r
+        )
+    );
+}

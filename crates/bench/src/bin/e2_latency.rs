@@ -1,0 +1,15 @@
+//! E2: answer-path breakdown and latency vs query tolerance.
+
+use presto_bench::experiments::{e2_latency, render_json};
+
+fn main() {
+    let days = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(5);
+    let rows = e2_latency(days, 12);
+    print!(
+        "{}",
+        render_json("E2 — answer path vs query tolerance", &rows)
+    );
+}

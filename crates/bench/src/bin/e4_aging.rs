@@ -1,0 +1,15 @@
+//! E4: graceful aging under storage pressure.
+
+use presto_bench::experiments::{e4_aging, render_json};
+
+fn main() {
+    let days = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(10);
+    let rows = e4_aging(days, 14);
+    print!(
+        "{}",
+        render_json("E4 — queryable history with and without aging", &rows)
+    );
+}

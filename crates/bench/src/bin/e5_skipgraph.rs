@@ -1,0 +1,11 @@
+//! E5: skip-graph hop scaling with proxy count.
+
+use presto_bench::experiments::{e5_skipgraph, render_json};
+
+fn main() {
+    let rows = e5_skipgraph(15);
+    print!(
+        "{}",
+        render_json("E5 — skip-graph search/insert hops vs proxies", &rows)
+    );
+}

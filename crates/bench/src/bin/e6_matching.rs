@@ -1,0 +1,11 @@
+//! E6: query–sensor matching — latency bound vs energy.
+
+use presto_bench::experiments::{e6_matching, render_json};
+
+fn main() {
+    let rows = e6_matching(16);
+    print!(
+        "{}",
+        render_json("E6 — matched duty cycle: energy vs latency bound", &rows)
+    );
+}

@@ -1,0 +1,11 @@
+//! E7: model build/check asymmetry.
+
+use presto_bench::experiments::{e7_asymmetry, render_json};
+
+fn main() {
+    let rows = e7_asymmetry(17);
+    print!(
+        "{}",
+        render_json("E7 — proxy train cycles vs sensor check cycles", &rows)
+    );
+}

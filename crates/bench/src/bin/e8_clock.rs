@@ -1,0 +1,14 @@
+//! E8: timestamp correction across drifting sensor clocks.
+
+use presto_bench::experiments::{e8_clock, render_json};
+
+fn main() {
+    let rows = e8_clock(18);
+    print!(
+        "{}",
+        render_json(
+            "E8 — ordering violations before/after clock correction",
+            &rows
+        )
+    );
+}

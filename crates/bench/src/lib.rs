@@ -1,0 +1,17 @@
+//! Experiment library behind the regeneration binaries and benches.
+//!
+//! Every table and figure of the paper, plus the E1–E8 extension
+//! experiments from DESIGN.md, is a pure function of a configuration
+//! here, so the `cargo run -p presto-bench --bin <id>` binaries, the
+//! Criterion benches, and the integration tests all execute identical
+//! code. Results serialize to JSON (via the workspace-approved `serde`)
+//! next to the human-readable tables.
+
+pub mod experiments;
+pub mod figure2;
+pub mod table1;
+
+/// Renders a JSON value for machine-readable output next to each table.
+pub fn to_json<T: serde::Serialize>(value: &T) -> String {
+    serde_json::to_string_pretty(value).unwrap_or_else(|e| format!("{{\"error\":\"{e}\"}}"))
+}

@@ -1,0 +1,24 @@
+//! PRESTO core: the paper's architecture, assembled.
+//!
+//! This crate wires the substrates into the three-tier system of
+//! Figure 1 and exposes the **unified logical store** the user tier
+//! queries:
+//!
+//! * [`system::PrestoSystem`] — N proxies × M sensors each, a shared
+//!   Intel-Lab-style workload, model-driven push, periodic model
+//!   training/pushes, semantic event reporting, and clock beacons; all
+//!   energy metered per node.
+//! * [`store::UnifiedStore`] — the "single logical view of data": routes
+//!   each query through the Skip Graph index to the responsible proxy,
+//!   which answers via cache → extrapolation → pull; PAST answers can
+//!   reach all the way into mote archives.
+//! * [`run`] — the PRESTO arm of the Table 1 comparison, matched to the
+//!   baselines' [`presto_baselines::driver`] so rows are comparable.
+
+pub mod run;
+pub mod store;
+pub mod system;
+
+pub use run::run_presto;
+pub use store::{StoreQuery, StoreResponse, UnifiedStore};
+pub use system::{PrestoSystem, SystemConfig, SystemReport};

@@ -1,0 +1,160 @@
+//! The PRESTO arm of the architecture comparison (Table 1).
+//!
+//! Matches [`presto_baselines::driver`] exactly: same workload, same
+//! query stream, same report row — but the answer path is PRESTO's
+//! cache → extrapolation → pull with model-driven push underneath.
+
+use presto_baselines::driver::{build, ArchReport, DriverConfig, ReportBuilder};
+use presto_proxy::{PrestoProxy, ProxyConfig};
+use presto_sensor::PushPolicy;
+use presto_sim::{SimDuration, SimTime};
+use presto_workloads::{QueryTarget, TimeScope};
+
+/// Runs PRESTO on the shared comparison workload.
+pub fn run_presto(cfg: &DriverConfig) -> ArchReport {
+    let lpl = SimDuration::from_secs(1);
+    let push_tolerance = 1.0;
+    let mut dep = build(
+        cfg,
+        PushPolicy::ModelDriven {
+            tolerance: push_tolerance,
+        },
+        lpl,
+    );
+    let mut proxy = PrestoProxy::new(ProxyConfig {
+        push_tolerance,
+        sensor_lpl: lpl,
+        ..ProxyConfig::default()
+    });
+    for i in 0..cfg.sensors {
+        proxy.register_sensor(i as u16);
+    }
+
+    let mut rb = ReportBuilder::default();
+    let epochs = SimDuration::from_days(cfg.days).div_duration(dep.epoch);
+    let mut qi = 0usize;
+    let mut truth_now = vec![0.0f64; cfg.sensors];
+    let train_every = SimDuration::from_hours(1).div_duration(dep.epoch).max(1);
+
+    for e in 0..epochs {
+        let t = SimTime::ZERO + dep.epoch * e;
+        let readings = dep.lab.step();
+        for (s, r) in readings.iter().enumerate() {
+            truth_now[s] = r.value;
+            for msg in dep.nodes[s].on_sample(r.timestamp, r.value, None) {
+                proxy.on_uplink(&msg);
+            }
+        }
+        if e % train_every == 0 {
+            for s in 0..cfg.sensors {
+                proxy.maybe_train_and_push(t, s as u16, &mut dep.nodes[s], &mut dep.downlinks[s]);
+            }
+        }
+        while qi < dep.queries.len() && dep.queries[qi].arrival <= t + dep.epoch {
+            let q = dep.queries[qi];
+            qi += 1;
+            let sensor = match q.target {
+                QueryTarget::Sensor(s) => (s.min(cfg.sensors - 1)) as u16,
+                QueryTarget::ProxyGroup(_) => 0,
+            };
+            match q.scope {
+                TimeScope::Now => {
+                    let a = proxy.answer_now(
+                        q.arrival,
+                        sensor,
+                        q.tolerance,
+                        &mut dep.nodes[sensor as usize],
+                        &mut dep.downlinks[sensor as usize],
+                    );
+                    rb.now_latency_ms.record(a.latency.as_millis_f64());
+                    rb.now_error
+                        .record((a.value - truth_now[sensor as usize]).abs());
+                }
+                TimeScope::Past { from, to } => {
+                    rb.past_total += 1;
+                    let a = proxy.answer_past(
+                        q.arrival,
+                        sensor,
+                        from,
+                        to,
+                        q.tolerance,
+                        &mut dep.nodes[sensor as usize],
+                        &mut dep.downlinks[sensor as usize],
+                    );
+                    if !a.samples.is_empty() {
+                        rb.past_answered += 1;
+                    }
+                }
+            }
+        }
+    }
+    let end = SimTime::ZERO + dep.epoch * epochs;
+    for n in &mut dep.nodes {
+        n.advance_to(end);
+    }
+    rb.finish("PRESTO", &dep.nodes, cfg.days, true, true)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_baselines::{direct, stream, valuepush};
+
+    fn quick_cfg() -> DriverConfig {
+        DriverConfig {
+            sensors: 3,
+            days: 2,
+            ..DriverConfig::default()
+        }
+    }
+
+    #[test]
+    fn presto_beats_streaming_on_energy() {
+        // Three days so the no-model warm-up phase (during which every
+        // sample is pushed) amortizes out.
+        let cfg = DriverConfig {
+            days: 3,
+            ..quick_cfg()
+        };
+        let p = run_presto(&cfg);
+        let s = stream::run(&cfg, true);
+        assert!(
+            p.radio_energy_per_day_j < s.radio_energy_per_day_j / 2.5,
+            "PRESTO {} vs streaming {}",
+            p.radio_energy_per_day_j,
+            s.radio_energy_per_day_j
+        );
+    }
+
+    #[test]
+    fn presto_beats_direct_on_latency() {
+        let p = run_presto(&quick_cfg());
+        let d = direct::run(&quick_cfg());
+        assert!(
+            p.now_latency_mean_ms < d.now_latency_mean_ms / 5.0,
+            "PRESTO {} vs direct {}",
+            p.now_latency_mean_ms,
+            d.now_latency_mean_ms
+        );
+    }
+
+    #[test]
+    fn presto_supports_past_queries_unlike_value_push() {
+        let p = run_presto(&quick_cfg());
+        let v = valuepush::run(&quick_cfg(), 1.0);
+        assert!(p.supports_past && !v.supports_past);
+        assert!(
+            p.past_answered_fraction > 0.8,
+            "{}",
+            p.past_answered_fraction
+        );
+        assert!(p.uses_prediction);
+    }
+
+    #[test]
+    fn presto_answers_are_within_tolerance_regime() {
+        let p = run_presto(&quick_cfg());
+        // Mean NOW error bounded by roughly the push tolerance.
+        assert!(p.now_error_mean < 1.3, "{}", p.now_error_mean);
+    }
+}

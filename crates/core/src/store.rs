@@ -1,0 +1,288 @@
+//! The unified logical store (paper §5).
+//!
+//! One query interface over every proxy and sensor: the store locates
+//! the responsible proxy through the Skip Graph (counting routing hops),
+//! then lets that proxy answer through its cache → extrapolation → pull
+//! pipeline. Timestamps in PAST answers pass through the sensor's clock
+//! corrector so cross-proxy views are temporally consistent.
+
+use presto_proxy::AnswerSource;
+use presto_sim::{SimDuration, SimTime};
+
+use crate::system::PrestoSystem;
+
+/// A query against the unified store.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum StoreQuery {
+    /// Current value of one sensor.
+    Now {
+        /// Global sensor id.
+        sensor: u16,
+        /// Acceptable absolute error.
+        tolerance: f64,
+    },
+    /// Historical series of one sensor.
+    Past {
+        /// Global sensor id.
+        sensor: u16,
+        /// Range start.
+        from: SimTime,
+        /// Range end.
+        to: SimTime,
+        /// Acceptable absolute error.
+        tolerance: f64,
+    },
+    /// Events across the whole deployment in a range (unified ordered
+    /// view).
+    Events {
+        /// Range start.
+        from: SimTime,
+        /// Range end.
+        to: SimTime,
+    },
+    /// An aggregate over one sensor's history; evaluated at the proxy
+    /// when cached, otherwise shipped to the sensor as an operator.
+    Aggregate {
+        /// Global sensor id.
+        sensor: u16,
+        /// Range start.
+        from: SimTime,
+        /// Range end.
+        to: SimTime,
+        /// The operator.
+        op: presto_sensor::AggregateOp,
+    },
+}
+
+/// A response from the unified store.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreResponse {
+    /// Scalar answer (NOW) or series (PAST); events come as
+    /// `(t, sensor, type)` triples encoded in `events`.
+    pub value: Option<f64>,
+    /// Series for PAST queries.
+    pub series: Vec<(SimTime, f64)>,
+    /// Events for event queries, ordered by corrected time.
+    pub events: Vec<(SimTime, u16, u16)>,
+    /// How the answer was produced.
+    pub source: AnswerSource,
+    /// End-to-end latency including index routing.
+    pub latency: SimDuration,
+    /// Skip-graph routing hops.
+    pub index_hops: u64,
+}
+
+/// The unified store facade over a running system.
+pub struct UnifiedStore<'a> {
+    system: &'a mut PrestoSystem,
+    /// Per-hop proxy-overlay latency (wired mesh).
+    pub hop_latency: SimDuration,
+}
+
+impl<'a> UnifiedStore<'a> {
+    /// Wraps a system.
+    pub fn new(system: &'a mut PrestoSystem) -> Self {
+        UnifiedStore {
+            system,
+            hop_latency: SimDuration::from_millis(5),
+        }
+    }
+
+    /// Executes a query at the system's current time.
+    pub fn query(&mut self, q: StoreQuery) -> StoreResponse {
+        let t = self.system.now();
+        match q {
+            StoreQuery::Now { sensor, tolerance } => {
+                let (proxy_idx, hops) = self.system.route(sensor);
+                let (p, s) = self.system.locate(sensor);
+                debug_assert_eq!(p, proxy_idx);
+                let node = &mut self.system.nodes[p][s];
+                let link = &mut self.system.downlinks[p][s];
+                let a = self.system.proxies[p].answer_now(t, sensor, tolerance, node, link);
+                StoreResponse {
+                    value: Some(a.value),
+                    series: Vec::new(),
+                    events: Vec::new(),
+                    source: a.source,
+                    latency: a.latency + self.hop_latency * hops,
+                    index_hops: hops,
+                }
+            }
+            StoreQuery::Past {
+                sensor,
+                from,
+                to,
+                tolerance,
+            } => {
+                let (proxy_idx, hops) = self.system.route(sensor);
+                let (p, s) = self.system.locate(sensor);
+                debug_assert_eq!(p, proxy_idx);
+                let node = &mut self.system.nodes[p][s];
+                let link = &mut self.system.downlinks[p][s];
+                let a =
+                    self.system.proxies[p].answer_past(t, sensor, from, to, tolerance, node, link);
+                // Correct timestamps back to reference time.
+                let corrector = &self.system.correctors[sensor as usize];
+                let series = a
+                    .samples
+                    .into_iter()
+                    .map(|(ts, v)| (corrector.correct(ts), v))
+                    .collect();
+                StoreResponse {
+                    value: None,
+                    series,
+                    events: Vec::new(),
+                    source: a.source,
+                    latency: a.latency + self.hop_latency * hops,
+                    index_hops: hops,
+                }
+            }
+            StoreQuery::Events { from, to } => {
+                // Gather every proxy's event cache; correct timestamps;
+                // merge into one ordered view.
+                let mut events: Vec<(SimTime, u16, u16)> = Vec::new();
+                for proxy in &self.system.proxies {
+                    for e in proxy.events() {
+                        let corrected = self.system.correctors[e.sensor as usize].correct(e.t);
+                        if corrected >= from && corrected <= to {
+                            events.push((corrected, e.sensor, e.event_type));
+                        }
+                    }
+                }
+                events.sort();
+                let hops = self.system.proxies.len() as u64;
+                StoreResponse {
+                    value: None,
+                    series: Vec::new(),
+                    events,
+                    source: AnswerSource::CacheHit,
+                    latency: self.hop_latency * hops,
+                    index_hops: hops,
+                }
+            }
+            StoreQuery::Aggregate {
+                sensor,
+                from,
+                to,
+                op,
+            } => {
+                let (proxy_idx, hops) = self.system.route(sensor);
+                let (p, s) = self.system.locate(sensor);
+                debug_assert_eq!(p, proxy_idx);
+                let node = &mut self.system.nodes[p][s];
+                let link = &mut self.system.downlinks[p][s];
+                let a = self.system.proxies[p].answer_aggregate(t, sensor, from, to, op, node, link);
+                StoreResponse {
+                    value: Some(a.value),
+                    series: Vec::new(),
+                    events: Vec::new(),
+                    source: a.source,
+                    latency: a.latency + self.hop_latency * hops,
+                    index_hops: hops,
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::system::SystemConfig;
+
+    fn running_system(days: u64) -> PrestoSystem {
+        let mut sys = PrestoSystem::new(SystemConfig {
+            proxies: 2,
+            sensors_per_proxy: 3,
+            ..SystemConfig::default()
+        });
+        sys.run(SimDuration::from_days(days));
+        sys
+    }
+
+    #[test]
+    fn now_query_answers_within_tolerance() {
+        let mut sys = running_system(1);
+        let truth = sys.truth.clone();
+        let mut store = UnifiedStore::new(&mut sys);
+        for sensor in 0..6u16 {
+            let r = store.query(StoreQuery::Now {
+                sensor,
+                tolerance: 1.5,
+            });
+            let v = r.value.expect("NOW answers carry a value");
+            let err = (v - truth[sensor as usize]).abs();
+            assert!(
+                err <= 2.0,
+                "sensor {sensor}: {v} vs {} (source {:?})",
+                truth[sensor as usize],
+                r.source
+            );
+            assert_ne!(r.source, AnswerSource::Failed);
+        }
+    }
+
+    #[test]
+    fn past_query_returns_series() {
+        let mut sys = running_system(1);
+        let mut store = UnifiedStore::new(&mut sys);
+        let r = store.query(StoreQuery::Past {
+            sensor: 4,
+            from: SimTime::from_hours(10),
+            to: SimTime::from_hours(11),
+            tolerance: 1.0,
+        });
+        assert!(!r.series.is_empty());
+        assert!(r.series.windows(2).all(|w| w[0].0 <= w[1].0));
+        assert_ne!(r.source, AnswerSource::Failed);
+    }
+
+    #[test]
+    fn events_view_is_globally_ordered() {
+        let mut sys = PrestoSystem::new(SystemConfig {
+            proxies: 2,
+            sensors_per_proxy: 3,
+            lab: presto_workloads::LabParams {
+                events_per_day: 10.0,
+                ..presto_workloads::LabParams::default()
+            },
+            ..SystemConfig::default()
+        });
+        sys.run(SimDuration::from_days(2));
+        let mut store = UnifiedStore::new(&mut sys);
+        let r = store.query(StoreQuery::Events {
+            from: SimTime::ZERO,
+            to: SimTime::from_days(2),
+        });
+        assert!(!r.events.is_empty(), "no events over two days at 10/day");
+        assert!(r.events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn routing_hops_are_reported() {
+        let mut sys = running_system(1);
+        let mut store = UnifiedStore::new(&mut sys);
+        let r = store.query(StoreQuery::Now {
+            sensor: 5,
+            tolerance: 1.0,
+        });
+        // 2 proxies: at most a couple of hops, and latency includes them.
+        assert!(r.index_hops <= 4);
+    }
+
+    #[test]
+    fn aggregate_query_returns_a_scalar() {
+        let mut sys = running_system(1);
+        let mut store = UnifiedStore::new(&mut sys);
+        let r = store.query(StoreQuery::Aggregate {
+            sensor: 2,
+            from: SimTime::from_hours(8),
+            to: SimTime::from_hours(12),
+            op: presto_sensor::AggregateOp::Mean,
+        });
+        assert_ne!(r.source, presto_proxy::AnswerSource::Failed);
+        let v = r.value.expect("aggregate carries a value");
+        assert!((0.0..45.0).contains(&v), "implausible mean {v}");
+        assert!(r.series.is_empty());
+    }
+}

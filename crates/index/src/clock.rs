@@ -1,0 +1,222 @@
+//! Sensor clock drift/skew modelling and correction.
+//!
+//! "Drift and skew of clocks at the remote sensors can result in
+//! erroneous timestamps, which need to be corrected to provide an
+//! accurate temporal view of data" (paper §5).
+//!
+//! [`DriftClock`] simulates a mote oscillator: a fixed offset plus a
+//! rate error in parts-per-million (real 32 kHz crystals drift tens of
+//! ppm). [`ClockCorrector`] recovers offset and skew per sensor from
+//! timestamped reference beacons (the proxy broadcasts its own time; the
+//! sensor reports the local receive time) via least-squares regression,
+//! then maps local timestamps back to reference time.
+
+use presto_sim::SimTime;
+
+/// A drifting local clock.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DriftClock {
+    /// Fixed offset, seconds (local − reference at t=0).
+    pub offset_s: f64,
+    /// Rate error, parts per million (positive = runs fast).
+    pub skew_ppm: f64,
+}
+
+impl DriftClock {
+    /// A perfect clock.
+    pub fn perfect() -> Self {
+        DriftClock {
+            offset_s: 0.0,
+            skew_ppm: 0.0,
+        }
+    }
+
+    /// The local timestamp this clock produces at true time `t`.
+    pub fn local_time(&self, t: SimTime) -> SimTime {
+        let true_s = t.as_secs_f64();
+        let local_s = self.offset_s + true_s * (1.0 + self.skew_ppm * 1e-6);
+        SimTime::from_secs_f64(local_s.max(0.0))
+    }
+
+    /// Timestamp error at true time `t`, in seconds.
+    pub fn error_at(&self, t: SimTime) -> f64 {
+        self.local_time(t).as_secs_f64() - t.as_secs_f64()
+    }
+}
+
+/// Least-squares clock corrector for one sensor.
+#[derive(Clone, Debug, Default)]
+pub struct ClockCorrector {
+    /// Collected `(local_s, reference_s)` beacon pairs.
+    pairs: Vec<(f64, f64)>,
+    /// Fitted mapping `reference = a + b·local`.
+    fit: Option<(f64, f64)>,
+}
+
+impl ClockCorrector {
+    /// Creates an empty corrector.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a beacon: the sensor observed reference time `reference`
+    /// when its local clock read `local`.
+    pub fn observe_beacon(&mut self, local: SimTime, reference: SimTime) {
+        self.pairs
+            .push((local.as_secs_f64(), reference.as_secs_f64()));
+        if self.pairs.len() >= 2 {
+            self.refit();
+        }
+    }
+
+    /// Number of beacons observed.
+    pub fn beacons(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True once a correction is available.
+    pub fn is_calibrated(&self) -> bool {
+        self.fit.is_some()
+    }
+
+    fn refit(&mut self) {
+        let n = self.pairs.len() as f64;
+        let (mut sl, mut sr, mut sll, mut slr) = (0.0, 0.0, 0.0, 0.0);
+        for &(l, r) in &self.pairs {
+            sl += l;
+            sr += r;
+            sll += l * l;
+            slr += l * r;
+        }
+        let denom = n * sll - sl * sl;
+        if denom.abs() < 1e-12 {
+            return;
+        }
+        let b = (n * slr - sl * sr) / denom;
+        let a = (sr - b * sl) / n;
+        self.fit = Some((a, b));
+    }
+
+    /// Maps a local timestamp to reference time. Uncalibrated correctors
+    /// pass timestamps through unchanged.
+    pub fn correct(&self, local: SimTime) -> SimTime {
+        match self.fit {
+            Some((a, b)) => SimTime::from_secs_f64(a + b * local.as_secs_f64()),
+            None => local,
+        }
+    }
+
+    /// The fitted skew in ppm, if calibrated.
+    pub fn fitted_skew_ppm(&self) -> Option<f64> {
+        self.fit.map(|(_, b)| (1.0 / b - 1.0) * 1e6)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_sim::SimDuration;
+
+    #[test]
+    fn drift_clock_accumulates_error() {
+        let c = DriftClock {
+            offset_s: 0.5,
+            skew_ppm: 50.0,
+        };
+        // At t=0: 0.5 s offset. After a day: 0.5 + 86400·50e-6 ≈ 4.82 s.
+        assert!((c.error_at(SimTime::ZERO) - 0.5).abs() < 1e-6);
+        let day_err = c.error_at(SimTime::from_days(1));
+        assert!((day_err - 4.82).abs() < 0.01, "{day_err}");
+        assert_eq!(DriftClock::perfect().error_at(SimTime::from_days(10)), 0.0);
+    }
+
+    #[test]
+    fn corrector_recovers_offset_and_skew() {
+        let clock = DriftClock {
+            offset_s: 2.0,
+            skew_ppm: 80.0,
+        };
+        let mut corr = ClockCorrector::new();
+        // Hourly beacons for a day.
+        for h in 0..24 {
+            let t = SimTime::from_hours(h);
+            corr.observe_beacon(clock.local_time(t), t);
+        }
+        assert!(corr.is_calibrated());
+        let skew = corr.fitted_skew_ppm().unwrap();
+        assert!((skew - 80.0).abs() < 1.0, "fitted skew {skew}");
+        // Correction error an hour past the last beacon stays tiny.
+        let t = SimTime::from_hours(25);
+        let corrected = corr.correct(clock.local_time(t));
+        let err = (corrected.as_secs_f64() - t.as_secs_f64()).abs();
+        assert!(err < 0.01, "residual error {err}");
+    }
+
+    #[test]
+    fn correction_fixes_cross_sensor_ordering() {
+        // Two sensors observe the same pair of events 10 s apart; sensor
+        // B's clock is 30 s ahead, so raw timestamps misorder the events.
+        let a = DriftClock::perfect();
+        let b = DriftClock {
+            offset_s: 30.0,
+            skew_ppm: 0.0,
+        };
+        let e1 = SimTime::from_secs(100); // seen by A
+        let e2 = SimTime::from_secs(110); // seen by B
+        let raw_a = a.local_time(e1);
+        let raw_b = b.local_time(e2);
+        // Raw: B's event appears to precede... actually B reads 140 > 100,
+        // so consider the reverse pair (B first).
+        let e3 = SimTime::from_secs(200); // seen by B
+        let e4 = SimTime::from_secs(210); // seen by A
+        let raw_b2 = b.local_time(e3); // reads 230
+        let raw_a2 = a.local_time(e4); // reads 210 — misordered!
+        assert!(raw_b2 > raw_a2, "premise: raw order is wrong");
+        let _ = (raw_a, raw_b);
+
+        let mut corr_b = ClockCorrector::new();
+        for h in 0..4 {
+            let t = SimTime::from_secs(h * 60);
+            corr_b.observe_beacon(b.local_time(t), t);
+        }
+        let fixed_b = corr_b.correct(raw_b2);
+        assert!(fixed_b < raw_a2, "corrected order still wrong");
+        assert!((fixed_b.as_secs_f64() - 200.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn uncalibrated_passthrough() {
+        let c = ClockCorrector::new();
+        assert!(!c.is_calibrated());
+        assert_eq!(c.correct(SimTime::from_secs(5)), SimTime::from_secs(5));
+        assert_eq!(c.fitted_skew_ppm(), None);
+    }
+
+    #[test]
+    fn identical_beacons_do_not_crash() {
+        let mut c = ClockCorrector::new();
+        c.observe_beacon(SimTime::from_secs(10), SimTime::from_secs(10));
+        c.observe_beacon(SimTime::from_secs(10), SimTime::from_secs(10));
+        // Degenerate design matrix: stays uncalibrated.
+        assert!(!c.is_calibrated());
+    }
+
+    #[test]
+    fn beacon_density_improves_accuracy() {
+        let clock = DriftClock {
+            offset_s: -1.5,
+            skew_ppm: 120.0,
+        };
+        let residual = |beacons: u64| {
+            let mut corr = ClockCorrector::new();
+            for k in 0..beacons {
+                let t = SimTime::ZERO + SimDuration::from_hours(24) / beacons.max(1) * k;
+                corr.observe_beacon(clock.local_time(t), t);
+            }
+            let t = SimTime::from_hours(30);
+            (corr.correct(clock.local_time(t)).as_secs_f64() - t.as_secs_f64()).abs()
+        };
+        // Even sparse beacons calibrate; dense beacons are at least as good.
+        assert!(residual(24) <= residual(2) + 1e-6);
+    }
+}

@@ -1,0 +1,287 @@
+//! Spatial consistency between overlapping proxies, and wired-side
+//! replication of wireless proxy caches.
+//!
+//! "Multiple proxies might be responsible for a group of sensor nodes for
+//! redundancy, reliability, and fault-tolerance reasons, and hence, cache
+//! consistency issues need to be addressed. … caches and prediction
+//! models at the wireless proxies may need to be further replicated at
+//! the wired proxies to enable low-latency query responses" (paper §5).
+
+use std::collections::HashMap;
+
+use presto_sim::{SimDuration, SimTime};
+
+/// Data quality rank of a cache entry (higher wins on conflict).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum EntryQuality {
+    /// Model-extrapolated filler.
+    Extrapolated,
+    /// Lossy pushed/batched view.
+    Lossy,
+    /// Pulled exact data.
+    Exact,
+}
+
+/// One replicated cache entry for a `(sensor, epoch)` cell.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReplicaEntry {
+    /// Owning proxy.
+    pub proxy: usize,
+    /// Sensor id.
+    pub sensor: u16,
+    /// Epoch timestamp.
+    pub t: SimTime,
+    /// Value.
+    pub value: f64,
+    /// Quality rank.
+    pub quality: EntryQuality,
+    /// Per-proxy monotonic version.
+    pub version: u64,
+}
+
+/// Reconciles entries for cells covered by multiple proxies.
+///
+/// Conflict rule: higher quality wins; equal quality → higher version;
+/// equal version → lower proxy id (deterministic tiebreak).
+#[derive(Clone, Debug, Default)]
+pub struct ConsistencyManager {
+    cells: HashMap<(u16, u64), ReplicaEntry>,
+    /// Conflicts observed (both sides present, different values).
+    pub conflicts_resolved: u64,
+}
+
+impl ConsistencyManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(sensor: u16, t: SimTime) -> (u16, u64) {
+        (sensor, t.as_micros())
+    }
+
+    /// Integrates an entry, applying the conflict rule. Returns `true`
+    /// if the entry became (or stayed) the winner.
+    pub fn integrate(&mut self, entry: ReplicaEntry) -> bool {
+        let key = Self::key(entry.sensor, entry.t);
+        match self.cells.get(&key) {
+            None => {
+                self.cells.insert(key, entry);
+                true
+            }
+            Some(existing) => {
+                let wins = (entry.quality, entry.version, std::cmp::Reverse(entry.proxy))
+                    > (
+                        existing.quality,
+                        existing.version,
+                        std::cmp::Reverse(existing.proxy),
+                    );
+                if existing.value != entry.value {
+                    self.conflicts_resolved += 1;
+                }
+                if wins {
+                    self.cells.insert(key, entry);
+                }
+                wins
+            }
+        }
+    }
+
+    /// The winning entry for a cell.
+    pub fn get(&self, sensor: u16, t: SimTime) -> Option<ReplicaEntry> {
+        self.cells.get(&Self::key(sensor, t)).copied()
+    }
+
+    /// Number of distinct cells held.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True if no cells are held.
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+}
+
+/// Replicates a wireless proxy's cache entries onto a wired proxy over a
+/// bandwidth-limited backhaul, tracking staleness and bytes moved.
+#[derive(Clone, Debug)]
+pub struct Replicator {
+    /// Backhaul bandwidth, bytes/second (802.11 mesh link).
+    pub bandwidth_bps: f64,
+    /// Replication batch period.
+    pub period: SimDuration,
+    /// Entries awaiting shipment.
+    pending: Vec<ReplicaEntry>,
+    /// Mirror at the wired side.
+    mirror: ConsistencyManager,
+    last_ship: SimTime,
+    /// Total bytes shipped.
+    pub bytes_shipped: u64,
+    /// Cumulative shipment delay experienced by entries.
+    pub total_staleness: SimDuration,
+    /// Entries shipped.
+    pub entries_shipped: u64,
+}
+
+/// Bytes per replicated entry on the backhaul (ids + timestamp + value +
+/// version + quality).
+const ENTRY_BYTES: usize = 2 + 8 + 4 + 8 + 1 + 2;
+
+impl Replicator {
+    /// Creates a replicator with the given backhaul characteristics.
+    pub fn new(bandwidth_bps: f64, period: SimDuration) -> Self {
+        Replicator {
+            bandwidth_bps,
+            period,
+            pending: Vec::new(),
+            mirror: ConsistencyManager::new(),
+            last_ship: SimTime::ZERO,
+            bytes_shipped: 0,
+            total_staleness: SimDuration::ZERO,
+            entries_shipped: 0,
+        }
+    }
+
+    /// Queues an entry produced at the wireless proxy.
+    pub fn enqueue(&mut self, entry: ReplicaEntry) {
+        self.pending.push(entry);
+    }
+
+    /// Ships pending entries if the period elapsed; returns the transfer
+    /// latency of this shipment (size / bandwidth), if one happened.
+    pub fn tick(&mut self, now: SimTime) -> Option<SimDuration> {
+        if now - self.last_ship < self.period || self.pending.is_empty() {
+            return None;
+        }
+        self.last_ship = now;
+        let bytes = self.pending.len() * ENTRY_BYTES;
+        let latency = SimDuration::from_secs_f64(bytes as f64 * 8.0 / self.bandwidth_bps);
+        for e in self.pending.drain(..) {
+            self.total_staleness += now - e.t;
+            self.entries_shipped += 1;
+            self.mirror.integrate(e);
+        }
+        self.bytes_shipped += bytes as u64;
+        Some(latency)
+    }
+
+    /// The wired-side mirror.
+    pub fn mirror(&self) -> &ConsistencyManager {
+        &self.mirror
+    }
+
+    /// Mean staleness of shipped entries.
+    pub fn mean_staleness(&self) -> SimDuration {
+        if self.entries_shipped == 0 {
+            SimDuration::ZERO
+        } else {
+            self.total_staleness / self.entries_shipped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(
+        proxy: usize,
+        sensor: u16,
+        t_secs: u64,
+        value: f64,
+        q: EntryQuality,
+        v: u64,
+    ) -> ReplicaEntry {
+        ReplicaEntry {
+            proxy,
+            sensor,
+            t: SimTime::from_secs(t_secs),
+            value,
+            quality: q,
+            version: v,
+        }
+    }
+
+    #[test]
+    fn exact_beats_lossy_beats_extrapolated() {
+        let mut m = ConsistencyManager::new();
+        assert!(m.integrate(entry(0, 1, 10, 20.0, EntryQuality::Extrapolated, 5)));
+        assert!(m.integrate(entry(1, 1, 10, 20.5, EntryQuality::Lossy, 1)));
+        assert_eq!(m.get(1, SimTime::from_secs(10)).unwrap().value, 20.5);
+        assert!(m.integrate(entry(0, 1, 10, 20.2, EntryQuality::Exact, 1)));
+        assert_eq!(m.get(1, SimTime::from_secs(10)).unwrap().value, 20.2);
+        // A later lossy write cannot displace exact data.
+        assert!(!m.integrate(entry(1, 1, 10, 30.0, EntryQuality::Lossy, 9)));
+        assert_eq!(m.get(1, SimTime::from_secs(10)).unwrap().value, 20.2);
+    }
+
+    #[test]
+    fn version_breaks_equal_quality() {
+        let mut m = ConsistencyManager::new();
+        m.integrate(entry(0, 2, 5, 1.0, EntryQuality::Lossy, 3));
+        assert!(!m.integrate(entry(1, 2, 5, 2.0, EntryQuality::Lossy, 2)));
+        assert!(m.integrate(entry(1, 2, 5, 3.0, EntryQuality::Lossy, 4)));
+        assert_eq!(m.get(2, SimTime::from_secs(5)).unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn proxy_id_is_deterministic_tiebreak() {
+        let mut m = ConsistencyManager::new();
+        m.integrate(entry(3, 1, 7, 1.0, EntryQuality::Lossy, 2));
+        // Same quality + version from a lower proxy id wins.
+        assert!(m.integrate(entry(1, 1, 7, 2.0, EntryQuality::Lossy, 2)));
+        // And from a higher proxy id loses.
+        assert!(!m.integrate(entry(5, 1, 7, 3.0, EntryQuality::Lossy, 2)));
+        assert_eq!(m.conflicts_resolved, 2);
+    }
+
+    #[test]
+    fn distinct_cells_do_not_conflict() {
+        let mut m = ConsistencyManager::new();
+        m.integrate(entry(0, 1, 1, 1.0, EntryQuality::Lossy, 1));
+        m.integrate(entry(0, 1, 2, 2.0, EntryQuality::Lossy, 1));
+        m.integrate(entry(0, 2, 1, 3.0, EntryQuality::Lossy, 1));
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.conflicts_resolved, 0);
+    }
+
+    #[test]
+    fn replicator_ships_on_period_and_tracks_staleness() {
+        // 1 Mbps backhaul, 60 s batches.
+        let mut r = Replicator::new(1e6, SimDuration::from_secs(60));
+        for i in 0..100 {
+            r.enqueue(entry(0, 1, i, 20.0, EntryQuality::Lossy, i));
+        }
+        // Too early: nothing ships.
+        assert!(r.tick(SimTime::from_secs(30)).is_none());
+        let latency = r.tick(SimTime::from_secs(60)).unwrap();
+        assert!(latency > SimDuration::ZERO);
+        assert_eq!(r.entries_shipped, 100);
+        assert_eq!(r.mirror().len(), 100);
+        assert!(r.bytes_shipped >= 100 * 25);
+        // Mean staleness spans roughly the batch window.
+        let stale = r.mean_staleness();
+        assert!(stale > SimDuration::ZERO && stale < SimDuration::from_secs(62));
+    }
+
+    #[test]
+    fn slower_backhaul_means_longer_transfer() {
+        let mut fast = Replicator::new(10e6, SimDuration::from_secs(10));
+        let mut slow = Replicator::new(0.5e6, SimDuration::from_secs(10));
+        for i in 0..500 {
+            fast.enqueue(entry(0, 1, i, 1.0, EntryQuality::Lossy, i));
+            slow.enqueue(entry(0, 1, i, 1.0, EntryQuality::Lossy, i));
+        }
+        let lf = fast.tick(SimTime::from_secs(10)).unwrap();
+        let ls = slow.tick(SimTime::from_secs(10)).unwrap();
+        assert!(ls > lf * 10);
+    }
+
+    #[test]
+    fn empty_replicator_never_ships() {
+        let mut r = Replicator::new(1e6, SimDuration::from_secs(1));
+        assert!(r.tick(SimTime::from_hours(1)).is_none());
+        assert_eq!(r.mean_staleness(), SimDuration::ZERO);
+    }
+}

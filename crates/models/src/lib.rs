@@ -1,0 +1,48 @@
+//! Prediction models for PRESTO's model-driven push and extrapolation.
+//!
+//! The paper (§3) requires models that are **asymmetric**: "they can be
+//! hard to build at the proxy, but they must require little resources to
+//! verify at the sensor." Every model here therefore has two costed
+//! halves:
+//!
+//! * a **training** path (run at the proxy over cached history; its cycle
+//!   cost is reported so experiment E7 can measure the asymmetry), and
+//! * a **checking/prediction** path (run per sample at the sensor;
+//!   [`Predictor::check_cycles`] reports its per-sample cost and
+//!   [`Predictor::encode_params`] its over-the-air parameter footprint).
+//!
+//! Model classes (matching the paper's suggestions):
+//!
+//! * [`seasonal::SeasonalModel`] — time-of-day (and day-of-week) bins,
+//!   the "normal temperature for each hour of the day" model.
+//! * [`ar::ArModel`] — AR(p) time-series fit via Levinson–Durbin, the
+//!   "time-series analysis" option.
+//! * [`combined::SeasonalArModel`] — seasonal mean + AR over residuals,
+//!   PRESTO's default (and the shape the authors later adopted for the
+//!   full system).
+//! * [`regression::LinearTrendModel`] — "simple regression techniques."
+//! * [`markov::MarkovModel`] — "Markov model for the temporal axis."
+//! * [`spatial::SpatialGaussian`] — "multivariate models for the spatial
+//!   axis" (BBQ-style conditional inference across nearby sensors);
+//!   proxy-only.
+//!
+//! [`linalg`] provides the small dense-matrix kernel (Cholesky) that the
+//! spatial model needs; it is written here rather than pulled in as a
+//! dependency because the allowed crate set has no linear algebra.
+
+pub mod ar;
+pub mod combined;
+pub mod linalg;
+pub mod markov;
+pub mod regression;
+pub mod seasonal;
+pub mod spatial;
+pub mod traits;
+
+pub use ar::ArModel;
+pub use combined::SeasonalArModel;
+pub use markov::MarkovModel;
+pub use regression::LinearTrendModel;
+pub use seasonal::SeasonalModel;
+pub use spatial::SpatialGaussian;
+pub use traits::{ModelKind, Prediction, Predictor, TrainReport, Verdict};

@@ -1,0 +1,219 @@
+//! Frame loss models.
+//!
+//! Low-power wireless links lose frames, and they lose them in bursts
+//! (the paper cites the UCLA "complex behavior at scale" study [4] for
+//! the unreliability of these networks). Two processes are provided:
+//!
+//! * [`LossProcess::Bernoulli`] — independent loss with fixed probability.
+//! * [`LossProcess::Gilbert`] — a two-state Gilbert–Elliott chain with a
+//!   "good" and a "bad" state, producing bursty loss episodes.
+
+use presto_sim::SimRng;
+
+/// Parameters of a Gilbert–Elliott bursty loss chain.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GilbertElliott {
+    /// Probability of moving good → bad per frame.
+    pub p_gb: f64,
+    /// Probability of moving bad → good per frame.
+    pub p_bg: f64,
+    /// Frame loss probability in the good state.
+    pub loss_good: f64,
+    /// Frame loss probability in the bad state.
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A typical indoor low-power link: mostly clean with occasional
+    /// multi-frame fades.
+    pub fn indoor() -> Self {
+        GilbertElliott {
+            p_gb: 0.005,
+            p_bg: 0.15,
+            loss_good: 0.02,
+            loss_bad: 0.75,
+        }
+    }
+
+    /// Long-run stationary loss probability of the chain.
+    pub fn stationary_loss(&self) -> f64 {
+        let pi_bad = self.p_gb / (self.p_gb + self.p_bg);
+        (1.0 - pi_bad) * self.loss_good + pi_bad * self.loss_bad
+    }
+}
+
+/// A frame loss process.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LossProcess {
+    /// Lossless link (wired proxies).
+    Perfect,
+    /// Independent per-frame loss with the given probability.
+    Bernoulli(f64),
+    /// Bursty Gilbert–Elliott loss.
+    Gilbert(GilbertElliott),
+}
+
+/// A directional link with its loss process state.
+#[derive(Clone, Debug)]
+pub struct LinkModel {
+    process: LossProcess,
+    /// Current Gilbert state: `true` = bad.
+    in_bad_state: bool,
+    rng: SimRng,
+    frames_offered: u64,
+    frames_lost: u64,
+}
+
+impl LinkModel {
+    /// Creates a link with the given loss process and RNG stream.
+    pub fn new(process: LossProcess, rng: SimRng) -> Self {
+        LinkModel {
+            process,
+            in_bad_state: false,
+            rng,
+            frames_offered: 0,
+            frames_lost: 0,
+        }
+    }
+
+    /// A perfect (wired) link; the RNG is unused.
+    pub fn perfect() -> Self {
+        LinkModel::new(LossProcess::Perfect, SimRng::new(0))
+    }
+
+    /// Samples whether the next offered frame is delivered.
+    pub fn deliver(&mut self) -> bool {
+        self.frames_offered += 1;
+        let lost = match &self.process {
+            LossProcess::Perfect => false,
+            LossProcess::Bernoulli(p) => self.rng.chance(*p),
+            LossProcess::Gilbert(g) => {
+                // Advance the state first, then sample loss in-state.
+                let flip = if self.in_bad_state { g.p_bg } else { g.p_gb };
+                if self.rng.chance(flip) {
+                    self.in_bad_state = !self.in_bad_state;
+                }
+                let p = if self.in_bad_state {
+                    g.loss_bad
+                } else {
+                    g.loss_good
+                };
+                self.rng.chance(p)
+            }
+        };
+        if lost {
+            self.frames_lost += 1;
+        }
+        !lost
+    }
+
+    /// Observed loss rate so far.
+    pub fn observed_loss(&self) -> f64 {
+        if self.frames_offered == 0 {
+            0.0
+        } else {
+            self.frames_lost as f64 / self.frames_offered as f64
+        }
+    }
+
+    /// Frames offered to the link so far.
+    pub fn frames_offered(&self) -> u64 {
+        self.frames_offered
+    }
+
+    /// The configured loss process.
+    pub fn process(&self) -> &LossProcess {
+        &self.process
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_link_never_drops() {
+        let mut l = LinkModel::perfect();
+        assert!((0..10_000).all(|_| l.deliver()));
+        assert_eq!(l.observed_loss(), 0.0);
+    }
+
+    #[test]
+    fn bernoulli_matches_probability() {
+        let mut l = LinkModel::new(LossProcess::Bernoulli(0.3), SimRng::new(5));
+        for _ in 0..50_000 {
+            l.deliver();
+        }
+        assert!(
+            (l.observed_loss() - 0.3).abs() < 0.01,
+            "{}",
+            l.observed_loss()
+        );
+    }
+
+    #[test]
+    fn gilbert_long_run_matches_stationary() {
+        let g = GilbertElliott::indoor();
+        let mut l = LinkModel::new(LossProcess::Gilbert(g), SimRng::new(6));
+        for _ in 0..200_000 {
+            l.deliver();
+        }
+        let expect = g.stationary_loss();
+        assert!(
+            (l.observed_loss() - expect).abs() < 0.01,
+            "observed {} expected {}",
+            l.observed_loss(),
+            expect
+        );
+    }
+
+    #[test]
+    fn gilbert_losses_are_bursty() {
+        // Compare the mean run length of consecutive losses against a
+        // Bernoulli link of the same long-run rate: bursts should be longer.
+        let g = GilbertElliott::indoor();
+        let rate = g.stationary_loss();
+
+        let run_mean = |mut link: LinkModel| {
+            let (mut runs, mut losses, mut in_run) = (0u64, 0u64, false);
+            for _ in 0..200_000 {
+                let ok = link.deliver();
+                if !ok {
+                    losses += 1;
+                    if !in_run {
+                        runs += 1;
+                        in_run = true;
+                    }
+                } else {
+                    in_run = false;
+                }
+            }
+            losses as f64 / runs.max(1) as f64
+        };
+
+        let bursty = run_mean(LinkModel::new(LossProcess::Gilbert(g), SimRng::new(7)));
+        let indep = run_mean(LinkModel::new(LossProcess::Bernoulli(rate), SimRng::new(8)));
+        assert!(
+            bursty > indep * 1.3,
+            "bursty run {bursty} vs independent {indep}"
+        );
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut always = LinkModel::new(LossProcess::Bernoulli(1.0), SimRng::new(9));
+        assert!(!always.deliver());
+        let mut never = LinkModel::new(LossProcess::Bernoulli(0.0), SimRng::new(9));
+        assert!(never.deliver());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let seq = |seed| {
+            let mut l = LinkModel::new(LossProcess::Bernoulli(0.5), SimRng::new(seed));
+            (0..64).map(|_| l.deliver()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(3), seq(3));
+        assert_ne!(seq(3), seq(4));
+    }
+}

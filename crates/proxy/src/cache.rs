@@ -1,0 +1,252 @@
+//! The proxy's per-sensor summary cache.
+//!
+//! "This cache differs significantly from both memory caches as well as
+//! web caches in that the cached data is either a lossy view or a
+//! higher-level semantic event-based view of the sensor data" (paper §3).
+//!
+//! The cache holds whatever the proxy has learned about one sensor's
+//! series: pushed deviations, batch contents, and pull refinements, each
+//! tagged with provenance. It is bounded; eviction drops the oldest
+//! entries (the sensor's archive remains the authority for old data).
+
+use std::collections::VecDeque;
+
+use presto_sim::{SimDuration, SimTime};
+
+/// Where a cached sample came from.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheSource {
+    /// Model-failure or value push from the sensor.
+    Pushed,
+    /// Arrived in a periodic batch.
+    Batch,
+    /// Fetched by a miss-triggered pull (refinement).
+    Pulled,
+}
+
+/// One cached sample.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CachedSample {
+    /// Sample timestamp.
+    pub t: SimTime,
+    /// Value (possibly lossy).
+    pub value: f64,
+    /// Provenance.
+    pub source: CacheSource,
+}
+
+/// A cached semantic event.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedEvent {
+    /// Event timestamp.
+    pub t: SimTime,
+    /// Reporting sensor.
+    pub sensor: u16,
+    /// Application event type.
+    pub event_type: u16,
+    /// Application payload.
+    pub data: Vec<u8>,
+}
+
+/// Per-sensor summary cache.
+#[derive(Clone, Debug)]
+pub struct SensorCache {
+    samples: VecDeque<CachedSample>,
+    capacity: usize,
+    /// Most recent contact of any kind (push, batch, reply).
+    pub last_heard: Option<SimTime>,
+}
+
+impl SensorCache {
+    /// Creates a cache bounded to `capacity` samples.
+    pub fn new(capacity: usize) -> Self {
+        SensorCache {
+            samples: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+            last_heard: None,
+        }
+    }
+
+    /// Number of cached samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Inserts a sample, keeping the deque time-ordered and bounded.
+    /// Pulled samples refine (replace) earlier lossy entries at the same
+    /// timestamp.
+    pub fn insert(&mut self, sample: CachedSample) {
+        self.last_heard = Some(self.last_heard.map_or(sample.t, |h| h.max(sample.t)));
+        // Fast path: append at the tail.
+        if self.samples.back().is_none_or(|b| b.t < sample.t) {
+            self.samples.push_back(sample);
+        } else {
+            // Find insertion point (rare: out-of-order arrival).
+            let idx = self.samples.partition_point(|s| s.t < sample.t);
+            if self.samples.get(idx).is_some_and(|s| s.t == sample.t) {
+                // Same timestamp: pulled data wins over lossy views.
+                let existing = &mut self.samples[idx];
+                if sample.source == CacheSource::Pulled || existing.source != CacheSource::Pulled {
+                    *existing = sample;
+                }
+            } else {
+                self.samples.insert(idx, sample);
+            }
+        }
+        while self.samples.len() > self.capacity {
+            self.samples.pop_front();
+        }
+    }
+
+    /// The most recent cached sample.
+    pub fn latest(&self) -> Option<CachedSample> {
+        self.samples.back().copied()
+    }
+
+    /// The most recent sample at or before `t`.
+    pub fn latest_at(&self, t: SimTime) -> Option<CachedSample> {
+        let idx = self.samples.partition_point(|s| s.t <= t);
+        idx.checked_sub(1)
+            .and_then(|i| self.samples.get(i))
+            .copied()
+    }
+
+    /// All cached samples in `[from, to]`.
+    pub fn range(&self, from: SimTime, to: SimTime) -> Vec<CachedSample> {
+        let lo = self.samples.partition_point(|s| s.t < from);
+        let hi = self.samples.partition_point(|s| s.t <= to);
+        self.samples
+            .iter()
+            .skip(lo)
+            .take(hi - lo)
+            .copied()
+            .collect()
+    }
+
+    /// Fraction of expected epochs in `[from, to]` that have a cached
+    /// sample, given the sensor's sampling period.
+    pub fn coverage(&self, from: SimTime, to: SimTime, period: SimDuration) -> f64 {
+        let expected = (to - from).div_duration(period).max(1);
+        let have = self.range(from, to).len() as u64;
+        (have as f64 / expected as f64).min(1.0)
+    }
+
+    /// Full history view (oldest first) for model training.
+    pub fn history(&self) -> Vec<(SimTime, f64)> {
+        self.samples.iter().map(|s| (s.t, s.value)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(t_secs: u64, v: f64, source: CacheSource) -> CachedSample {
+        CachedSample {
+            t: SimTime::from_secs(t_secs),
+            value: v,
+            source,
+        }
+    }
+
+    #[test]
+    fn insert_keeps_time_order() {
+        let mut c = SensorCache::new(100);
+        c.insert(s(30, 2.0, CacheSource::Batch));
+        c.insert(s(10, 1.0, CacheSource::Batch));
+        c.insert(s(20, 1.5, CacheSource::Pushed));
+        let all = c.range(SimTime::ZERO, SimTime::from_secs(100));
+        let ts: Vec<u64> = all.iter().map(|x| x.t.as_secs()).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut c = SensorCache::new(3);
+        for i in 0..5 {
+            c.insert(s(i * 10, i as f64, CacheSource::Batch));
+        }
+        assert_eq!(c.len(), 3);
+        assert_eq!(
+            c.range(SimTime::ZERO, SimTime::from_secs(100))[0]
+                .t
+                .as_secs(),
+            20
+        );
+    }
+
+    #[test]
+    fn pulled_refines_lossy_entries() {
+        let mut c = SensorCache::new(10);
+        c.insert(s(10, 20.0, CacheSource::Batch));
+        c.insert(s(20, 21.0, CacheSource::Batch));
+        c.insert(s(10, 19.5, CacheSource::Pulled));
+        let all = c.range(SimTime::ZERO, SimTime::from_secs(100));
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[0].value, 19.5);
+        assert_eq!(all[0].source, CacheSource::Pulled);
+        // A later lossy view must not clobber pulled truth.
+        c.insert(s(10, 25.0, CacheSource::Batch));
+        assert_eq!(
+            c.range(SimTime::ZERO, SimTime::from_secs(15))[0].value,
+            19.5
+        );
+    }
+
+    #[test]
+    fn latest_at_respects_time() {
+        let mut c = SensorCache::new(10);
+        c.insert(s(10, 1.0, CacheSource::Pushed));
+        c.insert(s(30, 3.0, CacheSource::Pushed));
+        assert_eq!(c.latest_at(SimTime::from_secs(5)), None);
+        assert_eq!(c.latest_at(SimTime::from_secs(10)).unwrap().value, 1.0);
+        assert_eq!(c.latest_at(SimTime::from_secs(29)).unwrap().value, 1.0);
+        assert_eq!(c.latest_at(SimTime::from_secs(99)).unwrap().value, 3.0);
+        assert_eq!(c.latest().unwrap().value, 3.0);
+    }
+
+    #[test]
+    fn coverage_measures_density() {
+        let mut c = SensorCache::new(1000);
+        for i in 0..50 {
+            c.insert(s(i * 31, 20.0, CacheSource::Batch));
+        }
+        let full = c.coverage(
+            SimTime::ZERO,
+            SimTime::from_secs(49 * 31),
+            SimDuration::from_secs(31),
+        );
+        assert!(full > 0.9, "{full}");
+        let empty = c.coverage(
+            SimTime::from_hours(10),
+            SimTime::from_hours(11),
+            SimDuration::from_secs(31),
+        );
+        assert_eq!(empty, 0.0);
+    }
+
+    #[test]
+    fn last_heard_tracks_maximum() {
+        let mut c = SensorCache::new(10);
+        assert_eq!(c.last_heard, None);
+        c.insert(s(50, 1.0, CacheSource::Pushed));
+        c.insert(s(20, 1.0, CacheSource::Pulled));
+        assert_eq!(c.last_heard, Some(SimTime::from_secs(50)));
+    }
+
+    #[test]
+    fn history_matches_contents() {
+        let mut c = SensorCache::new(10);
+        c.insert(s(1, 1.0, CacheSource::Batch));
+        c.insert(s(2, 2.0, CacheSource::Batch));
+        assert_eq!(
+            c.history(),
+            vec![(SimTime::from_secs(1), 1.0), (SimTime::from_secs(2), 2.0)]
+        );
+    }
+}

@@ -1,0 +1,1115 @@
+//! The proxy: uplink consumption, query answering, downlink control.
+//!
+//! Query path (paper §2): "When a new query arrives, the proxy examines
+//! its cache … In the event of a hit, the query can be processed locally.
+//! Cache misses are handled in one of two ways. The proxy first examines
+//! other cached data to see if the requested data can be extrapolated …
+//! If the spatio-temporal extrapolation does not yield sufficiently
+//! accurate data to meet the query error tolerances, then the cache miss
+//! is handled by fetching data from … the archive at remote sensors."
+
+use std::collections::HashMap;
+
+use presto_models::SpatialGaussian;
+use presto_net::{LinkModel, Mac};
+use presto_sim::{EnergyLedger, SimDuration, SimTime};
+
+use presto_sensor::{DownlinkMsg, SensorNode, UplinkMsg, UplinkPayload};
+
+use crate::cache::{CacheSource, CachedEvent, CachedSample, SensorCache};
+use crate::engine::{EngineConfig, ModelSlot, PredictionEngine};
+
+/// Proxy configuration.
+#[derive(Clone, Debug)]
+pub struct ProxyConfig {
+    /// Proxy id (for multi-proxy deployments).
+    pub id: usize,
+    /// Prediction engine configuration.
+    pub engine: EngineConfig,
+    /// Cache capacity per sensor, in samples.
+    pub cache_capacity: usize,
+    /// Age below which a cached sample answers a NOW query outright.
+    pub freshness: SimDuration,
+    /// Sensor sampling period (for coverage computations).
+    pub sample_period: SimDuration,
+    /// The push tolerance configured at the sensors (the extrapolation
+    /// error bound under model-driven push).
+    pub push_tolerance: f64,
+    /// Radio model for the downlink MAC.
+    pub radio: presto_net::RadioModel,
+    /// Frame format for the downlink MAC.
+    pub frame: presto_net::FrameFormat,
+    /// The sensors' LPL check interval (downlink preamble length).
+    pub sensor_lpl: SimDuration,
+    /// Pull attempts per query before giving up.
+    pub pull_retries: u32,
+    /// Required cache coverage for a PAST-query cache hit.
+    pub past_coverage_hit: f64,
+}
+
+impl Default for ProxyConfig {
+    fn default() -> Self {
+        ProxyConfig {
+            id: 0,
+            engine: EngineConfig::default(),
+            cache_capacity: 50_000,
+            freshness: SimDuration::from_secs(62),
+            sample_period: SimDuration::from_secs(31),
+            push_tolerance: 1.0,
+            radio: presto_net::RadioModel::mica2(),
+            frame: presto_net::FrameFormat::tinyos_mica2(),
+            sensor_lpl: SimDuration::from_secs(1),
+            pull_retries: 2,
+            past_coverage_hit: 0.9,
+        }
+    }
+}
+
+/// How a query was answered.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AnswerSource {
+    /// Served from a fresh cached sample.
+    CacheHit,
+    /// Served from the prediction engine (temporal model).
+    Extrapolated,
+    /// Served by spatial conditioning on nearby sensors.
+    SpatialExtrapolated,
+    /// Served by a miss-triggered pull from the sensor archive.
+    Pulled,
+    /// Could not be answered (sensor unreachable and no model).
+    Failed,
+}
+
+/// Answer to a NOW query.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Answer {
+    /// The value.
+    pub value: f64,
+    /// Uncertainty (one sigma).
+    pub sigma: f64,
+    /// Provenance.
+    pub source: AnswerSource,
+    /// Time from arrival to answer.
+    pub latency: SimDuration,
+}
+
+/// Answer to a PAST query.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PastAnswer {
+    /// The series over the requested range.
+    pub samples: Vec<(SimTime, f64)>,
+    /// Provenance.
+    pub source: AnswerSource,
+    /// Time from arrival to answer.
+    pub latency: SimDuration,
+}
+
+/// Proxy counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProxyStats {
+    /// Uplink messages consumed.
+    pub uplinks: u64,
+    /// Samples added to caches.
+    pub samples_cached: u64,
+    /// Events cached.
+    pub events_cached: u64,
+    /// NOW queries answered.
+    pub now_queries: u64,
+    /// PAST queries answered.
+    pub past_queries: u64,
+    /// Cache hits (NOW + PAST).
+    pub cache_hits: u64,
+    /// Extrapolated answers.
+    pub extrapolations: u64,
+    /// Spatially extrapolated answers.
+    pub spatial_extrapolations: u64,
+    /// Miss-triggered pulls issued.
+    pub pulls: u64,
+    /// Pulls that failed after retries.
+    pub pull_failures: u64,
+    /// Model parameter pushes delivered.
+    pub models_pushed: u64,
+    /// Retunes delivered.
+    pub retunes_pushed: u64,
+}
+
+struct SensorSlot {
+    cache: SensorCache,
+    model: Option<ModelSlot>,
+    /// When the current model was installed at the sensor (extrapolation
+    /// guarantees only hold from here on).
+    model_installed_at: Option<SimTime>,
+}
+
+/// A PRESTO proxy.
+pub struct PrestoProxy {
+    config: ProxyConfig,
+    engine: PredictionEngine,
+    sensors: HashMap<u16, SensorSlot>,
+    events: Vec<CachedEvent>,
+    spatial: Option<(SpatialGaussian, Vec<u16>)>,
+    ledger: EnergyLedger,
+    downlink: Mac,
+    stats: ProxyStats,
+    next_query_id: u64,
+}
+
+impl PrestoProxy {
+    /// Creates a proxy.
+    pub fn new(config: ProxyConfig) -> Self {
+        let engine = PredictionEngine::new(config.engine.clone());
+        let downlink = Mac::downlink(
+            config.radio.clone(),
+            config.frame.clone(),
+            config.sensor_lpl,
+        );
+        PrestoProxy {
+            engine,
+            downlink,
+            sensors: HashMap::new(),
+            events: Vec::new(),
+            spatial: None,
+            ledger: EnergyLedger::new(),
+            stats: ProxyStats::default(),
+            next_query_id: 1,
+            config,
+        }
+    }
+
+    /// Registers a sensor under this proxy.
+    pub fn register_sensor(&mut self, id: u16) {
+        self.sensors.entry(id).or_insert_with(|| SensorSlot {
+            cache: SensorCache::new(self.config.cache_capacity),
+            model: None,
+            model_installed_at: None,
+        });
+    }
+
+    /// Registered sensor ids, sorted.
+    pub fn sensor_ids(&self) -> Vec<u16> {
+        let mut ids: Vec<u16> = self.sensors.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// The proxy's energy ledger (tethered, but still tracked).
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access, used by sensor uplink MACs to charge the
+    /// proxy's reception energy.
+    pub fn ledger_mut(&mut self) -> &mut EnergyLedger {
+        &mut self.ledger
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> ProxyStats {
+        self.stats
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ProxyConfig {
+        &self.config
+    }
+
+    /// The prediction engine (e.g. for E7 cycle accounting).
+    pub fn engine(&self) -> &PredictionEngine {
+        &self.engine
+    }
+
+    /// Cached events (most recent last).
+    pub fn events(&self) -> &[CachedEvent] {
+        &self.events
+    }
+
+    /// Read access to a sensor's cache.
+    pub fn cache(&self, sensor: u16) -> Option<&SensorCache> {
+        self.sensors.get(&sensor).map(|s| &s.cache)
+    }
+
+    /// Consumes an uplink message, updating caches and model replicas.
+    pub fn on_uplink(&mut self, msg: &UplinkMsg) {
+        self.stats.uplinks += 1;
+        let Some(slot) = self.sensors.get_mut(&msg.sensor) else {
+            return;
+        };
+        match &msg.payload {
+            UplinkPayload::Deviation { value, .. } => {
+                slot.cache.insert(CachedSample {
+                    t: msg.sent_at,
+                    value: *value,
+                    source: CacheSource::Pushed,
+                });
+                self.stats.samples_cached += 1;
+                // Keep the proxy replica in lock-step with the sensor
+                // replica: both observe exactly the pushed values.
+                if let Some(m) = slot.model.as_mut() {
+                    m.model.observe(msg.sent_at, *value);
+                }
+            }
+            UplinkPayload::Value { value } => {
+                slot.cache.insert(CachedSample {
+                    t: msg.sent_at,
+                    value: *value,
+                    source: CacheSource::Pushed,
+                });
+                self.stats.samples_cached += 1;
+            }
+            UplinkPayload::Batch { samples, .. } => {
+                for &(t, v) in samples {
+                    slot.cache.insert(CachedSample {
+                        t,
+                        value: v,
+                        source: CacheSource::Batch,
+                    });
+                }
+                self.stats.samples_cached += samples.len() as u64;
+            }
+            UplinkPayload::Event { event_type, data } => {
+                self.events.push(CachedEvent {
+                    t: msg.sent_at,
+                    sensor: msg.sensor,
+                    event_type: *event_type,
+                    data: data.clone(),
+                });
+                self.stats.events_cached += 1;
+            }
+            UplinkPayload::PullReply { samples, .. } => {
+                for s in samples {
+                    slot.cache.insert(CachedSample {
+                        t: s.t,
+                        value: s.value,
+                        source: CacheSource::Pulled,
+                    });
+                }
+                self.stats.samples_cached += samples.len() as u64;
+            }
+            UplinkPayload::AggregateReply { .. } => {
+                // Scalar result; nothing to cache (the consuming query
+                // takes it straight from the reply).
+                slot.cache.last_heard = Some(
+                    slot.cache
+                        .last_heard
+                        .map_or(msg.sent_at, |h| h.max(msg.sent_at)),
+                );
+            }
+        }
+    }
+
+    /// Delivers a downlink message to a sensor over the energy-metered
+    /// MAC. Returns `(reply, latency, delivered)`; the reply is the
+    /// sensor's response (pull replies), already folded into the cache.
+    pub fn deliver_downlink(
+        &mut self,
+        t: SimTime,
+        msg: &DownlinkMsg,
+        node: &mut SensorNode,
+        link: &mut LinkModel,
+    ) -> (Option<UplinkMsg>, SimDuration, bool) {
+        let outcome = self.downlink.send(
+            msg.wire_bytes(),
+            link,
+            &mut self.ledger,
+            Some(node.ledger_mut()),
+        );
+        if !outcome.delivered {
+            return (None, outcome.latency, false);
+        }
+        let reply = node.handle_downlink(t, msg, Some(&mut self.ledger));
+        if let Some(r) = &reply {
+            self.on_uplink(r);
+        }
+        (reply, outcome.latency, true)
+    }
+
+    /// Trains (if warranted) and pushes a model to a sensor. Returns true
+    /// when a new model was installed.
+    pub fn maybe_train_and_push(
+        &mut self,
+        t: SimTime,
+        sensor: u16,
+        node: &mut SensorNode,
+        link: &mut LinkModel,
+    ) -> bool {
+        let Some(slot) = self.sensors.get(&sensor) else {
+            return false;
+        };
+        if !self
+            .engine
+            .should_train(slot.model.as_ref(), slot.cache.len(), t)
+        {
+            return false;
+        }
+        let history = slot.cache.history();
+        let prev_version = slot.model.as_ref().map_or(0, |m| m.version);
+        let trained = self
+            .engine
+            .train(&history, t, prev_version, &mut self.ledger);
+        let params = trained.model.encode_params();
+        let kind = trained.model.kind();
+        let msg = DownlinkMsg::ModelUpdate { kind, params };
+        let (_, _, delivered) = self.deliver_downlink(t, &msg, node, link);
+        // Install only if the sensor actually received it; otherwise the
+        // replicas would diverge.
+        if delivered && node.has_model() {
+            let slot = self.sensors.get_mut(&sensor).expect("registered");
+            slot.model = Some(trained);
+            slot.model_installed_at = Some(t);
+            self.stats.models_pushed += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pushes a retune (from query–sensor matching) to a sensor.
+    pub fn push_retune(
+        &mut self,
+        t: SimTime,
+        msg: &DownlinkMsg,
+        node: &mut SensorNode,
+        link: &mut LinkModel,
+    ) -> bool {
+        debug_assert!(matches!(msg, DownlinkMsg::Retune { .. }));
+        let (_, _, delivered) = self.deliver_downlink(t, msg, node, link);
+        if !delivered {
+            return false;
+        }
+        // Track the sensor's tolerance for extrapolation bounds.
+        if let DownlinkMsg::Retune {
+            push_tolerance: Some(tol),
+            ..
+        } = msg
+        {
+            self.config.push_tolerance = *tol;
+        }
+        self.stats.retunes_pushed += 1;
+        true
+    }
+
+    /// Trains the spatial model from aligned cached rows of all sensors.
+    pub fn refresh_spatial_model(&mut self) {
+        let ids = self.sensor_ids();
+        if ids.len() < 2 {
+            return;
+        }
+        // Align on the timestamps of the first sensor's cache.
+        let Some(first) = self.sensors.get(&ids[0]) else {
+            return;
+        };
+        let mut rows = Vec::new();
+        for s in first.cache.history() {
+            let mut row = Vec::with_capacity(ids.len());
+            row.push(s.1);
+            let mut complete = true;
+            for &other in &ids[1..] {
+                let slot = &self.sensors[&other];
+                match slot.cache.latest_at(s.0) {
+                    Some(cs) if s.0 - cs.t <= self.config.sample_period * 2 => {
+                        row.push(cs.value);
+                    }
+                    _ => {
+                        complete = false;
+                        break;
+                    }
+                }
+            }
+            if complete {
+                rows.push(row);
+            }
+        }
+        if rows.len() >= 32 {
+            self.spatial = self
+                .engine
+                .train_spatial(&rows, &mut self.ledger)
+                .map(|g| (g, ids));
+        }
+    }
+
+    /// Estimated uplink latency for a reply of `bytes` payload bytes.
+    fn reply_latency(&self, bytes: usize) -> SimDuration {
+        let frames = self.config.frame.frames_for(bytes) as u64;
+        let wire = self.config.frame.wire_bytes(bytes) + 6 * frames as usize;
+        self.config.radio.airtime(wire) + SimDuration::from_millis(2) * frames
+    }
+
+    /// Answers a NOW query for one sensor: cache hit → extrapolation →
+    /// spatial → pull.
+    pub fn answer_now(
+        &mut self,
+        t: SimTime,
+        sensor: u16,
+        tolerance: f64,
+        node: &mut SensorNode,
+        link: &mut LinkModel,
+    ) -> Answer {
+        self.stats.now_queries += 1;
+        let Some(slot) = self.sensors.get(&sensor) else {
+            return Answer {
+                value: 0.0,
+                sigma: f64::INFINITY,
+                source: AnswerSource::Failed,
+                latency: SimDuration::ZERO,
+            };
+        };
+
+        // 1. Fresh cached sample.
+        if let Some(s) = slot.cache.latest() {
+            if t - s.t <= self.config.freshness {
+                self.stats.cache_hits += 1;
+                return Answer {
+                    value: s.value,
+                    sigma: 0.0,
+                    source: AnswerSource::CacheHit,
+                    latency: SimDuration::from_millis(1),
+                };
+            }
+        }
+
+        // 2. Temporal extrapolation: under model-driven push, silence
+        // means the model is within the push tolerance.
+        if let Some(m) = &slot.model {
+            if self.config.push_tolerance <= tolerance {
+                let p = PredictionEngine::extrapolate(m, t, self.config.push_tolerance);
+                self.stats.extrapolations += 1;
+                return Answer {
+                    value: p.value,
+                    sigma: p.sigma,
+                    source: AnswerSource::Extrapolated,
+                    latency: SimDuration::from_millis(2),
+                };
+            }
+        }
+
+        // 3. Spatial extrapolation from co-located sensors.
+        if let Some((g, ids)) = &self.spatial {
+            if let Some(target_idx) = ids.iter().position(|&i| i == sensor) {
+                let mut observed = Vec::new();
+                for (idx, &other) in ids.iter().enumerate() {
+                    if other == sensor {
+                        continue;
+                    }
+                    if let Some(cs) = self.sensors[&other].cache.latest_at(t) {
+                        if t - cs.t <= self.config.freshness {
+                            observed.push((idx, cs.value));
+                        }
+                    }
+                }
+                if !observed.is_empty() {
+                    let p = g.condition(&observed, target_idx);
+                    if p.sigma <= tolerance {
+                        self.stats.spatial_extrapolations += 1;
+                        return Answer {
+                            value: p.value,
+                            sigma: p.sigma,
+                            source: AnswerSource::SpatialExtrapolated,
+                            latency: SimDuration::from_millis(2),
+                        };
+                    }
+                }
+            }
+        }
+
+        // 4. Miss-triggered pull of the most recent archive contents.
+        let (reply, latency) = self.pull(
+            t,
+            sensor,
+            t - self.config.sample_period * 3,
+            t,
+            tolerance,
+            node,
+            link,
+        );
+        match reply {
+            Some(samples) if !samples.is_empty() => {
+                let last = samples.last().expect("non-empty");
+                Answer {
+                    value: last.1,
+                    sigma: tolerance / 2.0,
+                    source: AnswerSource::Pulled,
+                    latency,
+                }
+            }
+            _ => {
+                // Best effort: stale cache or model, flagged as failed.
+                let slot = &self.sensors[&sensor];
+                let (value, sigma) = slot
+                    .cache
+                    .latest()
+                    .map(|s| (s.value, f64::INFINITY))
+                    .unwrap_or((0.0, f64::INFINITY));
+                Answer {
+                    value,
+                    sigma,
+                    source: AnswerSource::Failed,
+                    latency,
+                }
+            }
+        }
+    }
+
+    /// Answers a PAST query: cache coverage → extrapolation (model
+    /// guarantee over the range) → archive pull.
+    #[allow(clippy::too_many_arguments)]
+    pub fn answer_past(
+        &mut self,
+        t: SimTime,
+        sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        tolerance: f64,
+        node: &mut SensorNode,
+        link: &mut LinkModel,
+    ) -> PastAnswer {
+        self.stats.past_queries += 1;
+        let Some(slot) = self.sensors.get(&sensor) else {
+            return PastAnswer {
+                samples: Vec::new(),
+                source: AnswerSource::Failed,
+                latency: SimDuration::ZERO,
+            };
+        };
+
+        // 1. Dense cache coverage.
+        let coverage = slot.cache.coverage(from, to, self.config.sample_period);
+        if coverage >= self.config.past_coverage_hit {
+            self.stats.cache_hits += 1;
+            return PastAnswer {
+                samples: slot
+                    .cache
+                    .range(from, to)
+                    .into_iter()
+                    .map(|s| (s.t, s.value))
+                    .collect(),
+                source: AnswerSource::CacheHit,
+                latency: SimDuration::from_millis(2),
+            };
+        }
+
+        // 2. Model extrapolation over the range, valid only for the span
+        // the model guarantee covers.
+        if let (Some(m), Some(installed)) = (&slot.model, slot.model_installed_at) {
+            if self.config.push_tolerance <= tolerance && from >= installed {
+                // Anchored extrapolation: the model's prediction at any
+                // time carries the replica's *current* short-term context,
+                // which is wrong for past instants. Anchoring on the
+                // nearest cached push cancels the context (it is constant
+                // across prediction times), leaving the seasonal shape
+                // plus the true value at the anchor — which is exactly
+                // the trajectory the push-tolerance guarantee bounds.
+                let anchors = slot.cache.range(installed, to);
+                let mut samples = Vec::new();
+                let mut ts = from;
+                let mut ai = 0usize;
+                while ts <= to {
+                    while ai + 1 < anchors.len() && anchors[ai + 1].t <= ts {
+                        ai += 1;
+                    }
+                    let v = match anchors.get(ai) {
+                        Some(a) if a.t <= ts => {
+                            m.model.predict(ts).value - m.model.predict(a.t).value + a.value
+                        }
+                        _ => m.model.predict(ts).value,
+                    };
+                    samples.push((ts, v));
+                    ts += self.config.sample_period;
+                }
+                self.stats.extrapolations += 1;
+                return PastAnswer {
+                    samples,
+                    source: AnswerSource::Extrapolated,
+                    latency: SimDuration::from_millis(3),
+                };
+            }
+        }
+
+        // 3. Pull from the sensor's archive.
+        let (reply, latency) = self.pull(t, sensor, from, to, tolerance, node, link);
+        match reply {
+            Some(samples) if !samples.is_empty() => PastAnswer {
+                samples,
+                source: AnswerSource::Pulled,
+                latency,
+            },
+            _ => PastAnswer {
+                samples: self.sensors[&sensor]
+                    .cache
+                    .range(from, to)
+                    .into_iter()
+                    .map(|s| (s.t, s.value))
+                    .collect(),
+                source: AnswerSource::Failed,
+                latency,
+            },
+        }
+    }
+
+    /// Answers an aggregate PAST query: computed from the cache when
+    /// coverage allows, otherwise evaluated *at the sensor* over its
+    /// archive so only the scalar result crosses the radio (paper §3's
+    /// "mode of vibration" example).
+    #[allow(clippy::too_many_arguments)]
+    pub fn answer_aggregate(
+        &mut self,
+        t: SimTime,
+        sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        op: presto_sensor::AggregateOp,
+        node: &mut SensorNode,
+        link: &mut LinkModel,
+    ) -> Answer {
+        self.stats.past_queries += 1;
+        let Some(slot) = self.sensors.get(&sensor) else {
+            return Answer {
+                value: f64::NAN,
+                sigma: f64::INFINITY,
+                source: AnswerSource::Failed,
+                latency: SimDuration::ZERO,
+            };
+        };
+
+        // Dense cache coverage: aggregate locally.
+        let coverage = slot.cache.coverage(from, to, self.config.sample_period);
+        if coverage >= self.config.past_coverage_hit {
+            let values: Vec<f64> = slot
+                .cache
+                .range(from, to)
+                .into_iter()
+                .map(|s| s.value)
+                .collect();
+            self.stats.cache_hits += 1;
+            return Answer {
+                value: presto_sensor::evaluate_aggregate(op, &values),
+                sigma: 0.0,
+                source: AnswerSource::CacheHit,
+                latency: SimDuration::from_millis(2),
+            };
+        }
+
+        // Ship the operator to the sensor.
+        let mut latency = SimDuration::ZERO;
+        for _ in 0..=self.config.pull_retries {
+            let query_id = self.next_query_id;
+            self.next_query_id += 1;
+            let msg = DownlinkMsg::AggregateRequest {
+                query_id,
+                from,
+                to,
+                op,
+            };
+            let (reply, down_latency, _) = self.deliver_downlink(t, &msg, node, link);
+            latency += down_latency;
+            if let Some(r) = reply {
+                if let UplinkPayload::AggregateReply { value, count, .. } = &r.payload {
+                    latency += self.reply_latency(r.wire_bytes);
+                    self.stats.pulls += 1;
+                    return Answer {
+                        value: *value,
+                        sigma: if *count == 0 { f64::INFINITY } else { 0.0 },
+                        source: AnswerSource::Pulled,
+                        latency,
+                    };
+                }
+            }
+        }
+        self.stats.pull_failures += 1;
+        Answer {
+            value: f64::NAN,
+            sigma: f64::INFINITY,
+            source: AnswerSource::Failed,
+            latency,
+        }
+    }
+
+    /// Issues a pull with retries; integrates the reply into the cache.
+    #[allow(clippy::too_many_arguments)]
+    fn pull(
+        &mut self,
+        t: SimTime,
+        _sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        tolerance: f64,
+        node: &mut SensorNode,
+        link: &mut LinkModel,
+    ) -> (Option<Vec<(SimTime, f64)>>, SimDuration) {
+        self.stats.pulls += 1;
+        let mut latency = SimDuration::ZERO;
+        for _ in 0..=self.config.pull_retries {
+            let query_id = self.next_query_id;
+            self.next_query_id += 1;
+            let msg = DownlinkMsg::PullRequest {
+                query_id,
+                from,
+                to,
+                tolerance,
+            };
+            let (reply, down_latency, _) = self.deliver_downlink(t, &msg, node, link);
+            latency += down_latency;
+            if let Some(r) = reply {
+                if let UplinkPayload::PullReply { samples, .. } = &r.payload {
+                    latency += self.reply_latency(r.wire_bytes);
+                    return (
+                        Some(samples.iter().map(|s| (s.t, s.value)).collect()),
+                        latency,
+                    );
+                }
+            }
+        }
+        self.stats.pull_failures += 1;
+        (None, latency)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_sensor::{PushPolicy, SensorConfig};
+    use presto_sim::SimRng;
+
+    fn diurnal(t: SimTime) -> f64 {
+        21.0 + 4.0 * ((t.hour_of_day() - 14.0) / 24.0 * std::f64::consts::TAU).cos()
+    }
+
+    /// Runs `days` of samples through sensor + proxy with the given push
+    /// policy and link, returning (proxy, node, link).
+    fn run_deployment(
+        push: PushPolicy,
+        days: u64,
+        loss: f64,
+    ) -> (PrestoProxy, SensorNode, LinkModel) {
+        let mut proxy = PrestoProxy::new(ProxyConfig::default());
+        proxy.register_sensor(3);
+        let mut node = SensorNode::new(
+            3,
+            SensorConfig {
+                push,
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        let mut link = if loss > 0.0 {
+            LinkModel::new(presto_net::LossProcess::Bernoulli(loss), SimRng::new(9))
+        } else {
+            LinkModel::perfect()
+        };
+        let epochs = days * 86_400 / 31;
+        for i in 0..epochs {
+            let t = SimTime::from_secs(31 * i);
+            for msg in node.on_sample(t, diurnal(t), Some(proxy.ledger_mut())) {
+                proxy.on_uplink(&msg);
+            }
+            // Periodic training opportunity once per simulated hour.
+            if i % 120 == 0 {
+                proxy.maybe_train_and_push(t, 3, &mut node, &mut link);
+            }
+        }
+        (proxy, node, link)
+    }
+
+    #[test]
+    fn model_gets_trained_and_pushed() {
+        let (proxy, node, _) = run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 2, 0.0);
+        assert!(proxy.stats().models_pushed >= 1);
+        assert!(node.has_model());
+    }
+
+    #[test]
+    fn model_driven_push_quiets_the_uplink() {
+        let (proxy_md, node_md, _) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 3, 0.0);
+        let (_, node_stream, _) = run_deployment(
+            PushPolicy::Batched {
+                interval: SimDuration::from_mins(1),
+                compression: None,
+            },
+            3,
+            0.0,
+        );
+        // Once the model is installed the sensor barely talks; the
+        // streaming sensor talks constantly.
+        assert!(
+            node_md.stats().bytes_sent < node_stream.stats().bytes_sent / 5,
+            "model-driven {} vs streaming {}",
+            node_md.stats().bytes_sent,
+            node_stream.stats().bytes_sent
+        );
+        assert!(proxy_md.stats().samples_cached > 0);
+    }
+
+    #[test]
+    fn now_query_cache_hit_on_fresh_data() {
+        let (mut proxy, mut node, mut link) = run_deployment(
+            PushPolicy::Batched {
+                interval: SimDuration::from_secs(31),
+                compression: None,
+            },
+            1,
+            0.0,
+        );
+        let t = SimTime::from_days(1);
+        let a = proxy.answer_now(t, 3, 1.0, &mut node, &mut link);
+        assert_eq!(a.source, AnswerSource::CacheHit);
+        assert!(a.latency < SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn now_query_extrapolates_when_sensor_is_silent() {
+        let (mut proxy, mut node, mut link) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 3, 0.0);
+        // Advance well past the last sample so the cache is stale.
+        let t = SimTime::from_days(3) + SimDuration::from_mins(30);
+        let a = proxy.answer_now(t, 3, 1.5, &mut node, &mut link);
+        assert_eq!(a.source, AnswerSource::Extrapolated);
+        // The answer must be within tolerance of the true diurnal value.
+        assert!(
+            (a.value - diurnal(t)).abs() < 1.5,
+            "{} vs {}",
+            a.value,
+            diurnal(t)
+        );
+    }
+
+    #[test]
+    fn now_query_pulls_when_tolerance_is_tight() {
+        let (mut proxy, mut node, mut link) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 3, 0.0);
+        let t = SimTime::from_days(3) + SimDuration::from_mins(30);
+        // Tolerance tighter than the push tolerance: extrapolation is not
+        // good enough, so the proxy must pull... but the archive has no
+        // data this recent (sensor stopped sampling at day 3), so the
+        // pull returns the freshest archived samples.
+        let a = proxy.answer_now(t, 3, 0.2, &mut node, &mut link);
+        assert_eq!(a.source, AnswerSource::Pulled);
+        assert!(proxy.stats().pulls >= 1);
+        // Pull latency includes the downlink preamble (1 s LPL).
+        assert!(a.latency >= SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn past_query_cache_hit_under_streaming() {
+        let (mut proxy, mut node, mut link) = run_deployment(
+            PushPolicy::Batched {
+                interval: SimDuration::from_secs(31),
+                compression: None,
+            },
+            1,
+            0.0,
+        );
+        let t = SimTime::from_days(1);
+        let a = proxy.answer_past(
+            t,
+            3,
+            SimTime::from_hours(5),
+            SimTime::from_hours(6),
+            1.0,
+            &mut node,
+            &mut link,
+        );
+        assert_eq!(a.source, AnswerSource::CacheHit);
+        assert!(a.samples.len() > 100);
+    }
+
+    #[test]
+    fn past_query_pulls_from_archive_on_miss() {
+        let (mut proxy, mut node, mut link) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 2, 0.0);
+        let t = SimTime::from_days(2);
+        // Tight tolerance defeats extrapolation; the cache is sparse under
+        // model-driven push, so the proxy must pull from the archive.
+        let a = proxy.answer_past(
+            t,
+            3,
+            SimTime::from_hours(30),
+            SimTime::from_hours(31),
+            0.1,
+            &mut node,
+            &mut link,
+        );
+        assert_eq!(a.source, AnswerSource::Pulled);
+        assert!(!a.samples.is_empty());
+        // Pulled values match the truth within the pull codec tolerance.
+        for &(ts, v) in &a.samples {
+            assert!((v - diurnal(ts)).abs() < 0.2, "{v} vs {}", diurnal(ts));
+        }
+    }
+
+    #[test]
+    fn past_extrapolation_covers_model_era_only() {
+        let (mut proxy, mut node, mut link) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 2, 0.0);
+        let t = SimTime::from_days(2);
+        // A range before any model was installed cannot be extrapolated.
+        let a = proxy.answer_past(
+            t,
+            3,
+            SimTime::from_mins(10),
+            SimTime::from_mins(40),
+            1.5,
+            &mut node,
+            &mut link,
+        );
+        assert_ne!(a.source, AnswerSource::Extrapolated);
+        // A later range can.
+        let b = proxy.answer_past(
+            t,
+            3,
+            SimTime::from_hours(40),
+            SimTime::from_hours(41),
+            1.5,
+            &mut node,
+            &mut link,
+        );
+        assert_eq!(b.source, AnswerSource::Extrapolated);
+        for &(ts, v) in &b.samples {
+            assert!((v - diurnal(ts)).abs() <= 1.5 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn unregistered_sensor_fails_cleanly() {
+        let mut proxy = PrestoProxy::new(ProxyConfig::default());
+        let mut node = SensorNode::new(9, SensorConfig::default(), LinkModel::perfect());
+        let mut link = LinkModel::perfect();
+        let a = proxy.answer_now(SimTime::ZERO, 9, 1.0, &mut node, &mut link);
+        assert_eq!(a.source, AnswerSource::Failed);
+    }
+
+    #[test]
+    fn lossy_downlink_retries_then_fails() {
+        let mut proxy = PrestoProxy::new(ProxyConfig::default());
+        proxy.register_sensor(1);
+        let mut node = SensorNode::new(
+            1,
+            SensorConfig {
+                push: PushPolicy::Silent,
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        let mut dead = LinkModel::new(presto_net::LossProcess::Bernoulli(1.0), SimRng::new(4));
+        let a = proxy.answer_now(SimTime::from_hours(1), 1, 0.5, &mut node, &mut dead);
+        assert_eq!(a.source, AnswerSource::Failed);
+        assert_eq!(proxy.stats().pull_failures, 1);
+    }
+
+    #[test]
+    fn spatial_extrapolation_answers_for_silent_sensor() {
+        let mut proxy = PrestoProxy::new(ProxyConfig::default());
+        for id in 0..3u16 {
+            proxy.register_sensor(id);
+        }
+        // Feed correlated streams for sensors 0..2 via batch messages.
+        let mut rng = SimRng::new(11);
+        for i in 0..500u64 {
+            let t = SimTime::from_secs(31 * i);
+            let field = diurnal(t) + rng.gaussian_ms(0.0, 0.1);
+            for id in 0..3u16 {
+                let msg = UplinkMsg {
+                    sensor: id,
+                    sent_at: t,
+                    wire_bytes: 15,
+                    payload: UplinkPayload::Value {
+                        value: field + id as f64 * 0.5,
+                    },
+                };
+                proxy.on_uplink(&msg);
+            }
+        }
+        proxy.refresh_spatial_model();
+        // Sensor 2 goes silent; 0 and 1 keep reporting.
+        let t = SimTime::from_secs(31 * 500);
+        for id in 0..2u16 {
+            proxy.on_uplink(&UplinkMsg {
+                sensor: id,
+                sent_at: t,
+                wire_bytes: 15,
+                payload: UplinkPayload::Value {
+                    value: diurnal(t) + id as f64 * 0.5,
+                },
+            });
+        }
+        let mut node = SensorNode::new(
+            2,
+            SensorConfig {
+                push: PushPolicy::Silent,
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        // Kill the pull path so only spatial inference can answer. Query
+        // at an instant where the target's cache is stale (93 s old,
+        // beyond the 62 s freshness window) but the neighbours' entries
+        // (62 s old) are still fresh.
+        let mut dead = LinkModel::new(presto_net::LossProcess::Bernoulli(1.0), SimRng::new(5));
+        let a = proxy.answer_now(t + SimDuration::from_secs(62), 2, 1.0, &mut node, &mut dead);
+        assert_eq!(a.source, AnswerSource::SpatialExtrapolated);
+        assert!((a.value - (diurnal(t) + 1.0)).abs() < 1.0, "{}", a.value);
+    }
+
+    #[test]
+    fn aggregate_cache_hit_under_streaming() {
+        let (mut proxy, mut node, mut link) = run_deployment(
+            PushPolicy::Batched {
+                interval: SimDuration::from_secs(31),
+                compression: None,
+            },
+            1,
+            0.0,
+        );
+        let t = SimTime::from_days(1);
+        let a = proxy.answer_aggregate(
+            t,
+            3,
+            SimTime::from_hours(10),
+            SimTime::from_hours(12),
+            presto_sensor::AggregateOp::Mean,
+            &mut node,
+            &mut link,
+        );
+        assert_eq!(a.source, AnswerSource::CacheHit);
+        // Mean of the diurnal curve over 10:00–12:00 sits between the
+        // curve endpoints.
+        let lo = diurnal(SimTime::from_hours(10));
+        let hi = diurnal(SimTime::from_hours(12));
+        assert!(
+            a.value >= lo.min(hi) - 0.1 && a.value <= lo.max(hi) + 0.1,
+            "mean {} outside [{lo}, {hi}]",
+            a.value
+        );
+    }
+
+    #[test]
+    fn aggregate_ships_operator_on_cache_miss() {
+        // Model-driven push leaves the cache sparse, so the operator is
+        // evaluated at the sensor and only a scalar returns.
+        let (mut proxy, mut node, mut link) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 1, 0.0);
+        let t = SimTime::from_days(1);
+        let before = node.stats().bytes_sent;
+        let a = proxy.answer_aggregate(
+            t,
+            3,
+            SimTime::from_hours(6),
+            SimTime::from_hours(12),
+            presto_sensor::AggregateOp::Max,
+            &mut node,
+            &mut link,
+        );
+        let reply_bytes = node.stats().bytes_sent - before;
+        assert_eq!(a.source, AnswerSource::Pulled);
+        assert!(a.value.is_finite());
+        // Six hours of data (≈700 samples) crossed the radio as ~23 B.
+        assert!(reply_bytes < 40, "{reply_bytes} bytes");
+        // Truth check against the generator.
+        let mut truth = f64::NEG_INFINITY;
+        let mut ts = SimTime::from_hours(6);
+        while ts <= SimTime::from_hours(12) {
+            truth = truth.max(diurnal(ts));
+            ts += SimDuration::from_secs(31);
+        }
+        assert!((a.value - truth).abs() < 0.05, "{} vs {truth}", a.value);
+    }
+}

@@ -1,0 +1,57 @@
+//! Sensor node configuration.
+
+use presto_archive::ArchiveConfig;
+use presto_net::{DutyCycle, FrameFormat, RadioModel};
+use presto_sim::SimDuration;
+use presto_wavelet::CodecParams;
+
+use crate::push::PushPolicy;
+
+/// Everything a [`crate::node::SensorNode`] needs at construction.
+#[derive(Clone, Debug)]
+pub struct SensorConfig {
+    /// Sampling epoch (31 s default, matching the lab trace).
+    pub sample_period: SimDuration,
+    /// Push policy.
+    pub push: PushPolicy,
+    /// Codec for compressed batches and pull replies.
+    pub reply_codec: CodecParams,
+    /// Radio duty cycle (LPL check interval).
+    pub duty: DutyCycle,
+    /// Radio hardware.
+    pub radio: RadioModel,
+    /// Frame geometry.
+    pub frame: FrameFormat,
+    /// Local archive configuration.
+    pub archive: ArchiveConfig,
+    /// Charge CPU energy for model checks and compression.
+    pub account_cpu: bool,
+}
+
+impl Default for SensorConfig {
+    fn default() -> Self {
+        SensorConfig {
+            sample_period: SimDuration::from_secs(31),
+            push: PushPolicy::ModelDriven { tolerance: 1.0 },
+            reply_codec: CodecParams::for_tolerance(0.5),
+            duty: DutyCycle::lpl(SimDuration::from_secs(1)),
+            radio: RadioModel::mica2(),
+            frame: FrameFormat::tinyos_mica2(),
+            archive: ArchiveConfig::default(),
+            account_cpu: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_model_driven_mica2() {
+        let c = SensorConfig::default();
+        assert!(matches!(c.push, PushPolicy::ModelDriven { .. }));
+        assert_eq!(c.sample_period, SimDuration::from_secs(31));
+        assert_eq!(c.radio, RadioModel::mica2());
+    }
+}

@@ -1,0 +1,33 @@
+//! The PRESTO sensor node (paper §4).
+//!
+//! "PRESTO is a proxy-centric architecture where much of the intelligence
+//! resides at the proxy, and the remote sensor is kept simple to enable
+//! efficient operation under resource constraints. Our contribution lies
+//! in the design of sensors that are simple, yet highly tunable and can
+//! be completely controlled by the proxy."
+//!
+//! The node composes the substrates built below it:
+//!
+//! * every sample is archived locally ([`presto_archive`]);
+//! * a [push policy](push::PushPolicy) decides what reaches the proxy:
+//!   model-driven (check against the proxy-built model replica, push only
+//!   on failure), value-driven (delta threshold), batched (everything,
+//!   periodically, optionally wavelet-compressed), or silent;
+//! * semantic events are pushed immediately (rare events are never
+//!   batched away);
+//! * PAST-query pulls are served from the archive, lossily compressed to
+//!   the query's tolerance;
+//! * every tunable — push tolerance, batching interval, duty cycle,
+//!   codec — is settable by the proxy at run time ([`node::SensorNode`]
+//!   `apply_retune`), which is what query–sensor matching manipulates.
+
+pub mod config;
+pub mod msg;
+pub mod node;
+pub mod push;
+
+pub use config::SensorConfig;
+pub use msg::{AggregateOp, DownlinkMsg, UplinkMsg, UplinkPayload};
+pub use node::evaluate_aggregate;
+pub use node::{SensorNode, SensorStats};
+pub use push::PushPolicy;

@@ -1,0 +1,924 @@
+//! The sensor node state machine.
+
+use presto_archive::{ArchiveStore, Quality};
+use presto_models::{
+    ArModel, LinearTrendModel, MarkovModel, ModelKind, Predictor, SeasonalArModel, SeasonalModel,
+};
+use presto_net::{CpuModel, LinkModel, Mac};
+use presto_sim::{EnergyCategory, EnergyLedger, SimTime};
+use presto_wavelet::{Codec, CodecParams};
+
+use crate::config::SensorConfig;
+use crate::msg::{wire, DownlinkMsg, ReplySample, UplinkMsg, UplinkPayload};
+use crate::push::PushPolicy;
+
+/// Energy for one ADC acquisition (sensing transducer).
+const SENSING_J: f64 = 5e-6;
+
+/// Counters exposed to the experiment drivers.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SensorStats {
+    /// Samples acquired.
+    pub samples: u64,
+    /// Model checks run.
+    pub model_checks: u64,
+    /// Deviations pushed (model-driven).
+    pub deviations_pushed: u64,
+    /// Values pushed (value-driven).
+    pub values_pushed: u64,
+    /// Batches transmitted.
+    pub batches_sent: u64,
+    /// Samples carried by those batches.
+    pub batch_samples_sent: u64,
+    /// Events pushed.
+    pub events_pushed: u64,
+    /// Pull requests served.
+    pub pulls_served: u64,
+    /// Uplink sends that failed after all retries.
+    pub push_failures: u64,
+    /// Payload bytes offered to the MAC.
+    pub bytes_sent: u64,
+}
+
+/// A PRESTO sensor node.
+pub struct SensorNode {
+    id: u16,
+    config: SensorConfig,
+    model: Option<Box<dyn Predictor>>,
+    archive: ArchiveStore,
+    ledger: EnergyLedger,
+    uplink: Mac,
+    link: LinkModel,
+    cpu: CpuModel,
+    batch: Vec<(SimTime, f64)>,
+    last_flush: SimTime,
+    last_pushed: Option<f64>,
+    last_sample: Option<(SimTime, f64)>,
+    last_advance: SimTime,
+    stats: SensorStats,
+}
+
+impl SensorNode {
+    /// Creates a node with the given uplink loss process.
+    ///
+    /// The uplink MAC pays a wake-up preamble spanning the network's LPL
+    /// check interval (the node's own `duty.check_interval`): in a B-MAC
+    /// network every transmission — even one bound for the tethered proxy
+    /// — must wake the duty-cycled next hop. This per-transmission fixed
+    /// cost is exactly what batching amortizes in Figure 2.
+    pub fn new(id: u16, config: SensorConfig, link: LinkModel) -> Self {
+        let archive = ArchiveStore::new(config.archive.clone());
+        let uplink = Mac::downlink(
+            config.radio.clone(),
+            config.frame.clone(),
+            config.duty.check_interval,
+        );
+        SensorNode {
+            id,
+            archive,
+            uplink,
+            link,
+            cpu: CpuModel::atmega128(),
+            model: None,
+            ledger: EnergyLedger::new(),
+            batch: Vec::new(),
+            last_flush: SimTime::ZERO,
+            last_pushed: None,
+            last_sample: None,
+            last_advance: SimTime::ZERO,
+            config,
+            stats: SensorStats::default(),
+        }
+    }
+
+    /// Node id.
+    pub fn id(&self) -> u16 {
+        self.id
+    }
+
+    /// Cumulative energy ledger.
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Mutable ledger access, used by the proxy's downlink MAC to charge
+    /// this node's reception energy.
+    pub fn ledger_mut(&mut self) -> &mut EnergyLedger {
+        &mut self.ledger
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> SensorStats {
+        self.stats
+    }
+
+    /// The local archive (e.g. for test inspection).
+    pub fn archive_mut(&mut self) -> &mut ArchiveStore {
+        &mut self.archive
+    }
+
+    /// The current configuration.
+    pub fn config(&self) -> &SensorConfig {
+        &self.config
+    }
+
+    /// True if a model replica is installed.
+    pub fn has_model(&self) -> bool {
+        self.model.is_some()
+    }
+
+    /// Charges idle-listening energy up to `t`. Call before handing the
+    /// node any timestamped work.
+    pub fn advance_to(&mut self, t: SimTime) {
+        if t > self.last_advance {
+            let window = t - self.last_advance;
+            self.config
+                .duty
+                .charge_listening(&self.config.radio, window, &mut self.ledger);
+            self.last_advance = t;
+        }
+    }
+
+    fn charge_cpu(&mut self, cycles: u64) {
+        if self.config.account_cpu {
+            self.ledger
+                .charge(EnergyCategory::Cpu, self.cpu.op_energy(cycles));
+        }
+    }
+
+    /// Transmits a payload over the uplink; returns the message if every
+    /// fragment was delivered.
+    fn send(
+        &mut self,
+        t: SimTime,
+        wire_bytes: usize,
+        payload: UplinkPayload,
+        proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Option<UplinkMsg> {
+        let outcome = self
+            .uplink
+            .send(wire_bytes, &mut self.link, &mut self.ledger, proxy_ledger);
+        self.stats.bytes_sent += wire_bytes as u64;
+        if outcome.delivered {
+            Some(UplinkMsg {
+                sensor: self.id,
+                sent_at: t,
+                wire_bytes,
+                payload,
+            })
+        } else {
+            self.stats.push_failures += 1;
+            None
+        }
+    }
+
+    /// Acquires one sample: archives it, runs the push policy, and
+    /// returns any messages that reached the proxy.
+    pub fn on_sample(
+        &mut self,
+        t: SimTime,
+        value: f64,
+        mut proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Vec<UplinkMsg> {
+        self.advance_to(t);
+        self.stats.samples += 1;
+        self.ledger.charge(EnergyCategory::Sensing, SENSING_J);
+        self.last_sample = Some((t, value));
+        // Archival is unconditional: the paper's "complete local archive".
+        let _ = self.archive.append_scalar(t, value, &mut self.ledger);
+
+        let mut out = Vec::new();
+        let policy = self.config.push.clone();
+        match policy {
+            PushPolicy::ModelDriven { tolerance } => {
+                let verdict = self.run_model_check(t, value);
+                if let Some(residual) = verdict {
+                    let _ = residual;
+                    let predicted = value - residual;
+                    if (value - predicted).abs() > tolerance || self.model.is_none() {
+                        if let Some(m) = self.send(
+                            t,
+                            wire::DEVIATION,
+                            UplinkPayload::Deviation { value, predicted },
+                            proxy_ledger.as_deref_mut(),
+                        ) {
+                            out.push(m);
+                        }
+                        self.stats.deviations_pushed += 1;
+                    }
+                }
+            }
+            PushPolicy::ValueDriven { delta } => {
+                let trigger = match self.last_pushed {
+                    None => true,
+                    Some(prev) => (value - prev).abs() > delta,
+                };
+                if trigger {
+                    self.last_pushed = Some(value);
+                    self.stats.values_pushed += 1;
+                    if let Some(m) = self.send(
+                        t,
+                        wire::VALUE,
+                        UplinkPayload::Value { value },
+                        proxy_ledger.as_deref_mut(),
+                    ) {
+                        out.push(m);
+                    }
+                }
+            }
+            PushPolicy::Batched { interval, .. } => {
+                self.batch.push((t, value));
+                if t - self.last_flush >= interval {
+                    if let Some(m) = self.flush_batch(t, proxy_ledger.as_deref_mut()) {
+                        out.push(m);
+                    }
+                }
+            }
+            PushPolicy::ModelDrivenBatched {
+                tolerance,
+                hard_tolerance,
+                interval,
+            } => {
+                if let Some(residual) = self.run_model_check(t, value) {
+                    if residual.abs() > hard_tolerance {
+                        let predicted = value - residual;
+                        self.stats.deviations_pushed += 1;
+                        if let Some(m) = self.send(
+                            t,
+                            wire::DEVIATION,
+                            UplinkPayload::Deviation { value, predicted },
+                            proxy_ledger.as_deref_mut(),
+                        ) {
+                            out.push(m);
+                        }
+                    } else if residual.abs() > tolerance {
+                        self.batch.push((t, value));
+                    }
+                }
+                if t - self.last_flush >= interval && !self.batch.is_empty() {
+                    if let Some(m) = self.flush_batch(t, proxy_ledger.as_deref_mut()) {
+                        out.push(m);
+                    }
+                }
+            }
+            PushPolicy::Silent => {}
+        }
+        out
+    }
+
+    /// Runs the model replica check. Returns `Some(residual)` when the
+    /// check deviates (or when no model is installed, in which case the
+    /// residual is the value itself — everything is "unpredicted").
+    fn run_model_check(&mut self, t: SimTime, value: f64) -> Option<f64> {
+        let tolerance = match &self.config.push {
+            PushPolicy::ModelDriven { tolerance } => *tolerance,
+            PushPolicy::ModelDrivenBatched { tolerance, .. } => *tolerance,
+            _ => return Some(value),
+        };
+        let Some(model) = self.model.as_mut() else {
+            return Some(value);
+        };
+        self.stats.model_checks += 1;
+        let cycles = model.check_cycles();
+        let pred = model.predict(t);
+        // Replica-consistency rule: the model observes *only the values
+        // that are pushed*, so the proxy's replica (which sees exactly
+        // the pushed values) stays in lock-step and silence provably
+        // means "within tolerance".
+        let result = if pred.within(value, tolerance) {
+            None
+        } else {
+            model.observe(t, value);
+            Some(value - pred.value)
+        };
+        self.charge_cpu(cycles);
+        result
+    }
+
+    /// Flushes the accumulated batch (used by the batched policies and by
+    /// the end-of-run drain in experiments).
+    pub fn flush_batch(
+        &mut self,
+        t: SimTime,
+        proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Option<UplinkMsg> {
+        self.last_flush = t;
+        if self.batch.is_empty() {
+            return None;
+        }
+        let samples = std::mem::take(&mut self.batch);
+        let compression = match &self.config.push {
+            PushPolicy::Batched { compression, .. } => *compression,
+            _ => None,
+        };
+        let (payload, bytes) = match compression {
+            Some(params) => {
+                let values: Vec<f64> = samples.iter().map(|&(_, v)| v).collect();
+                let codec = Codec::new(params);
+                self.charge_cpu(presto_wavelet::haar::forward_cycle_cost(
+                    values.len().next_power_of_two(),
+                    4,
+                ));
+                let compressed = codec.compress(&values);
+                let recon = Codec::decompress(&compressed).expect("own compression output decodes");
+                let rebuilt: Vec<(SimTime, f64)> = samples
+                    .iter()
+                    .zip(recon)
+                    .map(|(&(ts, _), v)| (ts, v))
+                    .collect();
+                (
+                    UplinkPayload::Batch {
+                        samples: rebuilt,
+                        compressed: true,
+                    },
+                    wire::compressed_batch(compressed.byte_len()),
+                )
+            }
+            None => {
+                let n = samples.len();
+                (
+                    UplinkPayload::Batch {
+                        samples,
+                        compressed: false,
+                    },
+                    wire::raw_batch(n),
+                )
+            }
+        };
+        self.stats.batches_sent += 1;
+        if let UplinkPayload::Batch { samples, .. } = &payload {
+            self.stats.batch_samples_sent += samples.len() as u64;
+        }
+        self.send(t, bytes, payload, proxy_ledger)
+    }
+
+    /// Reports a semantic event: archived locally, pushed immediately
+    /// (rare events are never batched away).
+    pub fn on_event(
+        &mut self,
+        t: SimTime,
+        event_type: u16,
+        data: Vec<u8>,
+        proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Option<UplinkMsg> {
+        self.advance_to(t);
+        let _ = self
+            .archive
+            .append_event(t, event_type, data.clone(), &mut self.ledger);
+        if matches!(self.config.push, PushPolicy::Silent) {
+            return None;
+        }
+        self.stats.events_pushed += 1;
+        self.send(
+            t,
+            wire::event(data.len()),
+            UplinkPayload::Event { event_type, data },
+            proxy_ledger,
+        )
+    }
+
+    /// Handles a proxy → sensor message. The proxy charges the radio
+    /// energy of the downlink itself; this method performs the sensor's
+    /// *reaction* (and any reply transmission).
+    pub fn handle_downlink(
+        &mut self,
+        t: SimTime,
+        msg: &DownlinkMsg,
+        proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Option<UplinkMsg> {
+        self.advance_to(t);
+        match msg {
+            DownlinkMsg::ModelUpdate { kind, params } => {
+                // Decoding cost is proportional to the parameter size.
+                self.charge_cpu(params.len() as u64 * 4);
+                self.model = decode_model(*kind, params);
+                None
+            }
+            DownlinkMsg::Retune {
+                push_tolerance,
+                batching_interval,
+                lpl_check_interval,
+                reply_codec,
+            } => {
+                if let Some(tol) = push_tolerance {
+                    match &mut self.config.push {
+                        PushPolicy::ModelDriven { tolerance } => *tolerance = *tol,
+                        PushPolicy::ModelDrivenBatched { tolerance, .. } => *tolerance = *tol,
+                        PushPolicy::ValueDriven { delta } => *delta = *tol,
+                        _ => {}
+                    }
+                }
+                if let Some(interval) = batching_interval {
+                    match &mut self.config.push {
+                        PushPolicy::Batched { interval: i, .. } => *i = *interval,
+                        PushPolicy::ModelDrivenBatched { interval: i, .. } => *i = *interval,
+                        _ => {}
+                    }
+                }
+                if let Some(check) = lpl_check_interval {
+                    self.config.duty = presto_net::DutyCycle::lpl(*check);
+                    // The network-wide check interval changed, so the
+                    // uplink wake-up preamble changes with it.
+                    self.uplink.dest_lpl_interval = *check;
+                }
+                if let Some(codec) = reply_codec {
+                    self.config.reply_codec = *codec;
+                }
+                None
+            }
+            DownlinkMsg::PullRequest {
+                query_id,
+                from,
+                to,
+                tolerance,
+            } => self.serve_pull(t, *query_id, *from, *to, *tolerance, proxy_ledger),
+            DownlinkMsg::AggregateRequest {
+                query_id,
+                from,
+                to,
+                op,
+            } => self.serve_aggregate(t, *query_id, *from, *to, *op, proxy_ledger),
+        }
+    }
+
+    /// Evaluates an aggregate over the local archive and replies with
+    /// just the result: the radio carries ~23 bytes regardless of how
+    /// much history the operator consumed.
+    fn serve_aggregate(
+        &mut self,
+        t: SimTime,
+        query_id: u64,
+        from: SimTime,
+        to: SimTime,
+        op: crate::msg::AggregateOp,
+        proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Option<UplinkMsg> {
+        let rows = self
+            .archive
+            .query_range(from, to, &mut self.ledger)
+            .unwrap_or_default();
+        self.stats.pulls_served += 1;
+        // The evaluation itself costs CPU (~8 cycles per sample).
+        self.charge_cpu(rows.len() as u64 * 8);
+        let values: Vec<f64> = rows.iter().map(|r| r.value).collect();
+        let value = evaluate_aggregate(op, &values);
+        self.send(
+            t,
+            wire::AGGREGATE_REPLY,
+            UplinkPayload::AggregateReply {
+                query_id,
+                value,
+                count: values.len() as u32,
+            },
+            proxy_ledger,
+        )
+    }
+
+    /// Serves a PAST-query pull from the local archive.
+    fn serve_pull(
+        &mut self,
+        t: SimTime,
+        query_id: u64,
+        from: SimTime,
+        to: SimTime,
+        tolerance: f64,
+        proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Option<UplinkMsg> {
+        let mut rows = self
+            .archive
+            .query_range(from, to, &mut self.ledger)
+            .unwrap_or_default();
+        // A NOW-style pull whose range holds no archived record is
+        // answered with the freshest reading the sensor has — the proxy
+        // asked "what is it now", not "what was logged in this window".
+        if rows.is_empty() {
+            if let Some((ts, v)) = self.last_sample {
+                rows.push(presto_archive::ArchivedSample {
+                    timestamp: ts,
+                    value: v,
+                    quality: Quality::Exact,
+                });
+            }
+        }
+        self.stats.pulls_served += 1;
+
+        // Lossy reply encoding to the query tolerance when the range is a
+        // regular scalar run; otherwise raw.
+        let regular = rows.len() >= 8 && rows.iter().all(|r| r.quality == Quality::Exact);
+        let (samples, bytes) = if regular {
+            let values: Vec<f64> = rows.iter().map(|r| r.value).collect();
+            let codec = Codec::new(CodecParams::for_tolerance(tolerance.max(0.01)));
+            self.charge_cpu(presto_wavelet::haar::forward_cycle_cost(
+                values.len().next_power_of_two(),
+                4,
+            ));
+            let compressed = codec.compress(&values);
+            let recon = Codec::decompress(&compressed).expect("own compression output decodes");
+            let samples: Vec<ReplySample> = rows
+                .iter()
+                .zip(recon)
+                .map(|(r, v)| ReplySample {
+                    t: r.timestamp,
+                    value: v,
+                    quality: r.quality,
+                })
+                .collect();
+            let n = samples.len();
+            (
+                samples,
+                wire::pull_reply_compressed(compressed.byte_len(), n),
+            )
+        } else {
+            let samples: Vec<ReplySample> = rows
+                .iter()
+                .map(|r| ReplySample {
+                    t: r.timestamp,
+                    value: r.value,
+                    quality: r.quality,
+                })
+                .collect();
+            let n = samples.len();
+            (samples, wire::pull_reply_raw(n))
+        };
+
+        self.send(
+            t,
+            bytes,
+            UplinkPayload::PullReply { query_id, samples },
+            proxy_ledger,
+        )
+    }
+}
+
+/// Evaluates an aggregate operator over a value slice. Returns NaN for
+/// value aggregates over an empty slice (Count returns 0).
+pub fn evaluate_aggregate(op: crate::msg::AggregateOp, values: &[f64]) -> f64 {
+    use crate::msg::AggregateOp;
+    match op {
+        AggregateOp::Count => values.len() as f64,
+        _ if values.is_empty() => f64::NAN,
+        AggregateOp::Mean => values.iter().sum::<f64>() / values.len() as f64,
+        AggregateOp::Max => values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        AggregateOp::Min => values.iter().copied().fold(f64::INFINITY, f64::min),
+        AggregateOp::Mode { bin_width } => {
+            let w = if bin_width > 0.0 && bin_width.is_finite() {
+                bin_width
+            } else {
+                1.0
+            };
+            let mut counts: std::collections::HashMap<i64, (u64, f64)> =
+                std::collections::HashMap::new();
+            for &v in values {
+                let bin = (v / w).floor() as i64;
+                let e = counts.entry(bin).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += v;
+            }
+            // Deterministic tie-break: higher count, then lower bin.
+            let (_, &(n, sum)) = counts
+                .iter()
+                .max_by_key(|(bin, (n, _))| (*n, std::cmp::Reverse(**bin)))
+                .expect("non-empty values");
+            sum / n as f64
+        }
+    }
+}
+
+/// Decodes a model replica from pushed parameters.
+fn decode_model(kind: ModelKind, params: &[u8]) -> Option<Box<dyn Predictor>> {
+    match kind {
+        ModelKind::Seasonal => {
+            SeasonalModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+        }
+        ModelKind::Ar => ArModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>),
+        ModelKind::SeasonalAr => {
+            SeasonalArModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+        }
+        ModelKind::LinearTrend => {
+            LinearTrendModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+        }
+        ModelKind::Markov => {
+            MarkovModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_models::SeasonalArModel;
+    use presto_sim::SimDuration;
+
+    fn diurnal_value(t: SimTime) -> f64 {
+        21.0 + 4.0 * ((t.hour_of_day() - 14.0) / 24.0 * std::f64::consts::TAU).cos()
+    }
+
+    fn trained_model_update() -> DownlinkMsg {
+        let hist: Vec<(SimTime, f64)> = (0..7 * 24 * 4)
+            .map(|i| {
+                let t = SimTime::from_mins(i * 15);
+                (t, diurnal_value(t))
+            })
+            .collect();
+        let (model, _) = SeasonalArModel::train(&hist, 24, 2);
+        DownlinkMsg::ModelUpdate {
+            kind: ModelKind::SeasonalAr,
+            params: model.encode_params(),
+        }
+    }
+
+    fn node(push: PushPolicy) -> SensorNode {
+        let config = SensorConfig {
+            push,
+            ..SensorConfig::default()
+        };
+        SensorNode::new(7, config, LinkModel::perfect())
+    }
+
+    #[test]
+    fn model_driven_stays_silent_on_predictable_data() {
+        let mut n = node(PushPolicy::ModelDriven { tolerance: 1.0 });
+        n.handle_downlink(SimTime::ZERO, &trained_model_update(), None);
+        assert!(n.has_model());
+        let mut pushes = 0;
+        for i in 0..2000u64 {
+            let t = SimTime::from_days(8) + SimDuration::from_secs(31 * i);
+            pushes += n.on_sample(t, diurnal_value(t), None).len();
+        }
+        // Perfectly diurnal data: almost nothing should be pushed.
+        assert!(pushes < 20, "{pushes} pushes on predictable data");
+    }
+
+    #[test]
+    fn model_driven_pushes_rare_events() {
+        let mut n = node(PushPolicy::ModelDriven { tolerance: 1.0 });
+        n.handle_downlink(SimTime::ZERO, &trained_model_update(), None);
+        let t = SimTime::from_days(8);
+        // Warm up with conforming samples.
+        for i in 0..10u64 {
+            n.on_sample(t + SimDuration::from_secs(31 * i), diurnal_value(t), None);
+        }
+        // Inject a spike.
+        let spike_t = t + SimDuration::from_secs(31 * 11);
+        let msgs = n.on_sample(spike_t, diurnal_value(spike_t) + 9.0, None);
+        assert_eq!(msgs.len(), 1, "spike not pushed");
+        match &msgs[0].payload {
+            UplinkPayload::Deviation { value, predicted } => {
+                assert!((value - predicted).abs() > 8.0);
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+    }
+
+    #[test]
+    fn without_model_everything_deviates() {
+        let mut n = node(PushPolicy::ModelDriven { tolerance: 1.0 });
+        let mut pushed = 0;
+        for i in 0..50u64 {
+            let t = SimTime::from_secs(31 * i);
+            pushed += n.on_sample(t, 20.0, None).len();
+        }
+        assert_eq!(pushed, 50, "no-model sensor must push everything");
+    }
+
+    #[test]
+    fn value_driven_thresholds() {
+        let mut n = node(PushPolicy::ValueDriven { delta: 1.0 });
+        let t = SimTime::ZERO;
+        // First sample always pushes.
+        assert_eq!(n.on_sample(t, 20.0, None).len(), 1);
+        // Small moves do not.
+        assert_eq!(
+            n.on_sample(t + SimDuration::from_secs(31), 20.5, None)
+                .len(),
+            0
+        );
+        assert_eq!(
+            n.on_sample(t + SimDuration::from_secs(62), 20.9, None)
+                .len(),
+            0
+        );
+        // Crossing delta from the last *pushed* value does.
+        assert_eq!(
+            n.on_sample(t + SimDuration::from_secs(93), 21.2, None)
+                .len(),
+            1
+        );
+    }
+
+    #[test]
+    fn batched_flushes_on_interval() {
+        let mut n = node(PushPolicy::Batched {
+            interval: SimDuration::from_mins(16),
+            compression: None,
+        });
+        let mut msgs = Vec::new();
+        for i in 0..64u64 {
+            let t = SimTime::ZERO + SimDuration::from_secs(31) * i;
+            msgs.extend(n.on_sample(t, 20.0 + i as f64 * 0.01, None));
+        }
+        assert_eq!(msgs.len(), 2, "expected two flushes in ~33 minutes");
+        match &msgs[0].payload {
+            UplinkPayload::Batch {
+                samples,
+                compressed,
+            } => {
+                assert!(!compressed);
+                assert!(samples.len() >= 30);
+            }
+            p => panic!("wrong payload {p:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_batches_are_smaller_and_close() {
+        let run = |compression| {
+            let mut n = node(PushPolicy::Batched {
+                interval: SimDuration::from_mins(60),
+                compression,
+            });
+            let mut msgs = Vec::new();
+            for i in 0..130u64 {
+                let t = SimTime::ZERO + SimDuration::from_secs(31) * i;
+                msgs.extend(n.on_sample(t, diurnal_value(t), None));
+            }
+            msgs
+        };
+        let raw = run(None);
+        let comp = run(Some(CodecParams::for_tolerance(0.2)));
+        assert_eq!(raw.len(), 1);
+        assert_eq!(comp.len(), 1);
+        assert!(comp[0].wire_bytes < raw[0].wire_bytes / 2);
+        // Reconstructed values stay within tolerance.
+        let (UplinkPayload::Batch { samples: rs, .. }, UplinkPayload::Batch { samples: cs, .. }) =
+            (&raw[0].payload, &comp[0].payload)
+        else {
+            panic!("wrong payloads");
+        };
+        for ((_, a), (_, b)) in rs.iter().zip(cs) {
+            assert!((a - b).abs() <= 0.2 + 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn events_push_immediately_and_archive() {
+        let mut n = node(PushPolicy::Batched {
+            interval: SimDuration::from_hours(4),
+            compression: None,
+        });
+        let t = SimTime::from_mins(5);
+        let msg = n.on_event(t, 42, vec![1, 2, 3], None).unwrap();
+        assert!(matches!(
+            msg.payload,
+            UplinkPayload::Event { event_type: 42, .. }
+        ));
+        let mut l = EnergyLedger::new();
+        let evs = n
+            .archive_mut()
+            .query_events(SimTime::ZERO, SimTime::from_hours(1), &mut l)
+            .unwrap();
+        assert_eq!(evs.len(), 1);
+    }
+
+    #[test]
+    fn pull_serves_archived_range_within_tolerance() {
+        let mut n = node(PushPolicy::Silent);
+        let truth: Vec<(SimTime, f64)> = (0..200u64)
+            .map(|i| {
+                let t = SimTime::ZERO + SimDuration::from_secs(31) * i;
+                (t, diurnal_value(t))
+            })
+            .collect();
+        for &(t, v) in &truth {
+            n.on_sample(t, v, None);
+        }
+        let req = DownlinkMsg::PullRequest {
+            query_id: 99,
+            from: SimTime::from_secs(31 * 50),
+            to: SimTime::from_secs(31 * 100),
+            tolerance: 0.3,
+        };
+        let reply = n
+            .handle_downlink(SimTime::from_secs(31 * 201), &req, None)
+            .unwrap();
+        let UplinkPayload::PullReply { query_id, samples } = &reply.payload else {
+            panic!("wrong payload");
+        };
+        assert_eq!(*query_id, 99);
+        assert_eq!(samples.len(), 51);
+        for s in samples {
+            let truth_v = diurnal_value(s.t);
+            assert!((s.value - truth_v).abs() <= 0.3 + 1e-6);
+        }
+        assert_eq!(n.stats().pulls_served, 1);
+    }
+
+    #[test]
+    fn retune_applies_parameters() {
+        let mut n = node(PushPolicy::ModelDriven { tolerance: 1.0 });
+        let retune = DownlinkMsg::Retune {
+            push_tolerance: Some(2.5),
+            batching_interval: None,
+            lpl_check_interval: Some(SimDuration::from_secs(8)),
+            reply_codec: Some(CodecParams::for_tolerance(1.0)),
+        };
+        n.handle_downlink(SimTime::from_secs(10), &retune, None);
+        match n.config().push {
+            PushPolicy::ModelDriven { tolerance } => assert_eq!(tolerance, 2.5),
+            _ => panic!("policy changed unexpectedly"),
+        }
+        assert_eq!(n.config().duty.check_interval, SimDuration::from_secs(8));
+    }
+
+    #[test]
+    fn listening_energy_accrues_with_time() {
+        let mut n = node(PushPolicy::Silent);
+        n.advance_to(SimTime::from_hours(10));
+        let listen = n.ledger().category(EnergyCategory::RadioListen);
+        assert!(listen > 0.0);
+        // 1 s LPL at ~93 µW over 10 h ≈ 3.3 J.
+        assert!((2.0..5.0).contains(&listen), "{listen}");
+    }
+
+    #[test]
+    fn lossy_uplink_counts_failures() {
+        let config = SensorConfig::default();
+        let mut n = SensorNode::new(
+            1,
+            SensorConfig {
+                push: PushPolicy::ValueDriven { delta: 0.0 },
+                ..config
+            },
+            LinkModel::new(
+                presto_net::LossProcess::Bernoulli(1.0),
+                presto_sim::SimRng::new(1),
+            ),
+        );
+        let msgs = n.on_sample(SimTime::ZERO, 20.0, None);
+        assert!(msgs.is_empty());
+        assert_eq!(n.stats().push_failures, 1);
+    }
+
+    #[test]
+    fn silent_policy_archives_but_never_transmits() {
+        let mut n = node(PushPolicy::Silent);
+        for i in 0..100u64 {
+            let t = SimTime::ZERO + SimDuration::from_secs(31) * i;
+            assert!(n.on_sample(t, 20.0, None).is_empty());
+        }
+        assert_eq!(n.stats().bytes_sent, 0);
+        assert_eq!(n.ledger().category(EnergyCategory::RadioTx), 0.0);
+        assert!(n.ledger().storage_total() > 0.0);
+    }
+
+    #[test]
+    fn evaluate_aggregate_operators() {
+        use crate::msg::AggregateOp;
+        let xs = [1.0, 2.0, 2.0, 3.0, 10.0];
+        assert_eq!(evaluate_aggregate(AggregateOp::Mean, &xs), 3.6);
+        assert_eq!(evaluate_aggregate(AggregateOp::Max, &xs), 10.0);
+        assert_eq!(evaluate_aggregate(AggregateOp::Min, &xs), 1.0);
+        assert_eq!(evaluate_aggregate(AggregateOp::Count, &xs), 5.0);
+        // Mode with unit bins: the 2.0 bin holds two samples.
+        let mode = evaluate_aggregate(AggregateOp::Mode { bin_width: 1.0 }, &xs);
+        assert_eq!(mode, 2.0);
+        // Empty inputs: Count is 0, value aggregates are NaN.
+        assert_eq!(evaluate_aggregate(AggregateOp::Count, &[]), 0.0);
+        assert!(evaluate_aggregate(AggregateOp::Mean, &[]).is_nan());
+        // Degenerate bin width falls back to 1.0 rather than dividing
+        // by zero.
+        let m = evaluate_aggregate(AggregateOp::Mode { bin_width: 0.0 }, &xs);
+        assert!(m.is_finite());
+    }
+
+    #[test]
+    fn aggregate_request_returns_scalar_over_tiny_wire() {
+        use crate::msg::AggregateOp;
+        let mut n = node(PushPolicy::Silent);
+        for i in 0..500u64 {
+            let t = SimTime::ZERO + SimDuration::from_secs(31) * i;
+            n.on_sample(t, diurnal_value(t), None);
+        }
+        let req = DownlinkMsg::AggregateRequest {
+            query_id: 5,
+            from: SimTime::ZERO,
+            to: SimTime::from_hours(4),
+            op: AggregateOp::Max,
+        };
+        let reply = n
+            .handle_downlink(SimTime::from_secs(31 * 501), &req, None)
+            .unwrap();
+        // The reply is a single scalar, far smaller than a pull of the
+        // same range.
+        assert!(reply.wire_bytes < 32, "{}", reply.wire_bytes);
+        let UplinkPayload::AggregateReply { value, count, .. } = reply.payload else {
+            panic!("wrong payload");
+        };
+        assert!(count > 400);
+        // Truth: max of the diurnal curve over the first 4 hours.
+        let truth = (0..=464u64)
+            .map(|i| diurnal_value(SimTime::ZERO + SimDuration::from_secs(31) * i))
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!((value - truth).abs() < 0.01, "{value} vs {truth}");
+    }
+}

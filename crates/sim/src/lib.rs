@@ -1,0 +1,28 @@
+//! Discrete-event simulation kernel for the PRESTO reproduction.
+//!
+//! Every experiment in this workspace runs on top of this crate. It provides:
+//!
+//! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time.
+//! * [`EventQueue`] — a deterministic, totally ordered future-event list.
+//! * [`rng`] — a small, dependency-free, splittable PRNG so that every
+//!   experiment is a pure function of a `u64` seed.
+//! * [`EnergyLedger`] — per-node energy accounting split by hardware
+//!   category (radio, CPU, flash, sensing), the currency in which all of
+//!   the paper's claims are measured.
+//! * [`metrics`] — counters and streaming summaries used by the
+//!   experiment drivers.
+//! * [`Simulation`] — a minimal actor-style run loop.
+//!
+//! The kernel is deliberately free of any networking or sensor policy;
+//! those live in `presto-net` and above.
+
+pub mod energy;
+pub mod events;
+pub mod metrics;
+pub mod rng;
+pub mod time;
+
+pub use energy::{EnergyCategory, EnergyLedger};
+pub use events::{EventQueue, Simulation};
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

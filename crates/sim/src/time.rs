@@ -1,0 +1,374 @@
+//! Virtual time for the simulation kernel.
+//!
+//! Time is an unsigned count of microseconds since the start of the
+//! simulation. Microsecond resolution comfortably covers both the
+//! millisecond-scale MAC preambles of `presto-net` and the multi-week
+//! experiment horizons of the Figure 2 reproduction without overflow
+//! (`u64` microseconds ≈ 584,000 years).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+/// An instant in virtual time, measured in microseconds from simulation start.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, measured in microseconds.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The greatest representable instant; used as an "infinite" horizon.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Creates an instant from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000)
+    }
+
+    /// Creates an instant from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000)
+    }
+
+    /// Creates an instant from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimTime(m * 60_000_000)
+    }
+
+    /// Creates an instant from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimTime(h * 3_600_000_000)
+    }
+
+    /// Creates an instant from whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimTime(d * 86_400_000_000)
+    }
+
+    /// Creates an instant from fractional seconds, rounding to microseconds.
+    ///
+    /// Negative inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimTime::ZERO;
+        }
+        SimTime((s * 1e6).round() as u64)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Time as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Time as fractional hours.
+    pub fn as_hours_f64(self) -> f64 {
+        self.0 as f64 / 3.6e9
+    }
+
+    /// Time as fractional days.
+    pub fn as_days_f64(self) -> f64 {
+        self.0 as f64 / 8.64e10
+    }
+
+    /// Whole seconds since the epoch (truncating).
+    pub const fn as_secs(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// The duration since an earlier instant, saturating at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Adds a duration, saturating at [`SimTime::MAX`].
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.0))
+    }
+
+    /// Hour-of-day in `[0, 24)` assuming the epoch is midnight.
+    ///
+    /// Used by the seasonal models and the diurnal workload generators.
+    pub fn hour_of_day(self) -> f64 {
+        (self.as_secs_f64() / 3600.0) % 24.0
+    }
+
+    /// Day index since the epoch (day 0 is the first day).
+    pub fn day_index(self) -> u64 {
+        self.0 / 86_400_000_000
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from raw microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from whole minutes.
+    pub const fn from_mins(m: u64) -> Self {
+        SimDuration(m * 60_000_000)
+    }
+
+    /// Creates a duration from whole hours.
+    pub const fn from_hours(h: u64) -> Self {
+        SimDuration(h * 3_600_000_000)
+    }
+
+    /// Creates a duration from whole days.
+    pub const fn from_days(d: u64) -> Self {
+        SimDuration(d * 86_400_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to microseconds.
+    ///
+    /// Negative inputs saturate to zero.
+    pub fn from_secs_f64(s: f64) -> Self {
+        if s <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration((s * 1e6).round() as u64)
+    }
+
+    /// Creates a duration from fractional minutes (Figure 2's x-axis unit).
+    pub fn from_mins_f64(m: f64) -> Self {
+        Self::from_secs_f64(m * 60.0)
+    }
+
+    /// Raw microsecond count.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration as fractional minutes.
+    pub fn as_mins_f64(self) -> f64 {
+        self.0 as f64 / 6e7
+    }
+
+    /// Duration as fractional milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// True if this is the zero duration.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Checked integer division of two durations (how many `rhs` fit in `self`).
+    pub fn div_duration(self, rhs: SimDuration) -> u64 {
+        if rhs.0 == 0 {
+            0
+        } else {
+            self.0 / rhs.0
+        }
+    }
+
+    /// Multiplies the duration by an integer factor, saturating.
+    pub fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        // Saturating: "infinitely far in the future" stays representable
+        // (e.g. the gap drawn from a zero-rate Poisson process).
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 = self.0.saturating_sub(rhs.0);
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.as_secs();
+        let (d, rem) = (s / 86_400, s % 86_400);
+        let (h, rem) = (rem / 3_600, rem % 3_600);
+        let (m, sec) = (rem / 60, rem % 60);
+        write!(f, "{d}d {h:02}:{m:02}:{sec:02}")
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 < 1_000 {
+            write!(f, "{}us", self.0)
+        } else if self.0 < 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 < 60_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.2}min", self.as_mins_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1_000));
+        assert_eq!(SimTime::from_mins(2), SimTime::from_secs(120));
+        assert_eq!(SimTime::from_hours(1), SimTime::from_mins(60));
+        assert_eq!(SimTime::from_days(1), SimTime::from_hours(24));
+        assert_eq!(
+            SimDuration::from_mins_f64(16.5),
+            SimDuration::from_secs(990)
+        );
+    }
+
+    #[test]
+    fn arithmetic_roundtrip() {
+        let t = SimTime::from_secs(100);
+        let d = SimDuration::from_secs(31);
+        assert_eq!((t + d) - t, d);
+        assert_eq!((t + d) - d, t);
+        assert_eq!(t.since(t + d), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn from_secs_f64_rounds_and_saturates() {
+        assert_eq!(SimTime::from_secs_f64(1.5).as_micros(), 1_500_000);
+        assert_eq!(SimTime::from_secs_f64(-3.0), SimTime::ZERO);
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn hour_of_day_wraps() {
+        let t = SimTime::from_hours(25) + SimDuration::from_mins(30);
+        assert!((t.hour_of_day() - 1.5).abs() < 1e-9);
+        assert_eq!(t.day_index(), 1);
+    }
+
+    #[test]
+    fn div_duration_counts_intervals() {
+        let horizon = SimDuration::from_days(1);
+        let epoch = SimDuration::from_secs(31);
+        assert_eq!(horizon.div_duration(epoch), 86_400 / 31);
+        assert_eq!(horizon.div_duration(SimDuration::ZERO), 0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", SimDuration::from_micros(10)), "10us");
+        assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(3)), "3.000s");
+        assert_eq!(format!("{}", SimDuration::from_mins(90)), "90.00min");
+        assert_eq!(
+            format!("{}", SimTime::from_days(2) + SimDuration::from_secs(3_723)),
+            "2d 01:02:03"
+        );
+    }
+
+    #[test]
+    fn subtraction_saturates() {
+        let a = SimTime::from_secs(1);
+        let b = SimTime::from_secs(5);
+        assert_eq!(a - b, SimDuration::ZERO);
+        assert_eq!(a - SimDuration::from_secs(10), SimTime::ZERO);
+    }
+}

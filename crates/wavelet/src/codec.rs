@@ -1,0 +1,358 @@
+//! End-to-end lossy batch codec: DWT → (optional) denoise → quantize →
+//! pack.
+//!
+//! This is the compression a PRESTO sensor applies to a batch before
+//! transmission. The proxy decodes with the same parameters (which it
+//! chose and pushed down during query–sensor matching). The quantizer
+//! step is the precision knob: a query class tolerating ±0.5 °C lets the
+//! proxy configure `quant_step ≈ 1.0`, shrinking payloads accordingly.
+
+use crate::denoise::{denoise_in_place, DenoiseMode};
+use crate::haar::{haar_forward, haar_inverse, haar_levels, pad_pow2};
+use crate::quant::{dequantize, pack_ints, quantize, unpack_ints};
+
+/// Codec configuration.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CodecParams {
+    /// Decomposition depth; `None` selects the maximum for the batch size.
+    pub levels: Option<usize>,
+    /// Uniform quantizer step in the coefficient domain. Larger is
+    /// coarser and cheaper. Must be positive.
+    pub quant_step: f64,
+    /// Optional denoising pass before quantization.
+    pub denoise: Option<DenoiseMode>,
+}
+
+impl CodecParams {
+    /// Lossless-leaning default: fine quantization, no denoising.
+    pub fn fine() -> Self {
+        CodecParams {
+            levels: None,
+            quant_step: 0.01,
+            denoise: None,
+        }
+    }
+
+    /// The Figure 2 "wavelet denoising" configuration: soft-threshold
+    /// denoising plus moderate quantization.
+    pub fn denoising() -> Self {
+        CodecParams {
+            levels: None,
+            quant_step: 0.05,
+            denoise: Some(DenoiseMode::Soft),
+        }
+    }
+
+    /// Derives a codec whose reconstruction error is empirically within a
+    /// sample-domain tolerance: coefficient errors of `step/2` propagate
+    /// to roughly `step/2` per sample through the orthonormal transform.
+    pub fn for_tolerance(tolerance: f64) -> Self {
+        CodecParams {
+            levels: None,
+            quant_step: (tolerance.max(1e-6)) * 0.8,
+            denoise: None,
+        }
+    }
+}
+
+/// A compressed batch.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Compressed {
+    /// Self-describing payload (header + packed coefficients).
+    pub payload: Vec<u8>,
+    /// Number of samples in the original batch.
+    pub original_len: usize,
+}
+
+impl Compressed {
+    /// Size on the wire, in bytes.
+    pub fn byte_len(&self) -> usize {
+        self.payload.len()
+    }
+}
+
+/// The batch codec.
+#[derive(Clone, Debug)]
+pub struct Codec {
+    params: CodecParams,
+}
+
+impl Codec {
+    /// Creates a codec; panics if the quantizer step is not positive.
+    pub fn new(params: CodecParams) -> Self {
+        assert!(
+            params.quant_step > 0.0 && params.quant_step.is_finite(),
+            "quant_step must be positive"
+        );
+        Codec { params }
+    }
+
+    /// The configured parameters.
+    pub fn params(&self) -> &CodecParams {
+        &self.params
+    }
+
+    fn depth_for(&self, padded_len: usize) -> usize {
+        let max = haar_levels(padded_len);
+        match self.params.levels {
+            Some(l) => l.min(max),
+            None => max,
+        }
+    }
+
+    /// Compresses a batch of samples.
+    ///
+    /// Payload layout: `varint(original_len) · varint(levels) ·
+    /// f32(quant_step) · packed coefficients`.
+    pub fn compress(&self, samples: &[f64]) -> Compressed {
+        let padded = pad_pow2(samples);
+        let levels = self.depth_for(padded.len());
+        let mut coeffs = haar_forward(&padded, levels);
+        if let Some(mode) = self.params.denoise {
+            denoise_in_place(&mut coeffs, levels, mode);
+        }
+        let qs = quantize(&coeffs, self.params.quant_step);
+
+        let mut payload = Vec::new();
+        push_varint(&mut payload, samples.len() as u64);
+        push_varint(&mut payload, levels as u64);
+        payload.extend_from_slice(&(self.params.quant_step as f32).to_le_bytes());
+        payload.extend_from_slice(&pack_ints(&qs));
+
+        Compressed {
+            payload,
+            original_len: samples.len(),
+        }
+    }
+
+    /// Decompresses a payload produced by [`Codec::compress`] (any codec
+    /// instance can decode any payload — parameters ride in the header).
+    ///
+    /// Returns `None` on malformed input.
+    pub fn decompress(compressed: &Compressed) -> Option<Vec<f64>> {
+        let bytes = &compressed.payload;
+        let mut pos = 0usize;
+        let original_len = read_varint(bytes, &mut pos)? as usize;
+        let levels = read_varint(bytes, &mut pos)? as usize;
+        if pos + 4 > bytes.len() {
+            return None;
+        }
+        let step = f32::from_le_bytes(bytes[pos..pos + 4].try_into().ok()?) as f64;
+        if !(step > 0.0) || step.is_infinite() {
+            return None;
+        }
+        pos += 4;
+
+        let qs = unpack_ints(&bytes[pos..])?;
+        let padded_len = original_len.max(1).next_power_of_two();
+        if qs.len() != padded_len || levels > haar_levels(padded_len) {
+            return None;
+        }
+        let coeffs = dequantize(&qs, step);
+        let mut samples = haar_inverse(&coeffs, levels);
+        samples.truncate(original_len);
+        Some(samples)
+    }
+
+    /// Compresses and reports `(payload_bytes, max_abs_error, rmse)` —
+    /// the tuple the experiment harnesses need.
+    pub fn compress_with_stats(&self, samples: &[f64]) -> (Compressed, f64, f64) {
+        let c = self.compress(samples);
+        let back = Self::decompress(&c).expect("own payload decodes");
+        let mut max_err = 0.0f64;
+        let mut se = 0.0;
+        for (a, b) in samples.iter().zip(&back) {
+            let e = (a - b).abs();
+            max_err = max_err.max(e);
+            se += e * e;
+        }
+        let rmse = if samples.is_empty() {
+            0.0
+        } else {
+            (se / samples.len() as f64).sqrt()
+        };
+        (c, max_err, rmse)
+    }
+}
+
+fn push_varint(out: &mut Vec<u8>, mut u: u64) {
+    loop {
+        let byte = (u & 0x7f) as u8;
+        u >>= 7;
+        if u == 0 {
+            out.push(byte);
+            break;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(bytes: &[u8], pos: &mut usize) -> Option<u64> {
+    let mut u = 0u64;
+    let mut shift = 0;
+    loop {
+        let &b = bytes.get(*pos)?;
+        *pos += 1;
+        u |= ((b & 0x7f) as u64) << shift;
+        if b & 0x80 == 0 {
+            return Some(u);
+        }
+        shift += 7;
+        if shift >= 64 {
+            return None;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn diurnal(n: usize) -> Vec<f64> {
+        // A smooth temperature-like batch with mild deterministic jitter.
+        (0..n)
+            .map(|i| {
+                let t = i as f64;
+                20.0 + 5.0 * (t * 0.01).sin() + 0.3 * (t * 1.7).sin()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_within_quantizer_error() {
+        let xs = diurnal(500);
+        let codec = Codec::new(CodecParams::fine());
+        let (c, max_err, rmse) = codec.compress_with_stats(&xs);
+        assert!(max_err < 0.05, "max_err {max_err}");
+        assert!(rmse < 0.02, "rmse {rmse}");
+        assert_eq!(Codec::decompress(&c).unwrap().len(), 500);
+    }
+
+    #[test]
+    fn coarser_step_means_smaller_payload() {
+        let xs = diurnal(1024);
+        let fine = Codec::new(CodecParams {
+            quant_step: 0.01,
+            ..CodecParams::fine()
+        });
+        let coarse = Codec::new(CodecParams {
+            quant_step: 1.0,
+            ..CodecParams::fine()
+        });
+        assert!(coarse.compress(&xs).byte_len() < fine.compress(&xs).byte_len());
+    }
+
+    #[test]
+    fn denoising_shrinks_payload_on_noisy_data() {
+        // Deterministic noise via LCG.
+        let mut state = 99u64;
+        let mut noise = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64 - 1.0) * 0.5
+        };
+        let xs: Vec<f64> = diurnal(2048).iter().map(|v| v + noise()).collect();
+        let raw = Codec::new(CodecParams {
+            denoise: None,
+            quant_step: 0.05,
+            levels: None,
+        });
+        let den = Codec::new(CodecParams::denoising());
+        let raw_len = raw.compress(&xs).byte_len();
+        let den_len = den.compress(&xs).byte_len();
+        assert!(
+            (den_len as f64) < 0.7 * raw_len as f64,
+            "denoised {den_len} vs raw {raw_len}"
+        );
+    }
+
+    #[test]
+    fn longer_batches_compress_better_per_sample() {
+        // Figure 2's claim (b): more batching → better compression.
+        let per_sample = |n: usize| {
+            let xs = diurnal(n);
+            let codec = Codec::new(CodecParams::denoising());
+            codec.compress(&xs).byte_len() as f64 / n as f64
+        };
+        assert!(per_sample(2048) < per_sample(32));
+    }
+
+    #[test]
+    fn decode_is_parameter_free() {
+        let xs = diurnal(100);
+        let c = Codec::new(CodecParams {
+            levels: Some(3),
+            quant_step: 0.2,
+            denoise: Some(DenoiseMode::Hard),
+        })
+        .compress(&xs);
+        // Any decoder can decode: parameters are in the header.
+        let back = Codec::decompress(&c).unwrap();
+        assert_eq!(back.len(), 100);
+    }
+
+    #[test]
+    fn malformed_payloads_rejected() {
+        assert_eq!(
+            Codec::decompress(&Compressed {
+                payload: vec![],
+                original_len: 0
+            }),
+            None
+        );
+        let mut c = Codec::new(CodecParams::fine()).compress(&diurnal(64));
+        c.payload.truncate(4);
+        assert_eq!(Codec::decompress(&c), None);
+        // Corrupt the coefficient count by appending garbage values.
+        let mut c2 = Codec::new(CodecParams::fine()).compress(&diurnal(64));
+        c2.payload.extend_from_slice(&[0x02, 0x02, 0x02, 0x02]);
+        assert_eq!(Codec::decompress(&c2), None);
+    }
+
+    #[test]
+    fn empty_batch_roundtrips() {
+        let codec = Codec::new(CodecParams::fine());
+        let c = codec.compress(&[]);
+        assert_eq!(Codec::decompress(&c).unwrap(), Vec::<f64>::new());
+    }
+
+    #[test]
+    fn tolerance_constructor_meets_tolerance() {
+        let xs = diurnal(512);
+        for tol in [0.1, 0.5, 2.0] {
+            let codec = Codec::new(CodecParams::for_tolerance(tol));
+            let (_, max_err, _) = codec.compress_with_stats(&xs);
+            assert!(max_err <= tol, "tol {tol} err {max_err}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "quant_step must be positive")]
+    fn rejects_bad_step() {
+        Codec::new(CodecParams {
+            levels: None,
+            quant_step: -1.0,
+            denoise: None,
+        });
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_any_signal(
+            xs in proptest::collection::vec(-50.0f64..50.0, 0..300),
+            step in 0.01f64..1.0,
+        ) {
+            let codec = Codec::new(CodecParams { levels: None, quant_step: step, denoise: None });
+            let c = codec.compress(&xs);
+            let back = Codec::decompress(&c).unwrap();
+            prop_assert_eq!(back.len(), xs.len());
+            // Without denoising, error stays within a few quantizer steps
+            // (coefficient errors accumulate logarithmically with depth).
+            let depth = crate::haar::haar_levels(xs.len().max(1).next_power_of_two());
+            let bound = step * (depth as f64 + 2.0);
+            for (a, b) in xs.iter().zip(&back) {
+                prop_assert!((a - b).abs() <= bound, "{} vs {} (bound {})", a, b, bound);
+            }
+        }
+    }
+}

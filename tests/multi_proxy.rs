@@ -1,0 +1,126 @@
+//! Multi-proxy data abstraction: skip-graph routing, clock-drift
+//! correction across proxies, overlapping-coverage consistency, and
+//! wired-side replication.
+
+use presto::core::{PrestoSystem, SystemConfig};
+use presto::index::consistency::EntryQuality;
+use presto::index::{
+    ClockCorrector, ConsistencyManager, DriftClock, ReplicaEntry, Replicator, SkipGraph,
+    UnifiedView,
+};
+use presto::sim::{SimDuration, SimTime};
+
+#[test]
+fn routing_reaches_the_owning_proxy_for_every_sensor() {
+    let sys = PrestoSystem::new(SystemConfig {
+        proxies: 8,
+        sensors_per_proxy: 5,
+        ..SystemConfig::default()
+    });
+    for gid in 0..40u16 {
+        let (expected, _) = sys.locate(gid);
+        let (routed, hops) = sys.route(gid);
+        assert_eq!(routed, expected, "sensor {gid}");
+        assert!(hops <= 10, "sensor {gid}: {hops} hops for 8 proxies");
+    }
+}
+
+#[test]
+fn index_scales_sublinearly_in_proxies() {
+    let mean_hops = |n: u64| {
+        let mut g: SkipGraph<u64> = SkipGraph::new(1);
+        for k in 0..n {
+            g.insert(k);
+        }
+        let intro = g.introducer().expect("non-empty");
+        let total: u64 = (0..n)
+            .step_by((n / 16).max(1) as usize)
+            .map(|t| g.search(intro, t).1.hops)
+            .sum();
+        total as f64 / 16.0
+    };
+    let h16 = mean_hops(16);
+    let h256 = mean_hops(256);
+    assert!(h256 < h16 * 6.0, "16: {h16}, 256: {h256}");
+}
+
+#[test]
+fn cross_proxy_event_order_survives_clock_drift() {
+    // Proxy B's sensors run 20 s fast; events alternate between proxies
+    // every 30 s, so raw timestamps shuffle the order.
+    let fast = DriftClock {
+        offset_s: 20.0,
+        skew_ppm: 30.0,
+    };
+    let mut corrector = ClockCorrector::new();
+    for h in 0..6u64 {
+        let t = SimTime::from_hours(h);
+        corrector.observe_beacon(fast.local_time(t), t);
+    }
+    let trusted = ClockCorrector::new();
+
+    let mut view: UnifiedView<u32> = UnifiedView::new();
+    let a_stream: Vec<(SimTime, u32)> = (0..50)
+        .map(|k| (SimTime::from_secs(60 * k), 2 * k as u32))
+        .collect();
+    let b_stream: Vec<(SimTime, u32)> = (0..50)
+        .map(|k| {
+            (
+                fast.local_time(SimTime::from_secs(60 * k + 30)),
+                2 * k as u32 + 1,
+            )
+        })
+        .collect();
+    view.add_stream(0, &trusted, a_stream);
+    view.add_stream(1, &corrector, b_stream);
+    let order: Vec<u32> = view.ordered().iter().map(|i| i.item).collect();
+    let expected: Vec<u32> = (0..100).collect();
+    assert_eq!(order, expected, "corrected merge must restore true order");
+}
+
+#[test]
+fn overlapping_proxies_reconcile_deterministically() {
+    let mut m = ConsistencyManager::new();
+    let t = SimTime::from_secs(100);
+    // Both proxies cover sensor 7; proxy 1 has pulled exact data.
+    m.integrate(ReplicaEntry {
+        proxy: 0,
+        sensor: 7,
+        t,
+        value: 20.5,
+        quality: EntryQuality::Lossy,
+        version: 9,
+    });
+    m.integrate(ReplicaEntry {
+        proxy: 1,
+        sensor: 7,
+        t,
+        value: 20.1,
+        quality: EntryQuality::Exact,
+        version: 2,
+    });
+    let winner = m.get(7, t).expect("cell exists");
+    assert_eq!(winner.proxy, 1);
+    assert_eq!(winner.value, 20.1);
+    assert_eq!(m.conflicts_resolved, 1);
+}
+
+#[test]
+fn wireless_cache_replicates_to_wired_proxy() {
+    // An 802.11 backhaul at 2 Mbps, shipping every 5 minutes.
+    let mut rep = Replicator::new(2e6, SimDuration::from_mins(5));
+    for k in 0..600u64 {
+        rep.enqueue(ReplicaEntry {
+            proxy: 3,
+            sensor: 1,
+            t: SimTime::from_secs(k),
+            value: 21.0,
+            quality: EntryQuality::Lossy,
+            version: k,
+        });
+    }
+    let latency = rep.tick(SimTime::from_mins(5)).expect("period elapsed");
+    assert!(latency < SimDuration::from_secs(1), "transfer {latency}");
+    assert_eq!(rep.mirror().len(), 600);
+    assert!(rep.mean_staleness() <= SimDuration::from_mins(5));
+}

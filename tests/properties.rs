@@ -1,0 +1,150 @@
+//! Cross-crate property tests on system invariants that the per-crate
+//! suites cannot express: conservation of samples through the sensor →
+//! proxy pipeline, cache ordering under arbitrary interleavings, and
+//! the push-tolerance invariant under random workloads.
+
+use proptest::prelude::*;
+
+use presto::net::LinkModel;
+use presto::proxy::cache::{CacheSource, CachedSample, SensorCache};
+use presto::proxy::{PrestoProxy, ProxyConfig};
+use presto::sensor::{PushPolicy, SensorConfig, SensorNode, UplinkPayload};
+use presto::sim::{SimDuration, SimTime};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every sample fed to a batched sensor over a lossless link reaches
+    /// the proxy exactly once, in order, regardless of batching interval.
+    #[test]
+    fn batched_pipeline_conserves_samples(
+        interval_mins in 1u64..120,
+        values in proptest::collection::vec(-20.0f64..60.0, 10..400),
+    ) {
+        let mut node = SensorNode::new(
+            0,
+            SensorConfig {
+                push: PushPolicy::Batched {
+                    interval: SimDuration::from_mins(interval_mins),
+                    compression: None,
+                },
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        let mut received: Vec<(SimTime, f64)> = Vec::new();
+        let mut last_t = SimTime::ZERO;
+        for (i, &v) in values.iter().enumerate() {
+            let t = SimTime::ZERO + SimDuration::from_secs(31) * i as u64;
+            last_t = t;
+            for msg in node.on_sample(t, v, None) {
+                if let UplinkPayload::Batch { samples, .. } = msg.payload {
+                    received.extend(samples);
+                }
+            }
+        }
+        if let Some(msg) = node.flush_batch(last_t, None) {
+            if let UplinkPayload::Batch { samples, .. } = msg.payload {
+                received.extend(samples);
+            }
+        }
+        prop_assert_eq!(received.len(), values.len());
+        // In order, with exact timestamps and f32-rounded values.
+        for (i, (t, v)) in received.iter().enumerate() {
+            prop_assert_eq!(*t, SimTime::ZERO + SimDuration::from_secs(31) * i as u64);
+            prop_assert!((v - values[i]).abs() < 1e-3);
+        }
+    }
+
+    /// The proxy cache stays time-sorted and bounded under arbitrary
+    /// insertion orders and provenances.
+    #[test]
+    fn cache_is_always_sorted_and_bounded(
+        capacity in 1usize..64,
+        inserts in proptest::collection::vec((0u64..10_000, -50.0f64..50.0, 0u8..3), 0..200),
+    ) {
+        let mut cache = SensorCache::new(capacity);
+        for (secs, v, src) in &inserts {
+            cache.insert(CachedSample {
+                t: SimTime::from_secs(*secs),
+                value: *v,
+                source: match src {
+                    0 => CacheSource::Pushed,
+                    1 => CacheSource::Batch,
+                    _ => CacheSource::Pulled,
+                },
+            });
+        }
+        prop_assert!(cache.len() <= capacity);
+        let all = cache.range(SimTime::ZERO, SimTime::from_secs(20_000));
+        prop_assert!(all.windows(2).all(|w| w[0].t <= w[1].t));
+        // latest_at agrees with a linear scan.
+        for probe in [0u64, 100, 5_000, 9_999] {
+            let t = SimTime::from_secs(probe);
+            let expect = all.iter().rev().find(|s| s.t <= t).copied();
+            prop_assert_eq!(cache.latest_at(t).map(|s| s.t), expect.map(|s| s.t));
+        }
+    }
+
+    /// The model-driven push invariant: between pushes, sensor-side
+    /// prediction error never exceeds the tolerance — for any random
+    /// walk the sensor observes.
+    #[test]
+    fn push_tolerance_invariant_holds_for_random_walks(
+        tolerance in 0.2f64..3.0,
+        steps in proptest::collection::vec(-1.0f64..1.0, 50..300),
+    ) {
+        let mut node = SensorNode::new(
+            0,
+            SensorConfig {
+                push: PushPolicy::ModelDriven { tolerance },
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        let mut proxy = PrestoProxy::new(ProxyConfig {
+            push_tolerance: tolerance,
+            ..ProxyConfig::default()
+        });
+        proxy.register_sensor(0);
+
+        // Without a model every sample pushes; the proxy therefore hears
+        // everything and its cache equals the truth — the degenerate,
+        // always-safe case. Install a trivial trend model to exercise
+        // the conform/deviate split.
+        let hist: Vec<(SimTime, f64)> = (0..200u64)
+            .map(|i| (SimTime::from_secs(31 * i), 20.0))
+            .collect();
+        let (model, _) = presto::models::LinearTrendModel::train(&hist);
+        use presto::models::Predictor as _;
+        node.handle_downlink(
+            SimTime::ZERO,
+            &presto::sensor::DownlinkMsg::ModelUpdate {
+                kind: presto::models::ModelKind::LinearTrend,
+                params: model.encode_params(),
+            },
+            None,
+        );
+        prop_assert!(node.has_model());
+
+        // Walk: each silent epoch, the sensor's replica (mirrored at the
+        // proxy via pushes) must be within tolerance of the truth.
+        let mut value = 20.0;
+        let mut replica = presto::models::LinearTrendModel::decode_params(
+            &model.encode_params(),
+        ).expect("own params decode");
+        let start = SimTime::from_secs(31 * 200);
+        for (i, d) in steps.iter().enumerate() {
+            value += d;
+            let t = start + SimDuration::from_secs(31 * i as u64);
+            let pushed = !node.on_sample(t, value, None).is_empty();
+            if pushed {
+                replica.observe(t, value);
+            } else {
+                // Silence ⇒ the shared replica predicts within tolerance.
+                let err = (replica.predict(t).value - value).abs();
+                prop_assert!(err <= tolerance + 1e-9, "silent err {} > {}", err, tolerance);
+            }
+        }
+    }
+}
