@@ -24,4 +24,4 @@ pub mod store;
 
 pub use flash::{FlashDevice, FlashError, FlashStats};
 pub use record::{Quality, Record, RecordPayload};
-pub use store::{ArchiveConfig, ArchiveStore, ArchivedSample};
+pub use store::{ArchiveConfig, ArchiveError, ArchiveStats, ArchiveStore, ArchivedEvent, ArchivedSample};

@@ -110,6 +110,22 @@ impl Record {
         out
     }
 
+    /// The closed time span `[start, end]` this record can contribute
+    /// query results for. Scalars and events cover their own timestamp;
+    /// summaries cover the whole range they were folded from, which can
+    /// reach far before the record's own (summarization-time) timestamp.
+    /// The per-page time directory and the segment index are built from
+    /// this span, so range queries never skip a page holding a summary
+    /// of the requested era.
+    pub fn covered_span(&self) -> (SimTime, SimTime) {
+        match &self.payload {
+            RecordPayload::Summary { start, end, .. } => {
+                (self.timestamp.min(*start), self.timestamp.max(*end))
+            }
+            _ => (self.timestamp, self.timestamp),
+        }
+    }
+
     /// Encoded length without building the buffer.
     pub fn encoded_len(&self) -> usize {
         11 + match &self.payload {

@@ -100,10 +100,11 @@ pub fn e1_rare_events(days: u64, seed: u64) -> E1Result {
         let mut was_active = false;
         for r in &trace {
             node.on_sample(r.timestamp, r.value, None);
-            if r.event_active && !was_active {
-                if node.on_event(r.timestamp, 1, Vec::new(), None).is_some() {
-                    reported += 1;
-                }
+            if r.event_active
+                && !was_active
+                && node.on_event(r.timestamp, 1, Vec::new(), None).is_some()
+            {
+                reported += 1;
             }
             was_active = r.event_active;
         }

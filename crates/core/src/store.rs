@@ -138,11 +138,37 @@ impl<'a> UnifiedStore<'a> {
                 }
             }
             StoreQuery::Events { from, to } => {
-                // Gather every proxy's event cache; correct timestamps;
-                // merge into one ordered view.
+                // Route the range through the interval index first:
+                // proxies whose sensors archived nothing overlapping the
+                // window are pruned before their caches are consulted.
+                // Spans are registered in corrected reference time, so
+                // the slack only needs to cover the correction residual
+                // plus the uncalibrated first hour (offsets of ~1 s
+                // sigma; skew accumulates < 0.2 s before the first
+                // beacon) — a minute is comfortably conservative.
+                self.system.refresh_time_index();
+                let slack = SimDuration::from_secs(60);
+                let (mut candidates, route_hops) =
+                    self.system.route_range(from - slack, to + slack);
+                // Cached events are not guaranteed archive-backed (an
+                // append can fail while the push succeeds), so also
+                // visit any proxy whose cached-event span overlaps the
+                // padded window — an O(proxies) check that preserves
+                // the archive pruning.
+                for (p, proxy) in self.system.proxies.iter().enumerate() {
+                    if candidates.contains(&p) {
+                        continue;
+                    }
+                    if let Some((lo, hi)) = proxy.events_span() {
+                        if lo <= to + slack && hi >= from - slack {
+                            candidates.push(p);
+                        }
+                    }
+                }
+                candidates.sort_unstable();
                 let mut events: Vec<(SimTime, u16, u16)> = Vec::new();
-                for proxy in &self.system.proxies {
-                    for e in proxy.events() {
+                for &p in &candidates {
+                    for e in self.system.proxies[p].events() {
                         let corrected = self.system.correctors[e.sensor as usize].correct(e.t);
                         if corrected >= from && corrected <= to {
                             events.push((corrected, e.sensor, e.event_type));
@@ -150,7 +176,7 @@ impl<'a> UnifiedStore<'a> {
                     }
                 }
                 events.sort();
-                let hops = self.system.proxies.len() as u64;
+                let hops = route_hops + candidates.len() as u64;
                 StoreResponse {
                     value: None,
                     series: Vec::new(),
@@ -256,6 +282,60 @@ mod tests {
         });
         assert!(!r.events.is_empty(), "no events over two days at 10/day");
         assert!(r.events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn events_query_prunes_empty_windows_via_range_index() {
+        let mut sys = PrestoSystem::new(SystemConfig {
+            proxies: 2,
+            sensors_per_proxy: 3,
+            lab: presto_workloads::LabParams {
+                events_per_day: 10.0,
+                ..presto_workloads::LabParams::default()
+            },
+            ..SystemConfig::default()
+        });
+        sys.run(SimDuration::from_days(1));
+        let mut store = UnifiedStore::new(&mut sys);
+        // A window far past every archive overlaps no proxy: zero
+        // per-proxy visits beyond the index routing itself.
+        let r = store.query(StoreQuery::Events {
+            from: SimTime::from_days(40),
+            to: SimTime::from_days(41),
+        });
+        assert!(r.events.is_empty());
+        // A covered window still reports every event.
+        let r = store.query(StoreQuery::Events {
+            from: SimTime::ZERO,
+            to: SimTime::from_days(1),
+        });
+        assert!(!r.events.is_empty(), "no events over a day at 10/day");
+        assert!(r.events.windows(2).all(|w| w[0].0 <= w[1].0));
+    }
+
+    #[test]
+    fn events_query_includes_unarchived_cached_events() {
+        use presto_sensor::{UplinkMsg, UplinkPayload};
+        let mut sys = running_system(1);
+        // An event cached at proxy 1 with no archive backing (as when a
+        // sensor's append fails but its push succeeds) at an instant no
+        // archive span covers: the span union must still visit proxy 1.
+        sys.proxies[1].on_uplink(&UplinkMsg {
+            sensor: 4,
+            sent_at: SimTime::from_days(30),
+            wire_bytes: 15,
+            payload: UplinkPayload::Event {
+                event_type: 9,
+                data: Vec::new().into(),
+            },
+        });
+        let mut store = UnifiedStore::new(&mut sys);
+        let r = store.query(StoreQuery::Events {
+            from: SimTime::from_days(29),
+            to: SimTime::from_days(31),
+        });
+        assert_eq!(r.events.len(), 1, "unarchived cached event was pruned");
+        assert_eq!(r.events[0].2, 9);
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! The three-tier PRESTO system.
 
-use presto_index::{ClockCorrector, DriftClock, SkipGraph};
+use presto_index::{ClockCorrector, DriftClock, SkipGraph, TimeRangeIndex};
 use presto_net::{LinkModel, LossProcess};
 use presto_proxy::{PrestoProxy, ProxyConfig};
 use presto_sensor::{PushPolicy, SensorConfig, SensorNode};
@@ -85,6 +85,10 @@ pub struct PrestoSystem {
     /// Order-preserving index over global sensor-id space: key = first
     /// global id owned by a proxy.
     pub index: SkipGraph<u64>,
+    /// Archived `[start, end]` intervals per proxy, registered from the
+    /// sensors' sealed segments so range queries can prune proxies with
+    /// no overlapping data.
+    pub time_index: TimeRangeIndex,
     /// Per-sensor drifting clocks and their correctors (flat global ids).
     pub clocks: Vec<DriftClock>,
     /// Correctors, same order.
@@ -165,12 +169,14 @@ impl PrestoSystem {
             })
             .collect();
 
+        let time_index = TimeRangeIndex::new(config.seed ^ 0x71E5);
         PrestoSystem {
             proxies,
             nodes,
             downlinks,
             labs,
             index,
+            time_index,
             clocks,
             correctors: (0..total).map(|_| ClockCorrector::new()).collect(),
             truth: vec![0.0; total],
@@ -252,7 +258,9 @@ impl PrestoSystem {
             }
         }
 
-        // Periodic model training checks.
+        // Periodic model training checks. (The time-range index is
+        // rebuilt lazily by its consumers — see `refresh_time_index` —
+        // so no periodic refresh happens here.)
         if t - self.last_train_check >= self.config.train_check_every {
             self.last_train_check = t;
             for p in 0..self.config.proxies {
@@ -274,6 +282,40 @@ impl PrestoSystem {
                 self.correctors[gid].observe_beacon(local, t);
             }
         }
+    }
+
+    /// Rebuilds the time-range index from every sensor's *live* segment
+    /// spans, with endpoints mapped through the sensor's clock corrector
+    /// so registered intervals are in reference time (archives stamp in
+    /// drifting local time, and accumulated skew is unbounded — no
+    /// fixed routing slack could cover it). Rebuilding rather than
+    /// accumulating keeps the index bounded by live segments — entries
+    /// for reclaimed segments drop out — and the span count is small
+    /// (at most blocks-per-archive per sensor), so consumers rebuild
+    /// on demand instead of relying on a periodic refresh.
+    pub fn refresh_time_index(&mut self) {
+        self.time_index.clear();
+        for (p, cluster) in self.nodes.iter().enumerate() {
+            for (s, node) in cluster.iter().enumerate() {
+                let corrector = &self.correctors[p * self.config.sensors_per_proxy + s];
+                for (start, end) in node.archive().segment_spans() {
+                    self.time_index
+                        .register(p, corrector.correct(start), corrector.correct(end));
+                }
+            }
+        }
+    }
+
+    /// Routes a time range through the interval index, returning the
+    /// proxies holding overlapping archived data and the routing hop
+    /// count. An empty (not yet refreshed) index falls back to every
+    /// proxy — correct, just unpruned.
+    pub fn route_range(&self, from: SimTime, to: SimTime) -> (Vec<usize>, u64) {
+        if self.time_index.is_empty() {
+            return ((0..self.config.proxies).collect(), 0);
+        }
+        let (proxies, stats) = self.time_index.proxies_overlapping(from, to);
+        (proxies, stats.hops)
     }
 
     /// Runs for a duration.
@@ -409,6 +451,20 @@ mod tests {
             let err = (corrected.as_secs_f64() - t.as_secs_f64()).abs();
             assert!(err < 0.1, "sensor {gid} residual {err}");
         }
+    }
+
+    #[test]
+    fn range_routing_prunes_non_overlapping_proxies() {
+        let mut sys = PrestoSystem::new(small());
+        sys.run(SimDuration::from_days(1));
+        sys.refresh_time_index();
+        assert!(!sys.time_index.is_empty(), "segments were never registered");
+        // Every proxy archived the first day.
+        let (covered, _) = sys.route_range(SimTime::from_hours(1), SimTime::from_hours(2));
+        assert_eq!(covered, vec![0, 1]);
+        // Nothing was archived a month out: every proxy is pruned.
+        let (none, _) = sys.route_range(SimTime::from_days(30), SimTime::from_days(31));
+        assert!(none.is_empty(), "future window should prune all proxies");
     }
 
     #[test]

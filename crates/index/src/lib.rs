@@ -20,13 +20,18 @@
 //! * [`view`] — the temporally ordered unified view over per-proxy
 //!   streams (k-way merge over corrected timestamps), which is what a
 //!   traffic-monitoring application queries.
+//! * [`timeindex`] — per-proxy archived `[start, end]` intervals
+//!   registered in the Skip Graph, so multi-proxy range queries prune
+//!   proxies with no overlapping data before issuing pulls.
 
 pub mod clock;
 pub mod consistency;
 pub mod skipgraph;
+pub mod timeindex;
 pub mod view;
 
 pub use clock::{ClockCorrector, DriftClock};
 pub use consistency::{ConsistencyManager, ReplicaEntry, Replicator};
 pub use skipgraph::{OpStats, SkipGraph};
+pub use timeindex::TimeRangeIndex;
 pub use view::UnifiedView;

@@ -85,14 +85,14 @@ impl<T: Clone> UnifiedView<T> {
         &self.items
     }
 
-    /// Items within `[from, to]`, ordered.
+    /// Items within `[from, to]`, ordered. Binary-searches the sorted
+    /// view instead of scanning every item, so narrow windows cost
+    /// O(log n + matches).
     pub fn range(&mut self, from: SimTime, to: SimTime) -> Vec<ViewItem<T>> {
         self.ensure_sorted();
-        self.items
-            .iter()
-            .filter(|i| i.t >= from && i.t <= to)
-            .cloned()
-            .collect()
+        let lo = self.items.partition_point(|i| i.t < from);
+        let hi = self.items.partition_point(|i| i.t <= to);
+        self.items[lo..hi].to_vec()
     }
 
     /// Counts adjacent-pair ordering violations that *would* occur if the

@@ -78,7 +78,7 @@ impl SeasonalModel {
 
     /// Decodes a model from its wire parameters.
     pub fn decode_params(bytes: &[u8]) -> Option<Self> {
-        if bytes.len() < 2 || (bytes.len() - 2) % 8 != 0 {
+        if bytes.len() < 2 || !(bytes.len() - 2).is_multiple_of(8) {
             return None;
         }
         let bins = u16::from_le_bytes([bytes[0], bytes[1]]) as usize;

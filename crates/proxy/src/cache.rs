@@ -10,6 +10,7 @@
 //! entries (the sensor's archive remains the authority for old data).
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use presto_sim::{SimDuration, SimTime};
 
@@ -44,8 +45,9 @@ pub struct CachedEvent {
     pub sensor: u16,
     /// Application event type.
     pub event_type: u16,
-    /// Application payload.
-    pub data: Vec<u8>,
+    /// Application payload, shared with the uplink message that carried
+    /// it (no per-event copy on the proxy's receive path).
+    pub data: Arc<[u8]>,
 }
 
 /// Per-sensor summary cache.
@@ -136,9 +138,23 @@ impl SensorCache {
         (have as f64 / expected as f64).min(1.0)
     }
 
-    /// Full history view (oldest first) for model training.
+    /// Full history view (oldest first) for model training. Allocates;
+    /// hot paths should prefer [`SensorCache::history_iter`] or
+    /// [`SensorCache::history_into`].
     pub fn history(&self) -> Vec<(SimTime, f64)> {
-        self.samples.iter().map(|s| (s.t, s.value)).collect()
+        self.history_iter().collect()
+    }
+
+    /// Borrowing history view (oldest first) — no allocation per pass.
+    pub fn history_iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.samples.iter().map(|s| (s.t, s.value))
+    }
+
+    /// Writes the history into a caller-owned buffer (cleared first), so
+    /// repeated model-training passes reuse one allocation.
+    pub fn history_into(&self, buf: &mut Vec<(SimTime, f64)>) {
+        buf.clear();
+        buf.extend(self.history_iter());
     }
 }
 

@@ -147,11 +147,19 @@ pub struct PrestoProxy {
     engine: PredictionEngine,
     sensors: HashMap<u16, SensorSlot>,
     events: Vec<CachedEvent>,
+    /// `[min, max]` timestamp over cached events. Cached events are not
+    /// guaranteed to be archive-backed (a sensor's append can fail while
+    /// its push succeeds), so range routing must consult this span in
+    /// addition to archived segment intervals.
+    events_span: Option<(SimTime, SimTime)>,
     spatial: Option<(SpatialGaussian, Vec<u16>)>,
     ledger: EnergyLedger,
     downlink: Mac,
     stats: ProxyStats,
     next_query_id: u64,
+    /// Reusable buffer for model-training history snapshots, so periodic
+    /// retrain checks do not allocate a fresh vector per sensor pass.
+    history_scratch: Vec<(SimTime, f64)>,
 }
 
 impl PrestoProxy {
@@ -168,10 +176,12 @@ impl PrestoProxy {
             downlink,
             sensors: HashMap::new(),
             events: Vec::new(),
+            events_span: None,
             spatial: None,
             ledger: EnergyLedger::new(),
             stats: ProxyStats::default(),
             next_query_id: 1,
+            history_scratch: Vec::new(),
             config,
         }
     }
@@ -223,6 +233,11 @@ impl PrestoProxy {
         &self.events
     }
 
+    /// `[min, max]` timestamp over cached events, `None` when empty.
+    pub fn events_span(&self) -> Option<(SimTime, SimTime)> {
+        self.events_span
+    }
+
     /// Read access to a sensor's cache.
     pub fn cache(&self, sensor: u16) -> Option<&SensorCache> {
         self.sensors.get(&sensor).map(|s| &s.cache)
@@ -271,7 +286,13 @@ impl PrestoProxy {
                     t: msg.sent_at,
                     sensor: msg.sensor,
                     event_type: *event_type,
-                    data: data.clone(),
+                    // Arc bump, not a byte copy: the cache shares the
+                    // uplink's allocation.
+                    data: std::sync::Arc::clone(data),
+                });
+                self.events_span = Some(match self.events_span {
+                    None => (msg.sent_at, msg.sent_at),
+                    Some((a, b)) => (a.min(msg.sent_at), b.max(msg.sent_at)),
                 });
                 self.stats.events_cached += 1;
             }
@@ -341,11 +362,15 @@ impl PrestoProxy {
         {
             return false;
         }
-        let history = slot.cache.history();
         let prev_version = slot.model.as_ref().map_or(0, |m| m.version);
+        // Reuse one history buffer across training passes (taken out of
+        // `self` so the cache borrow and the engine borrow don't clash).
+        let mut history = std::mem::take(&mut self.history_scratch);
+        slot.cache.history_into(&mut history);
         let trained = self
             .engine
             .train(&history, t, prev_version, &mut self.ledger);
+        self.history_scratch = history;
         let params = trained.model.encode_params();
         let kind = trained.model.kind();
         let msg = DownlinkMsg::ModelUpdate { kind, params };
@@ -399,7 +424,7 @@ impl PrestoProxy {
             return;
         };
         let mut rows = Vec::new();
-        for s in first.cache.history() {
+        for s in first.cache.history_iter() {
             let mut row = Vec::with_capacity(ids.len());
             row.push(s.1);
             let mut complete = true;

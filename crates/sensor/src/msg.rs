@@ -6,6 +6,8 @@
 //! genuinely applied: a compressed batch carries the values the proxy
 //! would reconstruct, not the originals.
 
+use std::sync::Arc;
+
 use presto_archive::Quality;
 use presto_models::ModelKind;
 use presto_sim::{SimDuration, SimTime};
@@ -45,12 +47,14 @@ pub enum UplinkPayload {
         /// True if a codec was applied.
         compressed: bool,
     },
-    /// A semantic event report.
+    /// A semantic event report. The payload is shared, not copied: the
+    /// proxy caches the same allocation the sensor produced instead of
+    /// cloning every event blob on arrival.
     Event {
         /// Application event type.
         event_type: u16,
         /// Application payload.
-        data: Vec<u8>,
+        data: Arc<[u8]>,
     },
     /// Reply to a PAST-query pull.
     PullReply {

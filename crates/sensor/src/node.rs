@@ -112,6 +112,11 @@ impl SensorNode {
         self.stats
     }
 
+    /// Read access to the local archive (e.g. for interval indexing).
+    pub fn archive(&self) -> &ArchiveStore {
+        &self.archive
+    }
+
     /// The local archive (e.g. for test inspection).
     pub fn archive_mut(&mut self) -> &mut ArchiveStore {
         &mut self.archive
@@ -256,7 +261,7 @@ impl SensorNode {
                     }
                 }
                 if t - self.last_flush >= interval && !self.batch.is_empty() {
-                    if let Some(m) = self.flush_batch(t, proxy_ledger.as_deref_mut()) {
+                    if let Some(m) = self.flush_batch(t, proxy_ledger) {
                         out.push(m);
                     }
                 }
@@ -364,15 +369,19 @@ impl SensorNode {
         self.advance_to(t);
         let _ = self
             .archive
-            .append_event(t, event_type, data.clone(), &mut self.ledger);
+            .append_event(t, event_type, &data, &mut self.ledger);
         if matches!(self.config.push, PushPolicy::Silent) {
             return None;
         }
         self.stats.events_pushed += 1;
+        let wire_bytes = wire::event(data.len());
         self.send(
             t,
-            wire::event(data.len()),
-            UplinkPayload::Event { event_type, data },
+            wire_bytes,
+            UplinkPayload::Event {
+                event_type,
+                data: data.into(),
+            },
             proxy_ledger,
         )
     }

@@ -187,11 +187,7 @@ impl SimDuration {
 
     /// Checked integer division of two durations (how many `rhs` fit in `self`).
     pub fn div_duration(self, rhs: SimDuration) -> u64 {
-        if rhs.0 == 0 {
-            0
-        } else {
-            self.0 / rhs.0
-        }
+        self.0.checked_div(rhs.0).unwrap_or(0)
     }
 
     /// Multiplies the duration by an integer factor, saturating.

@@ -138,7 +138,7 @@ impl Codec {
             return None;
         }
         let step = f32::from_le_bytes(bytes[pos..pos + 4].try_into().ok()?) as f64;
-        if !(step > 0.0) || step.is_infinite() {
+        if !step.is_finite() || step <= 0.0 {
             return None;
         }
         pos += 4;

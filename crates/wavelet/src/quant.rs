@@ -99,7 +99,7 @@ pub fn unpack_ints(bytes: &[u8]) -> Option<Vec<i64>> {
             if run == 0 {
                 return None;
             }
-            out.extend(std::iter::repeat(0i64).take(run as usize));
+            out.extend(std::iter::repeat_n(0i64, run as usize));
         } else {
             out.push(unzigzag(u));
         }

@@ -118,9 +118,7 @@ impl EldercareGen {
             // Anomalies last 10–40 minutes.
             let mins = 10.0 + self.rng.uniform() * 30.0;
             self.state_until = t + SimDuration::from_mins_f64(mins);
-        } else if self.state == Activity::Anomaly && t > self.state_until {
-            self.state = Self::scheduled_state(t.hour_of_day());
-        } else if self.state != Activity::Anomaly {
+        } else if self.state != Activity::Anomaly || t > self.state_until {
             self.state = Self::scheduled_state(t.hour_of_day());
         }
 

@@ -117,7 +117,7 @@ impl QueryGen {
             if !gap_hours.is_finite() {
                 break;
             }
-            t = t + SimDuration::from_secs_f64(gap_hours * 3600.0);
+            t += SimDuration::from_secs_f64(gap_hours * 3600.0);
             if t >= end {
                 break;
             }

@@ -1,15 +1,17 @@
 //! Cross-crate property tests on system invariants that the per-crate
 //! suites cannot express: conservation of samples through the sensor →
-//! proxy pipeline, cache ordering under arbitrary interleavings, and
-//! the push-tolerance invariant under random workloads.
+//! proxy pipeline, cache ordering under arbitrary interleavings, the
+//! push-tolerance invariant under random workloads, and equivalence of
+//! the indexed archive read path with a naive full scan.
 
 use proptest::prelude::*;
 
+use presto::archive::{ArchiveConfig, ArchiveStore};
 use presto::net::LinkModel;
 use presto::proxy::cache::{CacheSource, CachedSample, SensorCache};
 use presto::proxy::{PrestoProxy, ProxyConfig};
 use presto::sensor::{PushPolicy, SensorConfig, SensorNode, UplinkPayload};
-use presto::sim::{SimDuration, SimTime};
+use presto::sim::{EnergyLedger, SimDuration, SimTime};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(32))]
@@ -145,6 +147,69 @@ proptest! {
                 let err = (replica.predict(t).value - value).abs();
                 prop_assert!(err <= tolerance + 1e-9, "silent err {} > {}", err, tolerance);
             }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The indexed archive read path (segment index + page time
+    /// directory + decoded-page LRU + streaming merge) returns results
+    /// byte-identical to a naive decode-everything full scan, across
+    /// randomized append / flush / reclaim / query schedules — including
+    /// aged segments, out-of-order appends, and the RAM page-buffer
+    /// tail.
+    #[test]
+    fn indexed_archive_queries_match_fullscan(
+        capacity_kb in 4usize..24,
+        aging in 0u8..2,
+        ops in proptest::collection::vec((0u8..10, 0u64..100, -50.0f64..50.0), 40..400),
+        windows in proptest::collection::vec((0u64..45_000, 0u64..20_000), 1..8),
+    ) {
+        let mut store = ArchiveStore::new(ArchiveConfig {
+            capacity_bytes: capacity_kb * 1024,
+            aging_enabled: aging == 1,
+            ..ArchiveConfig::default()
+        });
+        let mut l = EnergyLedger::new();
+        let mut now_s = 0u64;
+        for &(kind, dt, v) in &ops {
+            match kind {
+                // Force a page program mid-schedule.
+                6 => store.flush_page(&mut l).unwrap(),
+                // An out-of-order tail (late-arriving timestamp).
+                7 => now_s = now_s.saturating_sub(40),
+                // A semantic event.
+                5 => store
+                    .append_event(SimTime::from_secs(now_s), (dt % 5) as u16, &[dt as u8], &mut l)
+                    .unwrap(),
+                // Mid-schedule query with the page buffer still dirty.
+                8 => {
+                    let a = SimTime::from_secs(now_s.saturating_sub(2_000));
+                    let b = SimTime::from_secs(now_s + 500);
+                    prop_assert_eq!(
+                        store.query_range(a, b, &mut l).unwrap(),
+                        store.query_range_fullscan(a, b, &mut l).unwrap(),
+                    );
+                }
+                _ => store.append_scalar(SimTime::from_secs(now_s), v, &mut l).unwrap(),
+            }
+            now_s += dt;
+        }
+        for &(start_s, len_s) in &windows {
+            let a = SimTime::from_secs(start_s);
+            let b = SimTime::from_secs(start_s + len_s);
+            prop_assert_eq!(
+                store.query_range(a, b, &mut l).unwrap(),
+                store.query_range_fullscan(a, b, &mut l).unwrap(),
+                "range divergence on [{}s, {}s]", start_s, start_s + len_s,
+            );
+            prop_assert_eq!(
+                store.query_events(a, b, &mut l).unwrap(),
+                store.query_events_fullscan(a, b, &mut l).unwrap(),
+                "event divergence on [{}s, {}s]", start_s, start_s + len_s,
+            );
         }
     }
 }

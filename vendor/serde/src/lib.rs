@@ -1,0 +1,17 @@
+//! Offline shim for the sliver of `serde` this workspace uses.
+//!
+//! `presto-bench` derives `Serialize` on plain-old-data report rows and
+//! renders them with `serde_json::to_string_pretty`. Without crates.io
+//! access we satisfy that with a facade: `Serialize` is a marker trait
+//! blanket-implemented for every `Debug` type, and the vendored
+//! `serde_json` pretty-printer renders values by transliterating their
+//! `{:#?}` output into JSON. The `#[derive(Serialize)]` attribute is a
+//! no-op provided by the vendored `serde_derive`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait satisfied by any `Debug` type; the vendored
+/// `serde_json` uses the `Debug` supertrait to render values.
+pub trait Serialize: std::fmt::Debug {}
+
+impl<T: std::fmt::Debug + ?Sized> Serialize for T {}

@@ -1,0 +1,22 @@
+//! No-op `#[derive(Serialize)]` backing the vendored serde facade.
+//!
+//! The vendored `serde` shim implements `Serialize` as a blanket impl
+//! over `Debug`, so the derive has nothing to generate — it only needs
+//! to exist so `#[derive(Clone, Debug, Serialize)]` keeps compiling
+//! without crates.io access.
+
+use proc_macro::TokenStream;
+
+/// Accepts the item and emits nothing; the blanket impl in the `serde`
+/// shim provides the trait.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Same no-op treatment for deserialization, should a future crate
+/// derive it.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

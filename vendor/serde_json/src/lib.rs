@@ -1,0 +1,241 @@
+//! Offline shim for the sliver of `serde_json` this workspace uses.
+//!
+//! `presto-bench` writes human-readable JSON report artifacts via
+//! `to_string_pretty`. Without crates.io access, this facade renders a
+//! value by transliterating its pretty `Debug` output (`{:#?}`) into
+//! JSON: struct names are dropped, field names are quoted, tuples
+//! become arrays, `None`/`NaN`/`inf` become `null`, and bare enum
+//! variants become strings. That covers the plain-old-data report rows
+//! (numbers, strings, vectors, nested structs) the bench crate derives
+//! `Serialize` on; it is not a general serde implementation.
+
+use std::fmt;
+
+/// Rendering error (the transliterator itself is infallible; this exists
+/// for signature compatibility).
+#[derive(Clone, Debug)]
+pub struct Error(String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Pretty-prints `value` as JSON derived from its `Debug` output.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(debug_to_json(&format!("{value:#?}")))
+}
+
+/// Compact variant (same output as pretty in this shim).
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    to_string_pretty(value)
+}
+
+fn is_word_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+/// Transliterates Rust pretty-`Debug` output into JSON.
+fn debug_to_json(debug: &str) -> String {
+    let mut out = String::with_capacity(debug.len());
+    let chars: Vec<char> = debug.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '"' => {
+                // String literal: copy verbatim, honouring escapes.
+                out.push('"');
+                i += 1;
+                while i < chars.len() {
+                    let s = chars[i];
+                    out.push(s);
+                    i += 1;
+                    if s == '\\' && i < chars.len() {
+                        out.push(chars[i]);
+                        i += 1;
+                    } else if s == '"' {
+                        break;
+                    }
+                }
+            }
+            '(' => {
+                out.push('[');
+                i += 1;
+            }
+            ')' => {
+                out.push(']');
+                i += 1;
+            }
+            '-' | '0'..='9' => {
+                // A number — or a negative special float like `-inf`.
+                let start = i;
+                if c == '-' {
+                    i += 1;
+                }
+                if i < chars.len() && (chars[i] == 'i' || chars[i] == 'N') {
+                    while i < chars.len() && is_word_char(chars[i]) {
+                        i += 1;
+                    }
+                    out.push_str("null");
+                } else {
+                    while i < chars.len()
+                        && (chars[i].is_ascii_digit()
+                            || matches!(chars[i], '.' | 'e' | 'E' | '+' | '-'))
+                    {
+                        i += 1;
+                    }
+                    out.extend(&chars[start..i]);
+                }
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                // An identifier: struct name, field name, or bare value.
+                let start = i;
+                while i < chars.len() && (is_word_char(chars[i]) || chars[i] == ':' && i + 1 < chars.len() && chars[i + 1] == ':') {
+                    if chars[i] == ':' {
+                        i += 2; // skip `::` path separator
+                    } else {
+                        i += 1;
+                    }
+                }
+                let word: String = chars[start..i].iter().collect();
+                let mut j = i;
+                while j < chars.len() && chars[j] == ' ' {
+                    j += 1;
+                }
+                match chars.get(j) {
+                    Some('{') | Some('(') => {
+                        // `Name {` struct / `Some(` tuple wrapper: drop
+                        // the name, keep the delimiter.
+                        i = j;
+                    }
+                    Some(':') => {
+                        // Field name.
+                        out.push('"');
+                        out.push_str(&word);
+                        out.push_str("\":");
+                        i = j + 1;
+                    }
+                    _ => {
+                        // Bare value: special forms map to JSON scalars,
+                        // unit enum variants become strings.
+                        match word.as_str() {
+                            "None" | "NaN" | "inf" => out.push_str("null"),
+                            "true" | "false" => out.push_str(&word),
+                            _ => {
+                                out.push('"');
+                                out.push_str(&word);
+                                out.push('"');
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    strip_trailing_commas(&out)
+}
+
+/// Removes `,` that directly precede a closing `}` or `]` (modulo
+/// whitespace) — valid in Rust Debug output, invalid in JSON.
+fn strip_trailing_commas(s: &str) -> String {
+    let chars: Vec<char> = s.chars().collect();
+    let mut out = String::with_capacity(s.len());
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == ',' {
+            let mut j = i + 1;
+            while j < chars.len() && chars[j].is_whitespace() {
+                j += 1;
+            }
+            if matches!(chars.get(j), Some('}') | Some(']')) {
+                i += 1;
+                continue;
+            }
+        }
+        // Strings must pass through untouched.
+        if chars[i] == '"' {
+            out.push('"');
+            i += 1;
+            while i < chars.len() {
+                let c = chars[i];
+                out.push(c);
+                i += 1;
+                if c == '\\' && i < chars.len() {
+                    out.push(chars[i]);
+                    i += 1;
+                } else if c == '"' {
+                    break;
+                }
+            }
+            continue;
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    #[allow(dead_code)]
+    struct Row {
+        name: &'static str,
+        energy_j: f64,
+        counts: Vec<u64>,
+        pair: (f64, f64),
+        missing: Option<f64>,
+        bad: f64,
+    }
+
+    #[test]
+    fn renders_struct_rows_as_json() {
+        let row = Row {
+            name: "direct",
+            energy_j: 12.5,
+            counts: vec![1, 2],
+            pair: (0.5, -1.5),
+            missing: None,
+            bad: f64::NAN,
+        };
+        let json = to_string_pretty(&row).unwrap();
+        assert!(json.contains("\"name\": \"direct\""), "{json}");
+        assert!(json.contains("\"energy_j\": 12.5"), "{json}");
+        assert!(json.contains("\"missing\": null"), "{json}");
+        assert!(json.contains("\"bad\": null"), "{json}");
+        assert!(!json.contains("Row"), "{json}");
+        assert!(!json.contains(",\n}"), "{json}");
+        // Tuples become arrays.
+        assert!(json.contains('['), "{json}");
+        assert!(!json.contains('('), "{json}");
+    }
+
+    #[test]
+    fn vectors_of_structs() {
+        #[derive(Debug)]
+        #[allow(dead_code)]
+        struct P {
+            x: u32,
+        }
+        let json = to_string_pretty(&vec![P { x: 1 }, P { x: 2 }]).unwrap();
+        assert!(json.contains("\"x\": 1"), "{json}");
+        assert!(json.trim_start().starts_with('['), "{json}");
+        assert!(json.trim_end().ends_with(']'), "{json}");
+    }
+
+    #[test]
+    fn strings_with_braces_survive() {
+        let json = to_string_pretty(&"a {b}, c").unwrap();
+        assert_eq!(json, "\"a {b}, c\"");
+    }
+}
