@@ -269,6 +269,10 @@ pub struct ArchiveStore {
     /// Covered span of the records currently in `page_buf`.
     buf_span: Option<(SimTime, SimTime)>,
     page_cache: PageLru,
+    /// Covered spans of segments sealed since the last
+    /// [`ArchiveStore::take_sealed_spans`] drain — the feed for
+    /// seal-notification uplinks.
+    sealed_pending: Vec<(SimTime, SimTime)>,
     stats: ArchiveStats,
 }
 
@@ -292,8 +296,27 @@ impl ArchiveStore {
             page_buf: Vec::new(),
             buf_span: None,
             page_cache,
+            sealed_pending: Vec::new(),
             stats: ArchiveStats::default(),
         }
+    }
+
+    /// Drops the RAM page buffer without programming it — the power-
+    /// loss model: records not yet flushed to flash die with a crash.
+    /// Segment metadata may keep counting them (its covered span can
+    /// over-cover), which only makes range pruning conservative, never
+    /// wrong.
+    pub fn discard_ram_buffer(&mut self) {
+        self.page_buf.clear();
+        self.buf_span = None;
+    }
+
+    /// Drains the covered spans of segments sealed since the last call.
+    /// Sensors turn these into seal-notification uplinks so the proxy
+    /// tier's time-range index tracks archives as blocks seal, instead
+    /// of lagging until the next periodic rebuild.
+    pub fn take_sealed_spans(&mut self) -> Vec<(SimTime, SimTime)> {
+        std::mem::take(&mut self.sealed_pending)
     }
 
     /// Appends a scalar reading.
@@ -391,6 +414,11 @@ impl ArchiveStore {
     /// Seals the current segment and starts a new one on a fresh block,
     /// reclaiming the oldest segment if no erased block remains.
     fn open_new_block(&mut self, ledger: &mut EnergyLedger) -> Result<(), ArchiveError> {
+        if let Some(seg) = self.segments.back() {
+            if seg.has_data() {
+                self.sealed_pending.push((seg.start, seg.end));
+            }
+        }
         let carried = if self.free_blocks.is_empty() {
             self.reclaim_oldest(ledger)?
         } else {
@@ -959,6 +987,30 @@ mod tests {
             out.push((t, v));
         }
         out
+    }
+
+    #[test]
+    fn sealed_spans_drain_once_per_seal() {
+        let mut store = ArchiveStore::new(small_config(1 << 16));
+        let mut l = EnergyLedger::new();
+        assert!(store.take_sealed_spans().is_empty());
+        // Fill far beyond one block so several segments seal.
+        fill(&mut store, 4000, SimDuration::from_secs(31), &mut l);
+        let sealed = store.take_sealed_spans();
+        assert!(
+            sealed.len() >= 2,
+            "expected multiple seals, got {}",
+            sealed.len()
+        );
+        // Spans are ordered and non-degenerate.
+        for w in sealed.windows(2) {
+            assert!(w[0].0 <= w[1].0);
+        }
+        for &(s, e) in &sealed {
+            assert!(s <= e);
+        }
+        // Draining again yields nothing until the next seal.
+        assert!(store.take_sealed_spans().is_empty());
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Failure scenario: 30% bursty fabric loss + a sensor crash/reboot.
+//!
+//! `failure_scenario [hours]` — defaults to 24 h with a crash at hours
+//! 8–10; `failure_scenario --quick` runs the small fixed-seed CI smoke
+//! (12 h, crash at 6–8) and exits non-zero if detection, recovery, or
+//! the post-recovery ground-truth audit fails.
+
+use presto_bench::experiments::render_json;
+use presto_bench::failure::{failure_scenario, FailureScenarioConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let quick = arg.as_deref() == Some("--quick");
+    let cfg = if quick {
+        FailureScenarioConfig {
+            hours: 12,
+            crash_hours: Some((6, 8)),
+            ..FailureScenarioConfig::default()
+        }
+    } else {
+        FailureScenarioConfig {
+            hours: arg.and_then(|a| a.parse().ok()).unwrap_or(24),
+            ..FailureScenarioConfig::default()
+        }
+    };
+    let r = failure_scenario(&cfg);
+    print!(
+        "{}",
+        render_json(
+            &format!(
+                "failure scenario — {} h, {:.0}% bursty loss, crash {:?}",
+                cfg.hours,
+                cfg.loss * 100.0,
+                cfg.crash_hours
+            ),
+            &r
+        )
+    );
+    if quick {
+        let mut failures = Vec::new();
+        if r.detection_latency_s.is_nan() || r.detection_latency_s > r.lease_s + 31.0 {
+            failures.push(format!(
+                "detection {}s exceeds lease {}s",
+                r.detection_latency_s, r.lease_s
+            ));
+        }
+        if r.recoveries == 0 {
+            failures.push("no recovery replay completed".into());
+        }
+        if r.window_missing > 0 {
+            failures.push(format!("{} silent gaps post-recovery", r.window_missing));
+        }
+        if r.window_max_err > 0.25 {
+            failures.push(format!("post-recovery error {}", r.window_max_err));
+        }
+        if r.stale_answer_rate >= 0.05 {
+            failures.push(format!("stale-answer rate {}", r.stale_answer_rate));
+        }
+        if !failures.is_empty() {
+            eprintln!("failure-scenario smoke FAILED:");
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            std::process::exit(1);
+        }
+        eprintln!("failure-scenario smoke OK");
+    }
+}

@@ -8,6 +8,7 @@
 //! next to the human-readable tables.
 
 pub mod experiments;
+pub mod failure;
 pub mod figure2;
 pub mod table1;
 

@@ -7,6 +7,7 @@
 //! corrector so cross-proxy views are temporally consistent.
 
 use presto_proxy::AnswerSource;
+use presto_reliability::Health;
 use presto_sim::{SimDuration, SimTime};
 
 use crate::system::PrestoSystem;
@@ -66,6 +67,13 @@ pub struct StoreResponse {
     pub events: Vec<(SimTime, u16, u16)>,
     /// How the answer was produced.
     pub source: AnswerSource,
+    /// Confidence bound (one sigma), widened by the target sensor's
+    /// liveness grade: a Suspect sensor's extrapolation guarantee may
+    /// have been silently broken, a Dead sensor's carries no weight.
+    pub sigma: f64,
+    /// Liveness grade of the target sensor at answer time (Live for
+    /// multi-sensor event queries).
+    pub health: Health,
     /// End-to-end latency including index routing.
     pub latency: SimDuration,
     /// Skip-graph routing hops.
@@ -88,22 +96,63 @@ impl<'a> UnifiedStore<'a> {
         }
     }
 
+    /// Resolves a single-sensor query's mutable targets: the owning
+    /// proxy, the sensor node, and the downlink — substituting the
+    /// always-dead link when the fault plan currently makes the sensor
+    /// unreachable (a pull then pays its transmit energy and fails,
+    /// exactly as on real hardware).
+    fn query_target(
+        system: &mut PrestoSystem,
+        sensor: u16,
+        t: SimTime,
+    ) -> (
+        &mut presto_proxy::PrestoProxy,
+        &mut presto_sensor::SensorNode,
+        &mut presto_net::LinkModel,
+    ) {
+        let (p, s) = system.locate(sensor);
+        let unreachable = system.faults().is_unreachable(sensor as usize, t);
+        let (proxies, nodes, downlinks, dead) = system.split_for_query();
+        let link = if unreachable {
+            dead
+        } else {
+            &mut downlinks[p][s]
+        };
+        (&mut proxies[p], &mut nodes[p][s], link)
+    }
+
+    /// Widens an answer's confidence bound by the sensor's health. A
+    /// pull that just succeeded is contact and needs no widening; a
+    /// failed answer carries none to widen.
+    fn widened(system: &PrestoSystem, sensor: u16, source: AnswerSource, sigma: f64) -> f64 {
+        match source {
+            AnswerSource::Pulled => sigma,
+            AnswerSource::Failed => f64::INFINITY,
+            _ => system
+                .health(sensor)
+                .widen_sigma(sigma, system.config().push_tolerance),
+        }
+    }
+
     /// Executes a query at the system's current time.
     pub fn query(&mut self, q: StoreQuery) -> StoreResponse {
         let t = self.system.now();
         match q {
             StoreQuery::Now { sensor, tolerance } => {
                 let (proxy_idx, hops) = self.system.route(sensor);
-                let (p, s) = self.system.locate(sensor);
+                let (p, _) = self.system.locate(sensor);
                 debug_assert_eq!(p, proxy_idx);
-                let node = &mut self.system.nodes[p][s];
-                let link = &mut self.system.downlinks[p][s];
-                let a = self.system.proxies[p].answer_now(t, sensor, tolerance, node, link);
+                let a = {
+                    let (proxy, node, link) = Self::query_target(self.system, sensor, t);
+                    proxy.answer_now(t, sensor, tolerance, node, link)
+                };
                 StoreResponse {
                     value: Some(a.value),
                     series: Vec::new(),
                     events: Vec::new(),
                     source: a.source,
+                    sigma: Self::widened(self.system, sensor, a.source, a.sigma),
+                    health: self.system.health(sensor),
                     latency: a.latency + self.hop_latency * hops,
                     index_hops: hops,
                 }
@@ -115,24 +164,40 @@ impl<'a> UnifiedStore<'a> {
                 tolerance,
             } => {
                 let (proxy_idx, hops) = self.system.route(sensor);
-                let (p, s) = self.system.locate(sensor);
+                let (p, _) = self.system.locate(sensor);
                 debug_assert_eq!(p, proxy_idx);
-                let node = &mut self.system.nodes[p][s];
-                let link = &mut self.system.downlinks[p][s];
-                let a =
-                    self.system.proxies[p].answer_past(t, sensor, from, to, tolerance, node, link);
+                let a = {
+                    let (proxy, node, link) = Self::query_target(self.system, sensor, t);
+                    proxy.answer_past(t, sensor, from, to, tolerance, node, link)
+                };
                 // Correct timestamps back to reference time.
                 let corrector = &self.system.correctors[sensor as usize];
-                let series = a
+                let series: Vec<(SimTime, f64)> = a
                     .samples
                     .into_iter()
                     .map(|(ts, v)| (corrector.correct(ts), v))
                     .collect();
+                // A past series has no scalar sigma; extrapolated spans
+                // inherit the (widened) push-tolerance guarantee.
+                let sigma = if a.source == AnswerSource::Extrapolated {
+                    Self::widened(
+                        self.system,
+                        sensor,
+                        a.source,
+                        self.system.config().push_tolerance,
+                    )
+                } else if a.source == AnswerSource::Failed {
+                    f64::INFINITY
+                } else {
+                    0.0
+                };
                 StoreResponse {
                     value: None,
                     series,
                     events: Vec::new(),
                     source: a.source,
+                    sigma,
+                    health: self.system.health(sensor),
                     latency: a.latency + self.hop_latency * hops,
                     index_hops: hops,
                 }
@@ -141,12 +206,16 @@ impl<'a> UnifiedStore<'a> {
                 // Route the range through the interval index first:
                 // proxies whose sensors archived nothing overlapping the
                 // window are pruned before their caches are consulted.
-                // Spans are registered in corrected reference time, so
-                // the slack only needs to cover the correction residual
-                // plus the uncalibrated first hour (offsets of ~1 s
-                // sigma; skew accumulates < 0.2 s before the first
-                // beacon) — a minute is comfortably conservative.
-                self.system.refresh_time_index();
+                // The index is maintained incrementally by segment-seal
+                // notifications (and rebuilt after recovery replays), so
+                // no per-query rebuild happens here; spans still in an
+                // unsealed segment are covered by the cached-event-span
+                // check below. Spans are registered in corrected
+                // reference time, so the slack only needs to cover the
+                // correction residual plus the uncalibrated first hour
+                // (offsets of ~1 s sigma; skew accumulates < 0.2 s
+                // before the first beacon) — a minute is comfortably
+                // conservative.
                 let slack = SimDuration::from_secs(60);
                 let (mut candidates, route_hops) =
                     self.system.route_range(from - slack, to + slack);
@@ -168,7 +237,14 @@ impl<'a> UnifiedStore<'a> {
                 candidates.sort_unstable();
                 let mut events: Vec<(SimTime, u16, u16)> = Vec::new();
                 for &p in &candidates {
-                    for e in self.system.proxies[p].events() {
+                    // Binary-searched range read over the time-indexed
+                    // event cache (padded by the clock slack, since the
+                    // cache orders by uncorrected sensor time), then an
+                    // exact corrected-time filter.
+                    for e in self.system.proxies[p]
+                        .events()
+                        .range(from - slack, to + slack)
+                    {
                         let corrected = self.system.correctors[e.sensor as usize].correct(e.t);
                         if corrected >= from && corrected <= to {
                             events.push((corrected, e.sensor, e.event_type));
@@ -182,6 +258,8 @@ impl<'a> UnifiedStore<'a> {
                     series: Vec::new(),
                     events,
                     source: AnswerSource::CacheHit,
+                    sigma: 0.0,
+                    health: Health::Live,
                     latency: self.hop_latency * hops,
                     index_hops: hops,
                 }
@@ -193,16 +271,19 @@ impl<'a> UnifiedStore<'a> {
                 op,
             } => {
                 let (proxy_idx, hops) = self.system.route(sensor);
-                let (p, s) = self.system.locate(sensor);
+                let (p, _) = self.system.locate(sensor);
                 debug_assert_eq!(p, proxy_idx);
-                let node = &mut self.system.nodes[p][s];
-                let link = &mut self.system.downlinks[p][s];
-                let a = self.system.proxies[p].answer_aggregate(t, sensor, from, to, op, node, link);
+                let a = {
+                    let (proxy, node, link) = Self::query_target(self.system, sensor, t);
+                    proxy.answer_aggregate(t, sensor, from, to, op, node, link)
+                };
                 StoreResponse {
                     value: Some(a.value),
                     series: Vec::new(),
                     events: Vec::new(),
                     source: a.source,
+                    sigma: Self::widened(self.system, sensor, a.source, a.sigma),
+                    health: self.system.health(sensor),
                     latency: a.latency + self.hop_latency * hops,
                     index_hops: hops,
                 }

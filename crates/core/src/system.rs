@@ -1,10 +1,26 @@
 //! The three-tier PRESTO system.
+//!
+//! Since the reliability rework, no sensor→proxy message reaches a
+//! proxy by direct call: everything a sensor emits — deviation pushes,
+//! batches, event reports, heartbeats, segment-seal notifications —
+//! rides the [`Fabric`], a lossy, delayed, sequence-numbered channel
+//! with ack/retransmit and an energy-charged retry budget. Proxy-
+//! initiated pulls (queries, model pushes, recovery replays) remain
+//! synchronous RPCs over the energy-metered MAC links, gated by the
+//! fault plan (a crashed or blacked-out sensor cannot be reached).
+//! A proxy-side [`LivenessMonitor`] grades each sensor Live/Suspect/
+//! Dead from heartbeat leases, and a [`GapTracker`] turns sequence gaps
+//! and reconnects into archive-backed recovery replays.
 
 use presto_index::{ClockCorrector, DriftClock, SkipGraph, TimeRangeIndex};
 use presto_net::{LinkModel, LossProcess};
 use presto_proxy::{PrestoProxy, ProxyConfig};
+use presto_reliability::{
+    recovery::padded_span, Fabric, FabricStats, GapTracker, Health, LivenessMonitor,
+    Observation, RecoveryStats, ReliabilityConfig,
+};
 use presto_sensor::{PushPolicy, SensorConfig, SensorNode};
-use presto_sim::{EnergyLedger, SimDuration, SimRng, SimTime};
+use presto_sim::{EnergyCategory, EnergyLedger, FaultPlan, SimDuration, SimRng, SimTime};
 use presto_workloads::{LabDeployment, LabParams};
 
 /// Event type code used for rare-event reports.
@@ -33,6 +49,10 @@ pub struct SystemConfig {
     pub clock_skew_ppm: f64,
     /// Proxy configuration template.
     pub proxy: ProxyConfig,
+    /// Message fabric, liveness, and recovery parameters.
+    pub reliability: ReliabilityConfig,
+    /// Injected crash/reboot and blackout schedule.
+    pub faults: FaultPlan,
 }
 
 impl Default for SystemConfig {
@@ -52,6 +72,8 @@ impl Default for SystemConfig {
                 sensor_lpl: lpl,
                 ..ProxyConfig::default()
             },
+            reliability: ReliabilityConfig::default(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -69,6 +91,16 @@ pub struct SystemReport {
     pub models_pushed: u64,
     /// Events cached across proxies.
     pub events: u64,
+    /// Fabric retransmission attempts.
+    pub retransmits: u64,
+    /// Messages the fabric abandoned (retry count or budget exhausted).
+    pub messages_dropped: u64,
+    /// Sequence gaps detected at proxies.
+    pub gaps_detected: u64,
+    /// Archive-backed recovery replays completed.
+    pub recoveries: u64,
+    /// Heartbeats transmitted across sensors.
+    pub heartbeats: u64,
 }
 
 /// A running three-tier deployment.
@@ -95,11 +127,25 @@ pub struct PrestoSystem {
     pub correctors: Vec<ClockCorrector>,
     /// Last true value per global sensor id.
     pub truth: Vec<f64>,
+    /// The message fabric every sensor→proxy message rides.
+    pub fabric: Fabric,
+    /// Proxy-side liveness leases over all sensors (flat global ids).
+    pub liveness: LivenessMonitor,
+    /// Sequence-gap tracking and recovery queue (flat global ids).
+    pub gaps: GapTracker,
+    /// Always-dead link substituted for unreachable sensors' downlinks.
+    dead_link: LinkModel,
     /// Whether a rare event was active last epoch (for onset detection).
     event_was_active: Vec<bool>,
+    /// Whether each sensor was crashed at the last fault-gate pass
+    /// (crash-onset edge detection).
+    was_down: Vec<bool>,
     epoch_index: u64,
     last_train_check: SimTime,
     last_beacon: SimTime,
+    /// Epoch start of the previous fault-gate evaluation (reboot edge
+    /// detection).
+    last_fault_check: SimTime,
 }
 
 impl PrestoSystem {
@@ -130,6 +176,7 @@ impl PrestoSystem {
                         tolerance: config.push_tolerance,
                     },
                     duty: presto_net::DutyCycle::lpl(config.lpl),
+                    announce_seals: true,
                     ..SensorConfig::default()
                 };
                 let mk_link = |label: String| {
@@ -170,6 +217,12 @@ impl PrestoSystem {
             .collect();
 
         let time_index = TimeRangeIndex::new(config.seed ^ 0x71E5);
+        // The fabric's loss streams derive from the master seed so two
+        // systems with different seeds see different channel histories.
+        let mut fabric_cfg = config.reliability.fabric.clone();
+        fabric_cfg.seed ^= config.seed.rotate_left(13);
+        let fabric = Fabric::new(fabric_cfg, total);
+        let liveness = LivenessMonitor::new(config.reliability.liveness, total);
         PrestoSystem {
             proxies,
             nodes,
@@ -180,10 +233,16 @@ impl PrestoSystem {
             clocks,
             correctors: (0..total).map(|_| ClockCorrector::new()).collect(),
             truth: vec![0.0; total],
+            fabric,
+            liveness,
+            gaps: GapTracker::new(total),
+            dead_link: LinkModel::new(LossProcess::Bernoulli(1.0), rng.split("dead-link")),
             event_was_active: vec![false; total],
+            was_down: vec![false; total],
             epoch_index: 0,
             last_train_check: SimTime::ZERO,
             last_beacon: SimTime::ZERO,
+            last_fault_check: SimTime::ZERO,
             config,
         }
     }
@@ -224,12 +283,45 @@ impl PrestoSystem {
     pub fn step_epoch(&mut self) {
         let t = self.now();
         self.epoch_index += 1;
+        // Everything offered this epoch that survives the channel is
+        // consumed by the end of it (fabric delays are sub-epoch).
+        let epoch_end = self.now();
 
+        // 1. Fault gates: detect crash edges and set each sensor's
+        // channel state for this epoch.
+        for gid in 0..self.total_sensors() {
+            let (p, s) = self.locate(gid as u16);
+            let down = self.config.faults.is_down(gid, t);
+            if down && !self.was_down[gid] {
+                // Crash onset: the unacked retransmission window lives
+                // in the node's RAM — a powered-off node neither
+                // retries nor pays for retries.
+                self.fabric.clear_pending(gid);
+            }
+            if self.config.faults.rebooted_within(gid, self.last_fault_check, t) {
+                // RAM state (model replica, pending batch, archive page
+                // buffer) dies with the crash; the flash archive and
+                // the sequence counter survive.
+                self.nodes[p][s].reboot(t);
+                self.fabric.clear_pending(gid);
+            }
+            self.was_down[gid] = down;
+            self.fabric
+                .set_link_up(gid, !self.config.faults.is_unreachable(gid, t));
+        }
+        self.last_fault_check = t;
+
+        // 2. Sampling. Crashed sensors sample nothing (their archives
+        // gap too); everything an alive sensor emits enters the fabric.
         for p in 0..self.config.proxies {
             let readings = self.labs[p].step();
             for (s, r) in readings.iter().enumerate() {
                 let gid = p * self.config.sensors_per_proxy + s;
                 self.truth[gid] = r.value;
+                if self.config.faults.is_down(gid, t) {
+                    self.event_was_active[gid] = r.event_active;
+                    continue;
+                }
                 // Sensors timestamp with their drifting local clocks.
                 let local_t = self.clocks[gid].local_time(r.timestamp);
                 let msgs = {
@@ -237,7 +329,7 @@ impl PrestoSystem {
                     node.on_sample(local_t, r.value, Some(proxy_ledger(&mut self.proxies[p])))
                 };
                 for msg in msgs {
-                    self.proxies[p].on_uplink(&msg);
+                    self.fabric.offer(t, gid, msg);
                 }
                 // Rare-event onset → immediate semantic event report.
                 if r.event_active && !self.event_was_active[gid] {
@@ -251,21 +343,95 @@ impl PrestoSystem {
                         )
                     };
                     if let Some(msg) = ev {
-                        self.proxies[p].on_uplink(&msg);
+                        self.fabric.offer(t, gid, msg);
                     }
                 }
                 self.event_was_active[gid] = r.event_active;
             }
         }
 
+        // 3. Heartbeats: sensors silent past the heartbeat interval
+        // renew their proxy lease with a tiny beacon.
+        let hb_every = self.config.reliability.heartbeat_every;
+        for gid in 0..self.total_sensors() {
+            if self.config.faults.is_down(gid, t) {
+                continue;
+            }
+            let (p, s) = self.locate(gid as u16);
+            let local_t = self.clocks[gid].local_time(t);
+            let hb = {
+                let node = &mut self.nodes[p][s];
+                node.maybe_heartbeat(local_t, hb_every, Some(proxy_ledger(&mut self.proxies[p])))
+            };
+            if let Some(msg) = hb {
+                self.fabric.offer(t, gid, msg);
+            }
+        }
+
+        // 4. Retransmission machinery, billing each attempt to the
+        // sending sensor's radio.
+        {
+            let nodes = &mut self.nodes;
+            let spp = self.config.sensors_per_proxy;
+            let nproxies = self.config.proxies;
+            self.fabric.tick(t, |gid, joules| {
+                let p = (gid / spp).min(nproxies - 1);
+                let s = gid % spp;
+                nodes[p][s]
+                    .ledger_mut()
+                    .charge(EnergyCategory::RadioTx, joules);
+            });
+        }
+
+        // 5. Consume deliveries: dedup, gap-detect, renew leases, feed
+        // the proxies, and register seal notifications in the range
+        // index.
+        for (gid, delivery) in self.fabric.poll(epoch_end) {
+            let (p, _) = self.locate(gid as u16);
+            let prior_covered = self.gaps.covered_until(gid);
+            match self
+                .gaps
+                .observe(gid, delivery.seq, delivery.msg.sent_at, t)
+            {
+                Observation::Duplicate => continue,
+                Observation::Fresh | Observation::Gap { .. } => {}
+            }
+            if self.liveness.heard(gid, t) {
+                // Reconnect after a detected outage: repair the whole
+                // silent span even when no sequence jump exists (a
+                // rebooted sensor starts cleanly at the next seq).
+                self.gaps
+                    .request_recovery(gid, prior_covered, delivery.msg.sent_at, t);
+            }
+            self.proxies[p].on_uplink(&delivery.msg);
+        }
+        // Seal notifications recorded by the proxies register into the
+        // range index here, where the clock correctors live.
+        for p in 0..self.config.proxies {
+            for (sensor, start, end) in self.proxies[p].take_sealed_spans() {
+                let corrector = &self.correctors[sensor as usize];
+                self.time_index
+                    .register(p, corrector.correct(start), corrector.correct(end));
+            }
+        }
+
+        // 6. Re-grade liveness and run queued archive-backed repairs.
+        for gid in 0..self.total_sensors() {
+            self.liveness.check(gid, t);
+        }
+        self.attempt_recoveries(t);
+
         // Periodic model training checks. (The time-range index is
-        // rebuilt lazily by its consumers — see `refresh_time_index` —
-        // so no periodic refresh happens here.)
+        // maintained by seal notifications and recovery rebuilds, so no
+        // periodic refresh happens here.)
         if t - self.last_train_check >= self.config.train_check_every {
             self.last_train_check = t;
             for p in 0..self.config.proxies {
                 for s in 0..self.config.sensors_per_proxy {
                     let gid = (p * self.config.sensors_per_proxy + s) as u16;
+                    if self.config.faults.is_unreachable(gid as usize, t) {
+                        continue;
+                    }
                     let node = &mut self.nodes[p][s];
                     let link = &mut self.downlinks[p][s];
                     self.proxies[p].maybe_train_and_push(t, gid, node, link);
@@ -278,10 +444,95 @@ impl PrestoSystem {
         if t - self.last_beacon >= SimDuration::from_hours(1) {
             self.last_beacon = t;
             for gid in 0..self.total_sensors() {
+                if self.config.faults.is_down(gid, t) {
+                    continue;
+                }
                 let local = self.clocks[gid].local_time(t);
                 self.correctors[gid].observe_beacon(local, t);
             }
         }
+    }
+
+    /// Attempts every queued recovery replay: reachable sensors get a
+    /// padded archive pull over the missed span; unreachable ones stay
+    /// queued for the next epoch. A completed repair rebuilds the
+    /// time-range index (lost seal notifications leave it stale for
+    /// exactly the spans a repair covers).
+    fn attempt_recoveries(&mut self, t: SimTime) {
+        let pending = self.gaps.take_pending();
+        if pending.is_empty() {
+            return;
+        }
+        let mut repaired = false;
+        for r in pending {
+            if self.config.faults.is_unreachable(r.sensor, t) {
+                self.gaps.request_recovery(r.sensor, r.from, r.to, r.detected_at);
+                continue;
+            }
+            let (p, s) = self.locate(r.sensor as u16);
+            let (from, to) = padded_span(r.from, r.to, self.config.reliability.recovery_pad);
+            let tolerance = self.config.reliability.recovery_tolerance;
+            let node = &mut self.nodes[p][s];
+            let link = &mut self.downlinks[p][s];
+            match self.proxies[p].recover_span(t, r.sensor as u16, from, to, tolerance, node, link)
+            {
+                Some(samples) => {
+                    self.gaps.complete(&r, samples as u64, t);
+                    // A served pull is proof of life.
+                    self.liveness.heard(r.sensor, t);
+                    repaired = true;
+                }
+                None => self.gaps.requeue_failed(r),
+            }
+        }
+        if repaired {
+            self.refresh_time_index();
+        }
+    }
+
+    /// Splits the mutable borrows a query path needs: proxies, nodes,
+    /// downlinks, and the shared dead link substituted for unreachable
+    /// sensors.
+    #[allow(clippy::type_complexity)]
+    pub fn split_for_query(
+        &mut self,
+    ) -> (
+        &mut Vec<PrestoProxy>,
+        &mut Vec<Vec<SensorNode>>,
+        &mut Vec<Vec<LinkModel>>,
+        &mut LinkModel,
+    ) {
+        (
+            &mut self.proxies,
+            &mut self.nodes,
+            &mut self.downlinks,
+            &mut self.dead_link,
+        )
+    }
+
+    /// The always-dead link used for unreachable sensors.
+    pub fn dead_link_mut(&mut self) -> &mut LinkModel {
+        &mut self.dead_link
+    }
+
+    /// Current liveness grade of a sensor.
+    pub fn health(&self, sensor: u16) -> Health {
+        self.liveness.health(sensor as usize)
+    }
+
+    /// Fabric counters.
+    pub fn fabric_stats(&self) -> FabricStats {
+        self.fabric.stats()
+    }
+
+    /// Gap/recovery counters.
+    pub fn recovery_stats(&self) -> RecoveryStats {
+        self.gaps.stats()
+    }
+
+    /// The injected fault plan.
+    pub fn faults(&self) -> &FaultPlan {
+        &self.config.faults
     }
 
     /// Rebuilds the time-range index from every sensor's *live* segment
@@ -343,12 +594,23 @@ impl PrestoSystem {
             .map(|n| n.ledger().total())
             .sum();
         let proxy_j: f64 = self.proxies.iter().map(|p| p.ledger().total()).sum();
+        let fs = self.fabric.stats();
         SystemReport {
             sensor_energy_per_day_j: sensor_j / total_sensors / days.max(1e-9),
             proxy_energy_j: proxy_j,
             uplinks: self.proxies.iter().map(|p| p.stats().uplinks).sum(),
             models_pushed: self.proxies.iter().map(|p| p.stats().models_pushed).sum(),
             events: self.proxies.iter().map(|p| p.stats().events_cached).sum(),
+            retransmits: fs.retransmits,
+            messages_dropped: fs.dropped_retries + fs.dropped_budget,
+            gaps_detected: self.gaps.stats().gaps_detected,
+            recoveries: self.gaps.stats().recoveries,
+            heartbeats: self
+                .nodes
+                .iter()
+                .flatten()
+                .map(|n| n.stats().heartbeats_sent)
+                .sum(),
         }
     }
 
@@ -478,5 +740,157 @@ mod tests {
         };
         assert_eq!(run(5), run(5));
         assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    fn seal_notifications_maintain_time_index_without_rebuild() {
+        let mut sys = PrestoSystem::new(small());
+        sys.run(SimDuration::from_days(1));
+        // No refresh_time_index call: the index was fed by SegmentSeal
+        // uplinks alone.
+        assert!(
+            !sys.time_index.is_empty(),
+            "no seal notification reached the index"
+        );
+        let (covered, _) = sys.route_range(SimTime::from_hours(1), SimTime::from_hours(2));
+        assert_eq!(covered, vec![0, 1]);
+        let sealed: u64 = sys
+            .nodes
+            .iter()
+            .flatten()
+            .map(|n| n.stats().seals_sent)
+            .sum();
+        assert!(sealed > 0, "sensors never announced a seal");
+    }
+
+    /// Tight leases for failure tests: detection within minutes.
+    fn tight_reliability() -> presto_reliability::ReliabilityConfig {
+        presto_reliability::ReliabilityConfig {
+            heartbeat_every: SimDuration::from_mins(2),
+            liveness: presto_reliability::LivenessConfig {
+                lease: SimDuration::from_mins(5),
+                dead_after: SimDuration::from_mins(15),
+            },
+            ..presto_reliability::ReliabilityConfig::default()
+        }
+    }
+
+    #[test]
+    fn blackout_is_detected_and_replayed_from_the_archive() {
+        let mut cfg = small();
+        cfg.reliability = tight_reliability();
+        // Sensor 0's link dies for two hours mid-run; the sensor keeps
+        // sampling into its archive the whole time.
+        cfg.faults = presto_sim::FaultPlan::none().with_blackout_of(
+            vec![0],
+            SimTime::from_hours(3),
+            SimTime::from_hours(5),
+        );
+        let mut sys = PrestoSystem::new(cfg);
+        sys.run(SimDuration::from_hours(8));
+
+        let ls = sys.liveness.stats();
+        assert!(ls.suspected >= 1, "outage never suspected");
+        assert!(ls.reconnected >= 1, "reconnect never observed");
+        assert_eq!(sys.health(0), Health::Live, "sensor should be back");
+
+        let rs = sys.recovery_stats();
+        assert!(rs.recoveries >= 1, "no recovery replay completed");
+        assert!(
+            rs.samples_replayed > 100,
+            "blackout span not replayed: {} samples",
+            rs.samples_replayed
+        );
+        // The proxy's cache now covers the blacked-out window densely.
+        let cache = sys.proxies[0].cache(0).expect("registered sensor");
+        let coverage = cache.coverage(
+            SimTime::from_hours(3) + SimDuration::from_mins(5),
+            SimTime::from_hours(5) - SimDuration::from_mins(5),
+            SimDuration::from_secs(31),
+        );
+        assert!(coverage > 0.9, "post-recovery coverage {coverage}");
+    }
+
+    #[test]
+    fn crash_reboot_wipes_ram_but_archive_survives() {
+        let mut cfg = small();
+        cfg.reliability = tight_reliability();
+        cfg.faults = presto_sim::FaultPlan::none().with_crash(
+            0,
+            SimTime::from_hours(3),
+            SimTime::from_hours(4),
+        );
+        let mut sys = PrestoSystem::new(cfg);
+        sys.run(SimDuration::from_hours(8));
+
+        let node = &sys.nodes[0][0];
+        assert_eq!(node.stats().reboots, 1);
+        // During the crash nothing was sampled: the truth has a gap,
+        // and the sensor archived nothing in the window.
+        let mut ledger = EnergyLedger::new();
+        let in_crash = sys.nodes[0][0]
+            .archive_mut()
+            .query_range(
+                SimTime::from_hours(3) + SimDuration::from_mins(1),
+                SimTime::from_hours(4) - SimDuration::from_mins(1),
+                &mut ledger,
+            )
+            .expect("archive readable");
+        assert!(in_crash.is_empty(), "crashed sensor kept archiving");
+        // But everything before the crash is still there.
+        let before = sys.nodes[0][0]
+            .archive_mut()
+            .query_range(SimTime::from_hours(1), SimTime::from_hours(2), &mut ledger)
+            .expect("archive readable");
+        assert!(before.len() > 100, "pre-crash archive lost");
+        // The sensor reported back in and was marked live again.
+        assert_eq!(sys.health(0), Health::Live);
+        assert!(sys.liveness.stats().reconnected >= 1);
+    }
+
+    #[test]
+    fn lossy_fabric_exercises_retransmit_and_gap_recovery() {
+        let mut cfg = small();
+        cfg.proxies = 1;
+        cfg.reliability = tight_reliability();
+        cfg.reliability.fabric.up_loss =
+            presto_net::LossProcess::Gilbert(presto_net::GilbertElliott::indoor());
+        cfg.reliability.fabric.down_loss = presto_net::LossProcess::Bernoulli(0.1);
+        let mut sys = PrestoSystem::new(cfg);
+        sys.run(SimDuration::from_hours(12));
+        let fs = sys.fabric_stats();
+        assert!(fs.lost_in_channel > 0, "channel never lost a message");
+        assert!(fs.retransmits > 0, "loss never triggered retransmission");
+        assert!(
+            fs.delivered > fs.offered / 2,
+            "retransmission failed to recover deliveries: {fs:?}"
+        );
+        // Whatever was permanently dropped surfaced as gaps; any
+        // detected gap must eventually be repaired.
+        let rs = sys.recovery_stats();
+        if rs.gaps_detected > 0 {
+            assert!(
+                rs.recoveries > 0,
+                "gaps detected but never repaired: {rs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_sensor_health_reaches_dead_and_widens_confidence() {
+        let mut cfg = small();
+        cfg.reliability = tight_reliability();
+        // Crash for the whole back half of the run, no reboot.
+        cfg.faults = presto_sim::FaultPlan::none().with_crash(
+            0,
+            SimTime::from_hours(2),
+            SimTime::from_hours(100),
+        );
+        let mut sys = PrestoSystem::new(cfg);
+        sys.run(SimDuration::from_hours(4));
+        assert_eq!(sys.health(0), Health::Dead);
+        assert!(sys.health(0).widen_sigma(0.1, 1.0).is_infinite());
+        // Unaffected sensors stay live.
+        assert_eq!(sys.health(1), Health::Live);
     }
 }

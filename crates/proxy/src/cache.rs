@@ -50,6 +50,70 @@ pub struct CachedEvent {
     pub data: Arc<[u8]>,
 }
 
+/// The proxy's deployment-wide semantic event cache: time-ordered,
+/// capacity-bounded (oldest events evict first — the sensors' archives
+/// remain the authority for old events, exactly as with samples), with
+/// binary-searched range reads instead of full scans.
+#[derive(Clone, Debug)]
+pub struct EventCache {
+    events: VecDeque<CachedEvent>,
+    capacity: usize,
+}
+
+impl EventCache {
+    /// Creates a cache bounded to `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        EventCache {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Number of cached events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Inserts an event, keeping time order and the capacity bound.
+    pub fn insert(&mut self, event: CachedEvent) {
+        if self.events.back().is_none_or(|b| b.t <= event.t) {
+            self.events.push_back(event);
+        } else {
+            let idx = self.events.partition_point(|e| e.t <= event.t);
+            self.events.insert(idx, event);
+        }
+        while self.events.len() > self.capacity {
+            self.events.pop_front();
+        }
+    }
+
+    /// Events in `[from, to]`, oldest first, via binary search on the
+    /// time-ordered deque.
+    pub fn range(&self, from: SimTime, to: SimTime) -> impl Iterator<Item = &CachedEvent> {
+        let lo = self.events.partition_point(|e| e.t < from);
+        let hi = self.events.partition_point(|e| e.t <= to);
+        self.events.iter().skip(lo).take(hi - lo)
+    }
+
+    /// All cached events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &CachedEvent> {
+        self.events.iter()
+    }
+
+    /// `[min, max]` timestamp over cached events, `None` when empty.
+    pub fn span(&self) -> Option<(SimTime, SimTime)> {
+        match (self.events.front(), self.events.back()) {
+            (Some(a), Some(b)) => Some((a.t, b.t)),
+            _ => None,
+        }
+    }
+}
+
 /// Per-sensor summary cache.
 #[derive(Clone, Debug)]
 pub struct SensorCache {
@@ -253,6 +317,48 @@ mod tests {
         c.insert(s(50, 1.0, CacheSource::Pushed));
         c.insert(s(20, 1.0, CacheSource::Pulled));
         assert_eq!(c.last_heard, Some(SimTime::from_secs(50)));
+    }
+
+    fn ev(t_secs: u64, sensor: u16, ty: u16) -> CachedEvent {
+        CachedEvent {
+            t: SimTime::from_secs(t_secs),
+            sensor,
+            event_type: ty,
+            data: Vec::new().into(),
+        }
+    }
+
+    #[test]
+    fn event_cache_keeps_time_order_and_bound() {
+        let mut c = EventCache::new(3);
+        c.insert(ev(30, 0, 1));
+        c.insert(ev(10, 1, 2));
+        c.insert(ev(20, 2, 3));
+        let ts: Vec<u64> = c.iter().map(|e| e.t.as_secs()).collect();
+        assert_eq!(ts, vec![10, 20, 30]);
+        assert_eq!(c.span(), Some((SimTime::from_secs(10), SimTime::from_secs(30))));
+        // Over capacity: oldest evicts.
+        c.insert(ev(40, 3, 4));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.iter().next().unwrap().t.as_secs(), 20);
+        assert_eq!(c.span(), Some((SimTime::from_secs(20), SimTime::from_secs(40))));
+    }
+
+    #[test]
+    fn event_cache_range_is_inclusive() {
+        let mut c = EventCache::new(100);
+        for i in 0..10u64 {
+            c.insert(ev(i * 10, i as u16, 0));
+        }
+        let got: Vec<u64> = c
+            .range(SimTime::from_secs(20), SimTime::from_secs(50))
+            .map(|e| e.t.as_secs())
+            .collect();
+        assert_eq!(got, vec![20, 30, 40, 50]);
+        assert_eq!(
+            c.range(SimTime::from_secs(91), SimTime::from_secs(200)).count(),
+            0
+        );
     }
 
     #[test]

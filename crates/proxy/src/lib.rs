@@ -24,7 +24,7 @@ pub mod engine;
 pub mod matching;
 pub mod proxy;
 
-pub use cache::{CachedEvent, SensorCache};
+pub use cache::{CachedEvent, EventCache, SensorCache};
 pub use engine::{EngineConfig, PredictionEngine};
 pub use matching::{QueryClass, QuerySensorMatcher};
 pub use proxy::{Answer, AnswerSource, PastAnswer, PrestoProxy, ProxyConfig, ProxyStats};

@@ -16,7 +16,7 @@ use presto_sim::{EnergyLedger, SimDuration, SimTime};
 
 use presto_sensor::{DownlinkMsg, SensorNode, UplinkMsg, UplinkPayload};
 
-use crate::cache::{CacheSource, CachedEvent, CachedSample, SensorCache};
+use crate::cache::{CacheSource, CachedEvent, CachedSample, EventCache, SensorCache};
 use crate::engine::{EngineConfig, ModelSlot, PredictionEngine};
 
 /// Proxy configuration.
@@ -45,6 +45,8 @@ pub struct ProxyConfig {
     pub pull_retries: u32,
     /// Required cache coverage for a PAST-query cache hit.
     pub past_coverage_hit: f64,
+    /// Event cache capacity, in events (oldest evict first).
+    pub event_capacity: usize,
 }
 
 impl Default for ProxyConfig {
@@ -61,6 +63,7 @@ impl Default for ProxyConfig {
             sensor_lpl: SimDuration::from_secs(1),
             pull_retries: 2,
             past_coverage_hit: 0.9,
+            event_capacity: 100_000,
         }
     }
 }
@@ -131,6 +134,8 @@ pub struct ProxyStats {
     pub models_pushed: u64,
     /// Retunes delivered.
     pub retunes_pushed: u64,
+    /// Archive-backed recovery pulls issued.
+    pub recovery_pulls: u64,
 }
 
 struct SensorSlot {
@@ -146,12 +151,18 @@ pub struct PrestoProxy {
     config: ProxyConfig,
     engine: PredictionEngine,
     sensors: HashMap<u16, SensorSlot>,
-    events: Vec<CachedEvent>,
-    /// `[min, max]` timestamp over cached events. Cached events are not
-    /// guaranteed to be archive-backed (a sensor's append can fail while
-    /// its push succeeds), so range routing must consult this span in
-    /// addition to archived segment intervals.
+    /// Time-indexed, capacity-bounded semantic event cache.
+    events: EventCache,
+    /// `[min, max]` timestamp over *all* events ever cached (survives
+    /// eviction). Cached events are not guaranteed to be archive-backed
+    /// (a sensor's append can fail while its push succeeds), so range
+    /// routing must consult this span in addition to archived segment
+    /// intervals.
     events_span: Option<(SimTime, SimTime)>,
+    /// Sealed-segment spans reported by sensors, awaiting registration
+    /// in the deployment's time-range index (drained by the system
+    /// tier, which owns that index).
+    sealed_spans: Vec<(u16, SimTime, SimTime)>,
     spatial: Option<(SpatialGaussian, Vec<u16>)>,
     ledger: EnergyLedger,
     downlink: Mac,
@@ -175,8 +186,9 @@ impl PrestoProxy {
             engine,
             downlink,
             sensors: HashMap::new(),
-            events: Vec::new(),
+            events: EventCache::new(config.event_capacity),
             events_span: None,
+            sealed_spans: Vec::new(),
             spatial: None,
             ledger: EnergyLedger::new(),
             stats: ProxyStats::default(),
@@ -228,14 +240,20 @@ impl PrestoProxy {
         &self.engine
     }
 
-    /// Cached events (most recent last).
-    pub fn events(&self) -> &[CachedEvent] {
+    /// The time-indexed event cache.
+    pub fn events(&self) -> &EventCache {
         &self.events
     }
 
     /// `[min, max]` timestamp over cached events, `None` when empty.
     pub fn events_span(&self) -> Option<(SimTime, SimTime)> {
         self.events_span
+    }
+
+    /// Drains sealed-segment spans reported by sensors since the last
+    /// call, for registration in the deployment time-range index.
+    pub fn take_sealed_spans(&mut self) -> Vec<(u16, SimTime, SimTime)> {
+        std::mem::take(&mut self.sealed_spans)
     }
 
     /// Read access to a sensor's cache.
@@ -282,7 +300,7 @@ impl PrestoProxy {
                 self.stats.samples_cached += samples.len() as u64;
             }
             UplinkPayload::Event { event_type, data } => {
-                self.events.push(CachedEvent {
+                self.events.insert(CachedEvent {
                     t: msg.sent_at,
                     sensor: msg.sensor,
                     event_type: *event_type,
@@ -314,6 +332,22 @@ impl PrestoProxy {
                         .last_heard
                         .map_or(msg.sent_at, |h| h.max(msg.sent_at)),
                 );
+            }
+            UplinkPayload::Heartbeat { .. } => {
+                // Pure lease renewal: record the contact, cache nothing.
+                slot.cache.last_heard = Some(
+                    slot.cache
+                        .last_heard
+                        .map_or(msg.sent_at, |h| h.max(msg.sent_at)),
+                );
+            }
+            UplinkPayload::SegmentSeal { start, end } => {
+                slot.cache.last_heard = Some(
+                    slot.cache
+                        .last_heard
+                        .map_or(msg.sent_at, |h| h.max(msg.sent_at)),
+                );
+                self.sealed_spans.push((msg.sensor, *start, *end));
             }
         }
     }
@@ -746,6 +780,40 @@ impl PrestoProxy {
             source: AnswerSource::Failed,
             latency,
         }
+    }
+
+    /// Archive-backed recovery replay: pulls `[from, to]` from the
+    /// sensor's flash archive (the indexed query path) and folds the
+    /// reply into the cache, repairing a span whose pushed context was
+    /// lost. Returns the number of samples replayed, or `None` when the
+    /// pull failed after retries (the caller requeues the repair).
+    #[allow(clippy::too_many_arguments)]
+    pub fn recover_span(
+        &mut self,
+        t: SimTime,
+        sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        tolerance: f64,
+        node: &mut SensorNode,
+        link: &mut LinkModel,
+    ) -> Option<usize> {
+        self.stats.recovery_pulls += 1;
+        let (reply, _) = self.pull(t, sensor, from, to, tolerance, node, link);
+        if reply.is_some() {
+            // Replica-divergence fence: the repaired gap may have held
+            // deviation pushes the sensor's replica observed and ours
+            // never saw, after which "silence means within tolerance"
+            // is false. Extrapolating from a possibly-diverged replica
+            // would be confidently wrong, so drop it — queries fall
+            // back to honest pulls until the next training pass pushes
+            // a fresh model and resynchronizes both ends.
+            if let Some(slot) = self.sensors.get_mut(&sensor) {
+                slot.model = None;
+                slot.model_installed_at = None;
+            }
+        }
+        reply.map(|samples| samples.len())
     }
 
     /// Issues a pull with retries; integrates the reply into the cache.

@@ -26,6 +26,11 @@ pub struct SensorConfig {
     pub archive: ArchiveConfig,
     /// Charge CPU energy for model checks and compression.
     pub account_cpu: bool,
+    /// Announce archive segment seals with a tiny uplink so the proxy
+    /// tier's range index follows the archive block-by-block. Off by
+    /// default: single-node policy benchmarks measure push policies,
+    /// not index maintenance; the assembled system turns it on.
+    pub announce_seals: bool,
 }
 
 impl Default for SensorConfig {
@@ -39,6 +44,7 @@ impl Default for SensorConfig {
             frame: FrameFormat::tinyos_mica2(),
             archive: ArchiveConfig::default(),
             account_cpu: true,
+            announce_seals: false,
         }
     }
 }

@@ -76,6 +76,25 @@ pub enum UplinkPayload {
         /// Number of archived samples aggregated.
         count: u32,
     },
+    /// A low-rate liveness beacon. Under model-driven push a conforming
+    /// sensor is silent, so silence alone cannot distinguish "all
+    /// predictions hold" from "node is dead"; a tiny heartbeat renews
+    /// the proxy's lease and carries the archive high-water mark so the
+    /// proxy knows exactly what span a recovery pull could replay.
+    Heartbeat {
+        /// Latest instant the local archive covers.
+        archived_through: SimTime,
+    },
+    /// A segment-seal notification: the local archive sealed a block
+    /// covering `[start, end]`. The proxy tier registers the span in
+    /// its time-range index immediately, so range routing never lags
+    /// the archives until some periodic rebuild.
+    SegmentSeal {
+        /// Covered start of the sealed segment.
+        start: SimTime,
+        /// Covered end of the sealed segment.
+        end: SimTime,
+    },
 }
 
 /// Aggregate operators a sensor can evaluate over its local archive.
@@ -214,6 +233,10 @@ pub mod wire {
     }
     /// Aggregate reply: header + query id + f32 value + u32 count.
     pub const AGGREGATE_REPLY: usize = UPLINK_HEADER + 8 + 4 + 4;
+    /// Heartbeat: header + archive high-water timestamp.
+    pub const HEARTBEAT: usize = UPLINK_HEADER + 8;
+    /// Segment-seal notification: header + two timestamps.
+    pub const SEGMENT_SEAL: usize = UPLINK_HEADER + 8 + 8;
 }
 
 #[cfg(test)]

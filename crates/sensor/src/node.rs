@@ -6,7 +6,7 @@ use presto_models::{
 };
 use presto_net::{CpuModel, LinkModel, Mac};
 use presto_sim::{EnergyCategory, EnergyLedger, SimTime};
-use presto_wavelet::{Codec, CodecParams};
+use presto_wavelet::{Codec, CodecParams, EncodeScratch};
 
 use crate::config::SensorConfig;
 use crate::msg::{wire, DownlinkMsg, ReplySample, UplinkMsg, UplinkPayload};
@@ -38,6 +38,12 @@ pub struct SensorStats {
     pub push_failures: u64,
     /// Payload bytes offered to the MAC.
     pub bytes_sent: u64,
+    /// Heartbeat beacons transmitted.
+    pub heartbeats_sent: u64,
+    /// Segment-seal notifications transmitted.
+    pub seals_sent: u64,
+    /// Reboots survived (RAM wiped, archive kept).
+    pub reboots: u64,
 }
 
 /// A PRESTO sensor node.
@@ -55,6 +61,16 @@ pub struct SensorNode {
     last_pushed: Option<f64>,
     last_sample: Option<(SimTime, f64)>,
     last_advance: SimTime,
+    /// Last instant a transmission was MAC-acknowledged; paces the
+    /// liveness heartbeat.
+    last_delivered_tx: SimTime,
+    /// Sealed-segment spans not yet successfully announced (a failed
+    /// MAC send keeps the span here for the next attempt — losing it
+    /// would leave the proxy tier's range index stale with no gap to
+    /// reveal the omission).
+    pending_seals: Vec<(SimTime, SimTime)>,
+    /// Reusable transform buffers for batch/pull-reply encoding.
+    codec_scratch: EncodeScratch,
     stats: SensorStats,
 }
 
@@ -86,6 +102,9 @@ impl SensorNode {
             last_pushed: None,
             last_sample: None,
             last_advance: SimTime::ZERO,
+            last_delivered_tx: SimTime::ZERO,
+            pending_seals: Vec::new(),
+            codec_scratch: EncodeScratch::default(),
             config,
             stats: SensorStats::default(),
         }
@@ -165,6 +184,7 @@ impl SensorNode {
             .send(wire_bytes, &mut self.link, &mut self.ledger, proxy_ledger);
         self.stats.bytes_sent += wire_bytes as u64;
         if outcome.delivered {
+            self.last_delivered_tx = self.last_delivered_tx.max(t);
             Some(UplinkMsg {
                 sensor: self.id,
                 sent_at: t,
@@ -175,6 +195,59 @@ impl SensorNode {
             self.stats.push_failures += 1;
             None
         }
+    }
+
+    /// Wipes RAM state after a crash/reboot: the model replica, pending
+    /// batch, and short-term context are gone, but the flash archive —
+    /// the recovery substrate — survives. Idle-listening accrual resumes
+    /// at `t` (a dead radio draws nothing).
+    pub fn reboot(&mut self, t: SimTime) {
+        self.model = None;
+        self.batch.clear();
+        self.last_pushed = None;
+        self.last_sample = None;
+        self.last_flush = t;
+        self.last_advance = self.last_advance.max(t);
+        // Un-announced seal spans die with RAM; the post-reconnect
+        // recovery replay rebuilds the range index from the archive.
+        self.pending_seals.clear();
+        // So does the archive's unflushed page buffer: records not yet
+        // programmed into flash never existed as far as recovery is
+        // concerned.
+        self.archive.discard_ram_buffer();
+        self.stats.reboots += 1;
+    }
+
+    /// Emits a heartbeat when nothing has been MAC-acknowledged for
+    /// `every`: the low-rate lease renewal that lets the proxy tell
+    /// model-conforming silence from death. Carries the archive
+    /// high-water mark so the proxy knows what a recovery pull can
+    /// replay.
+    pub fn maybe_heartbeat(
+        &mut self,
+        t: SimTime,
+        every: presto_sim::SimDuration,
+        proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Option<UplinkMsg> {
+        if t - self.last_delivered_tx < every {
+            return None;
+        }
+        self.advance_to(t);
+        let archived_through = self.last_sample.map_or(SimTime::ZERO, |(ts, _)| ts);
+        let msg = self.send(
+            t,
+            wire::HEARTBEAT,
+            UplinkPayload::Heartbeat { archived_through },
+            proxy_ledger,
+        );
+        if msg.is_some() {
+            self.stats.heartbeats_sent += 1;
+        } else {
+            // Preamble + retries were paid but nothing got through; back
+            // off a full interval rather than hammering a dead link.
+            self.last_delivered_tx = t;
+        }
+        msg
     }
 
     /// Acquires one sample: archives it, runs the push policy, and
@@ -193,6 +266,29 @@ impl SensorNode {
         let _ = self.archive.append_scalar(t, value, &mut self.ledger);
 
         let mut out = Vec::new();
+        // Announce any segment seal the append caused, so the proxy
+        // tier's range index follows the archive block-by-block. A
+        // failed send keeps the span queued for the next sample.
+        if self.config.announce_seals {
+            self.pending_seals.extend(self.archive.take_sealed_spans());
+            while let Some(&(start, end)) = self.pending_seals.first() {
+                match self.send(
+                    t,
+                    wire::SEGMENT_SEAL,
+                    UplinkPayload::SegmentSeal { start, end },
+                    proxy_ledger.as_deref_mut(),
+                ) {
+                    Some(m) => {
+                        self.pending_seals.remove(0);
+                        self.stats.seals_sent += 1;
+                        out.push(m);
+                    }
+                    // MAC gave up: stop retrying this epoch, keep the
+                    // backlog (in order) for the next.
+                    None => break,
+                }
+            }
+        }
         let policy = self.config.push.clone();
         match policy {
             PushPolicy::ModelDriven { tolerance } => {
@@ -324,8 +420,11 @@ impl SensorNode {
                     values.len().next_power_of_two(),
                     4,
                 ));
-                let compressed = codec.compress(&values);
-                let recon = Codec::decompress(&compressed).expect("own compression output decodes");
+                // One pass: encode and reconstruct through the node's
+                // persistent scratch — no allocation churn, no decode of
+                // our own payload.
+                let (compressed, recon) =
+                    codec.compress_reconstruct(&values, &mut self.codec_scratch);
                 let rebuilt: Vec<(SimTime, f64)> = samples
                     .iter()
                     .zip(recon)
@@ -521,8 +620,7 @@ impl SensorNode {
                 values.len().next_power_of_two(),
                 4,
             ));
-            let compressed = codec.compress(&values);
-            let recon = Codec::decompress(&compressed).expect("own compression output decodes");
+            let (compressed, recon) = codec.compress_reconstruct(&values, &mut self.codec_scratch);
             let samples: Vec<ReplySample> = rows
                 .iter()
                 .zip(recon)

@@ -1,0 +1,190 @@
+//! Deterministic fault injection: node crash/reboot windows and link
+//! blackout windows.
+//!
+//! A fault plan is pure data — a set of time windows queried by the
+//! system driver each epoch — so the same plan replays identically under
+//! any seed and composes with the stochastic frame-loss models in
+//! `presto-net` (a blackout suppresses a link *entirely*, on top of
+//! whatever the loss process would have done). Crash semantics follow
+//! the PRESTO hardware model: a crashed node stops sampling,
+//! transmitting, and receiving; on reboot its RAM state (model replica,
+//! pending batch) is gone but its flash archive survives, which is
+//! exactly why archive-backed recovery works.
+
+use crate::time::SimTime;
+
+/// One node-down window: the node is dead in `[down_from, up_at)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CrashWindow {
+    /// Index of the crashed node (global sensor id in system drivers).
+    pub node: usize,
+    /// First instant the node is down.
+    pub down_from: SimTime,
+    /// First instant the node is back up (reboot completes).
+    pub up_at: SimTime,
+}
+
+/// One link blackout window: affected links deliver nothing in
+/// `[from, to)`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Blackout {
+    /// First instant of the blackout.
+    pub from: SimTime,
+    /// First instant after the blackout.
+    pub to: SimTime,
+    /// Affected nodes; `None` blacks out every link.
+    pub nodes: Option<Vec<usize>>,
+}
+
+/// A deterministic schedule of crashes and blackouts.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    crashes: Vec<CrashWindow>,
+    blackouts: Vec<Blackout>,
+}
+
+impl FaultPlan {
+    /// A plan with no faults.
+    pub fn none() -> Self {
+        FaultPlan::default()
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.blackouts.is_empty()
+    }
+
+    /// Adds a crash/reboot window for one node (builder style).
+    pub fn with_crash(mut self, node: usize, down_from: SimTime, up_at: SimTime) -> Self {
+        assert!(down_from <= up_at, "crash window must not be inverted");
+        self.crashes.push(CrashWindow {
+            node,
+            down_from,
+            up_at,
+        });
+        self
+    }
+
+    /// Adds a blackout of every link (builder style).
+    pub fn with_blackout(mut self, from: SimTime, to: SimTime) -> Self {
+        assert!(from <= to, "blackout window must not be inverted");
+        self.blackouts.push(Blackout {
+            from,
+            to,
+            nodes: None,
+        });
+        self
+    }
+
+    /// Adds a blackout of specific nodes' links (builder style).
+    pub fn with_blackout_of(mut self, nodes: Vec<usize>, from: SimTime, to: SimTime) -> Self {
+        assert!(from <= to, "blackout window must not be inverted");
+        self.blackouts.push(Blackout {
+            from,
+            to,
+            nodes: Some(nodes),
+        });
+        self
+    }
+
+    /// The scheduled crash windows.
+    pub fn crashes(&self) -> &[CrashWindow] {
+        &self.crashes
+    }
+
+    /// The scheduled blackouts.
+    pub fn blackouts(&self) -> &[Blackout] {
+        &self.blackouts
+    }
+
+    /// True when `node` is crashed at `t`.
+    pub fn is_down(&self, node: usize, t: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && c.down_from <= t && t < c.up_at)
+    }
+
+    /// True when `node`'s link is blacked out at `t`.
+    pub fn in_blackout(&self, node: usize, t: SimTime) -> bool {
+        self.blackouts.iter().any(|b| {
+            b.from <= t
+                && t < b.to
+                && b.nodes.as_ref().is_none_or(|ns| ns.contains(&node))
+        })
+    }
+
+    /// True when `node` can neither transmit nor receive at `t`
+    /// (crashed, or its link is blacked out).
+    pub fn is_unreachable(&self, node: usize, t: SimTime) -> bool {
+        self.is_down(node, t) || self.in_blackout(node, t)
+    }
+
+    /// True when a reboot of `node` completed in the half-open interval
+    /// `(since, until]` — the driver's cue to wipe the node's RAM state.
+    pub fn rebooted_within(&self, node: usize, since: SimTime, until: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && since < c.up_at && c.up_at <= until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::from_secs(secs)
+    }
+
+    #[test]
+    fn empty_plan_injects_nothing() {
+        let p = FaultPlan::none();
+        assert!(p.is_empty());
+        assert!(!p.is_down(0, t(100)));
+        assert!(!p.in_blackout(0, t(100)));
+        assert!(!p.is_unreachable(3, t(0)));
+    }
+
+    #[test]
+    fn crash_windows_are_half_open() {
+        let p = FaultPlan::none().with_crash(2, t(10), t(20));
+        assert!(!p.is_down(2, t(9)));
+        assert!(p.is_down(2, t(10)));
+        assert!(p.is_down(2, t(19)));
+        assert!(!p.is_down(2, t(20)));
+        // Other nodes untouched.
+        assert!(!p.is_down(1, t(15)));
+    }
+
+    #[test]
+    fn blackouts_scope_to_nodes_or_all() {
+        let p = FaultPlan::none()
+            .with_blackout(t(100), t(110))
+            .with_blackout_of(vec![1, 3], t(200), t(210));
+        assert!(p.in_blackout(7, t(105)));
+        assert!(!p.in_blackout(7, t(205)));
+        assert!(p.in_blackout(1, t(205)));
+        assert!(p.in_blackout(3, t(209)));
+        assert!(!p.in_blackout(3, t(210)));
+    }
+
+    #[test]
+    fn reboot_detection_is_edge_triggered() {
+        let p = FaultPlan::none().with_crash(0, t(10), t(20));
+        assert!(p.rebooted_within(0, t(15), t(20)));
+        assert!(p.rebooted_within(0, t(19), t(25)));
+        assert!(!p.rebooted_within(0, t(20), t(30)), "already up at `since`");
+        assert!(!p.rebooted_within(0, t(5), t(15)), "still down");
+        assert!(!p.rebooted_within(1, t(15), t(25)), "different node");
+    }
+
+    #[test]
+    fn unreachable_merges_crash_and_blackout() {
+        let p = FaultPlan::none()
+            .with_crash(0, t(10), t(20))
+            .with_blackout_of(vec![0], t(30), t(40));
+        assert!(p.is_unreachable(0, t(15)));
+        assert!(p.is_unreachable(0, t(35)));
+        assert!(!p.is_unreachable(0, t(25)));
+    }
+}

@@ -12,17 +12,21 @@
 //! * [`metrics`] — counters and streaming summaries used by the
 //!   experiment drivers.
 //! * [`Simulation`] — a minimal actor-style run loop.
+//! * [`FaultPlan`] — deterministic crash/reboot and link-blackout
+//!   schedules for failure-scenario experiments.
 //!
 //! The kernel is deliberately free of any networking or sensor policy;
 //! those live in `presto-net` and above.
 
 pub mod energy;
 pub mod events;
+pub mod faults;
 pub mod metrics;
 pub mod rng;
 pub mod time;
 
 pub use energy::{EnergyCategory, EnergyLedger};
 pub use events::{EventQueue, Simulation};
+pub use faults::{Blackout, CrashWindow, FaultPlan};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

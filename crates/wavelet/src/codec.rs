@@ -8,8 +8,11 @@
 //! proxy configure `quant_step ≈ 1.0`, shrinking payloads accordingly.
 
 use crate::denoise::{denoise_in_place, DenoiseMode};
-use crate::haar::{haar_forward, haar_inverse, haar_levels, pad_pow2};
-use crate::quant::{dequantize, pack_ints, quantize, unpack_ints};
+use crate::haar::{
+    haar_forward, haar_forward_in_place, haar_inverse, haar_inverse_in_place, haar_levels,
+    pad_pow2, pad_pow2_into,
+};
+use crate::quant::{dequantize, pack_ints, quantize, quantize_into, unpack_ints};
 
 /// Codec configuration.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -71,6 +74,22 @@ impl Compressed {
     }
 }
 
+/// Reusable transform buffers for the allocation-free encode paths.
+///
+/// A sensor flushes a batch every few minutes for the lifetime of the
+/// deployment; holding one scratch per node means the pad/transform/
+/// quantize pipeline touches no allocator after the first flush (the
+/// buffers grow once to the largest batch seen and stay there).
+#[derive(Clone, Debug, Default)]
+pub struct EncodeScratch {
+    /// Padded signal; becomes the coefficient vector in place.
+    coeffs: Vec<f64>,
+    /// Ping-pong buffer for the in-place transforms.
+    tmp: Vec<f64>,
+    /// Quantized coefficient stream.
+    qs: Vec<i64>,
+}
+
 /// The batch codec.
 #[derive(Clone, Debug)]
 pub struct Codec {
@@ -112,17 +131,79 @@ impl Codec {
             denoise_in_place(&mut coeffs, levels, mode);
         }
         let qs = quantize(&coeffs, self.params.quant_step);
-
-        let mut payload = Vec::new();
-        push_varint(&mut payload, samples.len() as u64);
-        push_varint(&mut payload, levels as u64);
-        payload.extend_from_slice(&(self.params.quant_step as f32).to_le_bytes());
-        payload.extend_from_slice(&pack_ints(&qs));
-
         Compressed {
-            payload,
+            payload: self.encode_payload(samples.len(), levels, &qs),
             original_len: samples.len(),
         }
+    }
+
+    /// [`Codec::compress`] through caller-owned scratch buffers: no
+    /// transform allocation after the scratch has warmed up. Produces a
+    /// byte-identical payload to [`Codec::compress`].
+    pub fn compress_into(&self, samples: &[f64], scratch: &mut EncodeScratch) -> Compressed {
+        let (levels, _) = self.transform_into(samples, scratch);
+        quantize_into(&scratch.coeffs, self.params.quant_step, &mut scratch.qs);
+        Compressed {
+            payload: self.encode_payload(samples.len(), levels, &scratch.qs),
+            original_len: samples.len(),
+        }
+    }
+
+    /// Compresses a batch and returns the payload *together with the
+    /// reconstruction the decoder will produce*, in one pass: the
+    /// quantized coefficients are snapped to the quantizer grid and
+    /// inverse-transformed directly, instead of re-parsing the payload
+    /// through [`Codec::decompress`]. This is the sensor's `flush_batch`
+    /// path — the round-trip decode there was pure waste.
+    pub fn compress_reconstruct(
+        &self,
+        samples: &[f64],
+        scratch: &mut EncodeScratch,
+    ) -> (Compressed, Vec<f64>) {
+        let (levels, padded_len) = self.transform_into(samples, scratch);
+        quantize_into(&scratch.coeffs, self.params.quant_step, &mut scratch.qs);
+        let payload = self.encode_payload(samples.len(), levels, &scratch.qs);
+        // Reconstruct from the quantized stream the payload carries,
+        // using the f32-rounded step the header stores — this is exactly
+        // the grid [`Codec::decompress`] snaps to.
+        let wire_step = self.params.quant_step as f32 as f64;
+        scratch.coeffs.clear();
+        scratch
+            .coeffs
+            .extend(scratch.qs.iter().map(|&q| q as f64 * wire_step));
+        debug_assert_eq!(scratch.coeffs.len(), padded_len);
+        haar_inverse_in_place(&mut scratch.coeffs, levels, &mut scratch.tmp);
+        let mut recon = scratch.coeffs.clone();
+        recon.truncate(samples.len());
+        (
+            Compressed {
+                payload,
+                original_len: samples.len(),
+            },
+            recon,
+        )
+    }
+
+    /// Pads + forward-transforms + denoises `samples` into
+    /// `scratch.coeffs`, returning `(levels, padded_len)`.
+    fn transform_into(&self, samples: &[f64], scratch: &mut EncodeScratch) -> (usize, usize) {
+        pad_pow2_into(samples, &mut scratch.coeffs);
+        let padded_len = scratch.coeffs.len();
+        let levels = self.depth_for(padded_len);
+        haar_forward_in_place(&mut scratch.coeffs, levels, &mut scratch.tmp);
+        if let Some(mode) = self.params.denoise {
+            denoise_in_place(&mut scratch.coeffs, levels, mode);
+        }
+        (levels, padded_len)
+    }
+
+    fn encode_payload(&self, original_len: usize, levels: usize, qs: &[i64]) -> Vec<u8> {
+        let mut payload = Vec::new();
+        push_varint(&mut payload, original_len as u64);
+        push_varint(&mut payload, levels as u64);
+        payload.extend_from_slice(&(self.params.quant_step as f32).to_le_bytes());
+        payload.extend_from_slice(&pack_ints(qs));
+        payload
     }
 
     /// Decompresses a payload produced by [`Codec::compress`] (any codec
@@ -323,6 +404,39 @@ mod tests {
             let codec = Codec::new(CodecParams::for_tolerance(tol));
             let (_, max_err, _) = codec.compress_with_stats(&xs);
             assert!(max_err <= tol, "tol {tol} err {max_err}");
+        }
+    }
+
+    #[test]
+    fn scratch_compress_matches_allocating_compress() {
+        let mut scratch = EncodeScratch::default();
+        for n in [0usize, 1, 5, 64, 130, 500] {
+            let xs = diurnal(n);
+            for params in [
+                CodecParams::fine(),
+                CodecParams::denoising(),
+                CodecParams::for_tolerance(0.3),
+            ] {
+                let codec = Codec::new(params);
+                let a = codec.compress(&xs);
+                let b = codec.compress_into(&xs, &mut scratch);
+                assert_eq!(a, b, "n={n} params={params:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn compress_reconstruct_matches_decompress_round_trip() {
+        let mut scratch = EncodeScratch::default();
+        for n in [1usize, 37, 128, 500] {
+            let xs = diurnal(n);
+            let codec = Codec::new(CodecParams::for_tolerance(0.2));
+            let (c, recon) = codec.compress_reconstruct(&xs, &mut scratch);
+            let via_decode = Codec::decompress(&c).expect("own payload decodes");
+            assert_eq!(recon.len(), via_decode.len());
+            for (a, b) in recon.iter().zip(&via_decode) {
+                assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+            }
         }
     }
 

@@ -69,6 +69,66 @@ pub fn haar_forward(data: &[f64], levels: usize) -> Vec<f64> {
     out
 }
 
+/// Pads a signal to the next power of two into a caller-owned buffer
+/// (cleared first), so repeated batch encodes reuse one allocation.
+pub fn pad_pow2_into(data: &[f64], out: &mut Vec<f64>) {
+    let n = data.len().max(1).next_power_of_two();
+    out.clear();
+    out.reserve(n);
+    out.extend_from_slice(data);
+    let last = data.last().copied().unwrap_or(0.0);
+    out.resize(n, last);
+}
+
+/// Forward multi-level Haar transform, in place over `buf`, using `tmp`
+/// as scratch. Produces the same layout as [`haar_forward`] without any
+/// per-level allocation: `tmp` grows once to `buf.len()` and is reused
+/// across calls.
+///
+/// At each level the prefix of length `len` is rewritten as
+/// `[approx | detail]`; the detail half is already in its final
+/// position, so the recursion only ever touches a shrinking prefix.
+pub fn haar_forward_in_place(buf: &mut [f64], levels: usize, tmp: &mut Vec<f64>) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "length {n} must be a power of two");
+    assert!(levels <= haar_levels(n), "too many levels");
+    tmp.resize(n, 0.0);
+    let mut len = n;
+    for _ in 0..levels {
+        let half = len / 2;
+        for i in 0..half {
+            let a = buf[2 * i];
+            let b = buf[2 * i + 1];
+            tmp[i] = (a + b) / SQRT_2;
+            tmp[half + i] = (a - b) / SQRT_2;
+        }
+        buf[..len].copy_from_slice(&tmp[..len]);
+        len = half;
+    }
+}
+
+/// Inverse multi-level Haar transform, in place over `buf`, using `tmp`
+/// as scratch; exact inverse of [`haar_forward_in_place`] with the same
+/// `levels`.
+pub fn haar_inverse_in_place(buf: &mut [f64], levels: usize, tmp: &mut Vec<f64>) {
+    let n = buf.len();
+    assert!(n.is_power_of_two(), "length {n} must be a power of two");
+    assert!(levels <= haar_levels(n), "too many levels");
+    tmp.resize(n, 0.0);
+    let mut half = n >> levels;
+    for _ in 0..levels {
+        let len = half * 2;
+        for i in 0..half {
+            let a = buf[i];
+            let d = buf[half + i];
+            tmp[2 * i] = (a + d) / SQRT_2;
+            tmp[2 * i + 1] = (a - d) / SQRT_2;
+        }
+        buf[..len].copy_from_slice(&tmp[..len]);
+        half = len;
+    }
+}
+
 /// Inverse multi-level Haar transform; exact inverse of [`haar_forward`]
 /// with the same `levels`.
 pub fn haar_inverse(coeffs: &[f64], levels: usize) -> Vec<f64> {
@@ -196,6 +256,24 @@ mod tests {
     fn cycle_cost_grows_with_input() {
         assert!(forward_cycle_cost(1024, 10) > forward_cycle_cost(64, 6));
         assert_eq!(forward_cycle_cost(2, 0), 0);
+    }
+
+    #[test]
+    fn in_place_forward_matches_allocating_forward() {
+        let mut tmp = Vec::new();
+        for n in [1usize, 2, 8, 64, 256] {
+            let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.37).sin() * 4.0 + 20.0).collect();
+            let padded = pad_pow2(&x);
+            for levels in 0..=haar_levels(padded.len()) {
+                let reference = haar_forward(&padded, levels);
+                let mut buf = padded.clone();
+                haar_forward_in_place(&mut buf, levels, &mut tmp);
+                assert_close(&buf, &reference, 1e-12);
+                // And the in-place inverse restores the signal.
+                haar_inverse_in_place(&mut buf, levels, &mut tmp);
+                assert_close(&buf, &padded, 1e-9);
+            }
+        }
     }
 
     proptest! {

@@ -26,7 +26,9 @@ pub mod haar;
 pub mod quant;
 
 pub use aging::{AgedSummary, AgingLadder};
-pub use codec::{Codec, CodecParams, Compressed};
+pub use codec::{Codec, CodecParams, Compressed, EncodeScratch};
 pub use denoise::{denoise_in_place, universal_threshold, DenoiseMode};
-pub use haar::{haar_forward, haar_inverse, haar_levels};
-pub use quant::{dequantize, pack_ints, quantize, unpack_ints};
+pub use haar::{
+    haar_forward, haar_forward_in_place, haar_inverse, haar_inverse_in_place, haar_levels,
+};
+pub use quant::{dequantize, pack_ints, quantize, requantize_in_place, unpack_ints};

@@ -28,6 +28,24 @@ pub fn dequantize(qs: &[i64], step: f64) -> Vec<f64> {
     qs.iter().map(|&q| q as f64 * step).collect()
 }
 
+/// [`quantize`] into a caller-owned buffer (cleared first), so repeated
+/// encodes reuse one allocation.
+pub fn quantize_into(values: &[f64], step: f64, out: &mut Vec<i64>) {
+    assert!(step > 0.0 && step.is_finite(), "step must be positive");
+    out.clear();
+    out.extend(values.iter().map(|v| (v / step).round() as i64));
+}
+
+/// Quantize-then-dequantize in place: replaces each value with its
+/// reconstruction on the quantizer grid, without materializing the
+/// integer stream. Used by single-pass encode-and-reconstruct paths.
+pub fn requantize_in_place(values: &mut [f64], step: f64) {
+    assert!(step > 0.0 && step.is_finite(), "step must be positive");
+    for v in values.iter_mut() {
+        *v = (*v / step).round() * step;
+    }
+}
+
 fn zigzag(v: i64) -> u64 {
     ((v << 1) ^ (v >> 63)) as u64
 }

@@ -42,6 +42,7 @@
 //! | [`archive`] | mote-local flash archival store with time index |
 //! | [`sensor`] | the PRESTO sensor node and its push policies |
 //! | [`proxy`] | the PRESTO proxy: cache, engine, matching, pulls |
+//! | [`reliability`] | lossy message fabric, liveness leases, archive-backed recovery |
 //! | [`index`] | Skip Graph, clock correction, replication, unified view |
 //! | [`workloads`] | lab temperature / traffic / eldercare / queries |
 //! | [`baselines`] | direct-query, streaming, value-driven comparators |
@@ -54,6 +55,7 @@ pub use presto_index as index;
 pub use presto_models as models;
 pub use presto_net as net;
 pub use presto_proxy as proxy;
+pub use presto_reliability as reliability;
 pub use presto_sensor as sensor;
 pub use presto_sim as sim;
 pub use presto_wavelet as wavelet;
