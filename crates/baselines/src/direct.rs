@@ -22,7 +22,8 @@ const DIRECT_LPL: SimDuration = SimDuration::from_secs(2);
 pub fn run(cfg: &DriverConfig) -> ArchReport {
     let mut dep = build(cfg, PushPolicy::Silent, DIRECT_LPL);
     // A thin proxy exists only as the querying sink — its cache is never
-    // consulted; deliver_downlink is reused for the energy-metered MAC.
+    // consulted; its fabric-routed `rpc` is reused for the energy-
+    // metered, lossy downlink path.
     let mut sink = PrestoProxy::new(ProxyConfig {
         sensor_lpl: DIRECT_LPL,
         ..ProxyConfig::default()
@@ -61,14 +62,14 @@ pub fn run(cfg: &DriverConfig) -> ArchReport {
                         tolerance: q.tolerance,
                     };
                     next_query_id += 1;
-                    let (reply, latency, _) = sink.deliver_downlink(
+                    let out = sink.rpc(
                         q.arrival,
                         &msg,
                         &mut dep.nodes[sensor],
                         &mut dep.downlinks[sensor],
                     );
-                    rb.now_latency_ms.record(latency.as_millis_f64());
-                    if let Some(r) = reply {
+                    rb.now_latency_ms.record(out.latency.as_millis_f64());
+                    if let Some(r) = out.reply {
                         if let UplinkPayload::PullReply { samples, .. } = &r.payload {
                             if let Some(last) = samples.last() {
                                 rb.now_error.record((last.value - truth_now[sensor]).abs());
@@ -85,13 +86,13 @@ pub fn run(cfg: &DriverConfig) -> ArchReport {
                         tolerance: q.tolerance,
                     };
                     next_query_id += 1;
-                    let (reply, _, _) = sink.deliver_downlink(
+                    let out = sink.rpc(
                         q.arrival,
                         &msg,
                         &mut dep.nodes[sensor],
                         &mut dep.downlinks[sensor],
                     );
-                    if let Some(r) = reply {
+                    if let Some(r) = out.reply {
                         if let UplinkPayload::PullReply { samples, .. } = &r.payload {
                             if !samples.is_empty() {
                                 rb.past_answered += 1;

@@ -6,6 +6,7 @@
 //! Table 1 compares like with like.
 
 use presto_net::{LinkModel, LossProcess};
+use presto_reliability::DownlinkChannel;
 use presto_sensor::{PushPolicy, SensorConfig, SensorNode};
 use presto_sim::metrics::Summary;
 use presto_sim::{SimDuration, SimRng, SimTime};
@@ -81,8 +82,8 @@ pub struct ArchReport {
 pub struct Deployment {
     /// Sensor nodes.
     pub nodes: Vec<SensorNode>,
-    /// Per-sensor downlink link models.
-    pub downlinks: Vec<LinkModel>,
+    /// Per-sensor downlink channels (fabric-routed proxy→sensor path).
+    pub downlinks: Vec<DownlinkChannel>,
     /// The workload generator.
     pub lab: LabDeployment,
     /// The query stream, time-ordered.
@@ -125,7 +126,7 @@ pub fn build(cfg: &DriverConfig, push: PushPolicy, lpl: SimDuration) -> Deployme
         })
         .collect();
     let downlinks = (0..cfg.sensors)
-        .map(|i| loss(cfg.loss, rng.split(&format!("downlink-{i}"))))
+        .map(|i| DownlinkChannel::over(loss(cfg.loss, rng.split(&format!("downlink-{i}")))))
         .collect();
     let queries = QueryGen::new(
         QueryParams {

@@ -9,6 +9,7 @@ use presto_models::{
     ArModel, LinearTrendModel, MarkovModel, ModelKind, Predictor, SeasonalArModel, SeasonalModel,
 };
 use presto_net::LinkModel;
+use presto_reliability::DownlinkChannel;
 use presto_proxy::{AnswerSource, PrestoProxy, ProxyConfig, QueryClass, QuerySensorMatcher};
 use presto_sensor::{DownlinkMsg, PushPolicy, SensorConfig, SensorNode, UplinkPayload};
 use presto_sim::metrics::Summary;
@@ -130,7 +131,7 @@ pub fn e1_rare_events(days: u64, seed: u64) -> E1Result {
         );
         let mut proxy = PrestoProxy::new(ProxyConfig::default());
         proxy.register_sensor(0);
-        let mut link = LinkModel::perfect();
+        let mut link = DownlinkChannel::perfect();
         let mut caught = 0u64;
         let mut next_poll = SimTime::ZERO;
         let mut qid = 0u64;
@@ -145,7 +146,7 @@ pub fn e1_rare_events(days: u64, seed: u64) -> E1Result {
                     to: r.timestamp,
                     tolerance: 0.5,
                 };
-                let (reply, _, _) = proxy.deliver_downlink(r.timestamp, &msg, &mut node, &mut link);
+                let reply = proxy.rpc(r.timestamp, &msg, &mut node, &mut link).reply;
                 if let Some(rep) = reply {
                     if let UplinkPayload::PullReply { samples, .. } = &rep.payload {
                         if let Some(last) = samples.last() {
@@ -228,7 +229,7 @@ pub fn e2_latency(days: u64, seed: u64) -> Vec<E2Row> {
             ..ProxyConfig::default()
         });
         proxy.register_sensor(0);
-        let mut link = LinkModel::perfect();
+        let mut link = DownlinkChannel::perfect();
         let mut rng = SimRng::new(seed ^ 0xE2);
         let mut latency = Summary::new();
         let mut error = Summary::new();
@@ -529,7 +530,7 @@ pub fn e6_matching(seed: u64) -> Vec<E6Row> {
             ..ProxyConfig::default()
         });
         proxy.register_sensor(0);
-        let mut link = LinkModel::perfect();
+        let mut link = DownlinkChannel::perfect();
         let mut worst = SimDuration::ZERO;
         for k in 0..5u64 {
             let msg = DownlinkMsg::PullRequest {
@@ -538,8 +539,9 @@ pub fn e6_matching(seed: u64) -> Vec<E6Row> {
                 to: SimTime::from_secs(1),
                 tolerance: 1.0,
             };
-            let (_, latency, _) =
-                proxy.deliver_downlink(SimTime::from_mins(k * 2), &msg, &mut node, &mut link);
+            let latency = proxy
+                .rpc(SimTime::from_mins(k * 2), &msg, &mut node, &mut link)
+                .latency;
             worst = worst.max(latency);
         }
         rows.push(E6Row {

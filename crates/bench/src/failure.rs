@@ -33,6 +33,11 @@ pub struct FailureScenarioConfig {
     pub sensors: usize,
     /// Long-run fabric loss rate (bursty Gilbert–Elliott); 0 disables.
     pub loss: f64,
+    /// Correlated loss: instead of independent per-channel chains, every
+    /// channel near the proxy — uplinks, acks, downlink requests and
+    /// replies — samples one shared Gilbert–Elliott fading state, and a
+    /// deterministic burst window pins it bad mid-run.
+    pub correlated: bool,
     /// Crash window of sensor 0, hours from start, `None` for no crash.
     pub crash_hours: Option<(u64, u64)>,
     /// NOW-probe interval.
@@ -48,6 +53,7 @@ impl Default for FailureScenarioConfig {
             seed: 2005,
             sensors: 4,
             loss: 0.3,
+            correlated: false,
             crash_hours: Some((8, 10)),
             probe_every: SimDuration::from_mins(5),
             probe_tolerance: 1.0,
@@ -92,6 +98,14 @@ pub struct FailureReport {
     /// Probes during the outage window that honestly advertised
     /// degraded confidence (sigma > tolerance).
     pub outage_honest: u64,
+    /// Query-path pull RPCs issued across proxies.
+    pub pulls: u64,
+    /// Query-path pull RPCs that failed after channel retries.
+    pub pull_failures: u64,
+    /// Downlink request retransmissions (loss on the pull path).
+    pub downlink_retransmits: u64,
+    /// Downlink RPCs that failed outright.
+    pub downlink_rpc_failures: u64,
     /// Archived samples in the affected window.
     pub window_archived: u64,
     /// Archived samples missing from the post-recovery PAST answer.
@@ -142,14 +156,30 @@ pub fn failure_scenario(cfg: &FailureScenarioConfig) -> FailureReport {
         ..SystemConfig::default()
     };
     if cfg.loss > 0.0 {
-        sys_cfg.reliability.fabric.up_loss = LossProcess::Gilbert(bursty(cfg.loss));
-        sys_cfg.reliability.fabric.down_loss = LossProcess::Bernoulli(cfg.loss / 3.0);
+        if cfg.correlated {
+            // One shared fading state for the whole neighbourhood: the
+            // same chain, but bursts now hit every channel (uplink and
+            // downlink) at once.
+            sys_cfg.reliability.shared_fading = Some(bursty(cfg.loss));
+        } else {
+            sys_cfg.reliability.fabric.up_loss = LossProcess::Gilbert(bursty(cfg.loss));
+            sys_cfg.reliability.fabric.down_loss = LossProcess::Bernoulli(cfg.loss / 3.0);
+        }
     }
     let crash = cfg
         .crash_hours
         .map(|(a, b)| (SimTime::from_hours(a), SimTime::from_hours(b)));
     if let Some((down, up)) = crash {
         sys_cfg.faults = FaultPlan::none().with_crash(0, down, up);
+    }
+    if cfg.correlated {
+        // A deterministic 20-minute total-fade burst in the first half,
+        // clear of the crash window, so the report always includes a
+        // stretch where every pull rides a pinned-bad shared path.
+        let burst_at = SimTime::from_hours((cfg.hours / 4).max(1));
+        sys_cfg.faults = sys_cfg
+            .faults
+            .with_shared_burst(burst_at, burst_at + SimDuration::from_mins(20));
     }
     let lease = sys_cfg.reliability.liveness.lease;
     let mut sys = PrestoSystem::new(sys_cfg);
@@ -250,6 +280,13 @@ pub fn failure_scenario(cfg: &FailureScenarioConfig) -> FailureReport {
 
     let fs = sys.fabric_stats();
     let rs = sys.recovery_stats();
+    let dl = sys.downlink_stats();
+    let (pulls, pull_failures) = sys
+        .proxies
+        .iter()
+        .fold((0u64, 0u64), |(a, b), p| {
+            (a + p.stats().pulls, b + p.stats().pull_failures)
+        });
     let heartbeats: u64 = sys
         .nodes
         .iter()
@@ -281,6 +318,10 @@ pub fn failure_scenario(cfg: &FailureScenarioConfig) -> FailureReport {
             stale_confident as f64 / probes as f64
         },
         outage_honest,
+        pulls,
+        pull_failures,
+        downlink_retransmits: dl.retransmits,
+        downlink_rpc_failures: dl.rpc_failures,
         window_archived: archived.len() as u64,
         window_missing: missing,
         window_max_err: max_err,
@@ -329,6 +370,37 @@ mod tests {
             report.window_max_err
         );
         // Confident-but-wrong answers are rare even at 30% bursty loss.
+        assert!(
+            report.stale_answer_rate < 0.05,
+            "stale rate {}",
+            report.stale_answer_rate
+        );
+    }
+
+    #[test]
+    fn correlated_scenario_stresses_the_pull_path_without_lying() {
+        let report = failure_scenario(&FailureScenarioConfig {
+            hours: 14,
+            correlated: true,
+            crash_hours: Some((6, 8)),
+            ..FailureScenarioConfig::default()
+        });
+        // The shared fade reaches the downlink: pulls retried, and the
+        // pinned-bad burst forced some to fail outright.
+        assert!(
+            report.downlink_retransmits > 0,
+            "correlated loss never touched the pull path: {report:?}"
+        );
+        // Detection and recovery still hold under correlated bursts.
+        assert!(
+            report.detection_latency_s <= report.lease_s + 31.0,
+            "detection {}s exceeds lease {}s",
+            report.detection_latency_s,
+            report.lease_s
+        );
+        assert!(report.recoveries >= 1, "no recovery: {report:?}");
+        assert_eq!(report.window_missing, 0, "silent gaps: {report:?}");
+        // Failures surface honestly rather than as stale confidence.
         assert!(
             report.stale_answer_rate < 0.05,
             "stale rate {}",

@@ -97,10 +97,10 @@ impl<'a> UnifiedStore<'a> {
     }
 
     /// Resolves a single-sensor query's mutable targets: the owning
-    /// proxy, the sensor node, and the downlink — substituting the
-    /// always-dead link when the fault plan currently makes the sensor
-    /// unreachable (a pull then pays its transmit energy and fails,
-    /// exactly as on real hardware).
+    /// proxy, the sensor node, and its downlink channel — with the
+    /// channel's fault gate refreshed for the query instant, so a pull
+    /// towards a crashed or blacked-out sensor times out and fails
+    /// exactly as on real hardware.
     fn query_target(
         system: &mut PrestoSystem,
         sensor: u16,
@@ -108,17 +108,14 @@ impl<'a> UnifiedStore<'a> {
     ) -> (
         &mut presto_proxy::PrestoProxy,
         &mut presto_sensor::SensorNode,
-        &mut presto_net::LinkModel,
+        &mut presto_reliability::DownlinkChannel,
     ) {
         let (p, s) = system.locate(sensor);
         let unreachable = system.faults().is_unreachable(sensor as usize, t);
-        let (proxies, nodes, downlinks, dead) = system.split_for_query();
-        let link = if unreachable {
-            dead
-        } else {
-            &mut downlinks[p][s]
-        };
-        (&mut proxies[p], &mut nodes[p][s], link)
+        let (proxies, nodes, downlinks) = system.split_for_query();
+        let chan = &mut downlinks[p][s];
+        chan.set_link_up(!unreachable);
+        (&mut proxies[p], &mut nodes[p][s], chan)
     }
 
     /// Widens an answer's confidence bound by the sensor's health. A

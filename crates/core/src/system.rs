@@ -1,23 +1,29 @@
 //! The three-tier PRESTO system.
 //!
-//! Since the reliability rework, no sensor→proxy message reaches a
-//! proxy by direct call: everything a sensor emits — deviation pushes,
-//! batches, event reports, heartbeats, segment-seal notifications —
-//! rides the [`Fabric`], a lossy, delayed, sequence-numbered channel
-//! with ack/retransmit and an energy-charged retry budget. Proxy-
-//! initiated pulls (queries, model pushes, recovery replays) remain
-//! synchronous RPCs over the energy-metered MAC links, gated by the
-//! fault plan (a crashed or blacked-out sensor cannot be reached).
-//! A proxy-side [`LivenessMonitor`] grades each sensor Live/Suspect/
-//! Dead from heartbeat leases, and a [`GapTracker`] turns sequence gaps
-//! and reconnects into archive-backed recovery replays.
+//! Since the reliability rework, no message between a sensor and a
+//! proxy crosses by direct call, in either direction. Everything a
+//! sensor emits — deviation pushes, batches, event reports, heartbeats,
+//! segment-seal notifications — rides the [`Fabric`], a lossy, delayed,
+//! sequence-numbered channel with ack/retransmit and an energy-charged
+//! retry budget. Everything a proxy initiates — archive pulls,
+//! aggregate requests, model pushes, retunes, recovery replays — rides
+//! a per-sensor [`presto_reliability::DownlinkChannel`] with the same
+//! machinery pointed the other way (sequenced requests, sensor-side
+//! dedup, proxy-billed retry budget, a pending-RPC table matching
+//! replies to outstanding query ids), gated by the fault plan. When
+//! [`ReliabilityConfig::shared_fading`] is set, every channel near one
+//! proxy samples a common [`SharedLossState`], so bursts hit the whole
+//! neighbourhood at once instead of averaging out per sensor. A
+//! proxy-side [`LivenessMonitor`] grades each sensor Live/Suspect/Dead
+//! from heartbeat leases, and a [`GapTracker`] turns sequence gaps and
+//! reconnects into archive-backed recovery replays.
 
 use presto_index::{ClockCorrector, DriftClock, SkipGraph, TimeRangeIndex};
-use presto_net::{LinkModel, LossProcess};
+use presto_net::{LinkModel, LossProcess, SharedLossState};
 use presto_proxy::{PrestoProxy, ProxyConfig};
 use presto_reliability::{
-    recovery::padded_span, Fabric, FabricStats, GapTracker, Health, LivenessMonitor,
-    Observation, RecoveryStats, ReliabilityConfig,
+    recovery::padded_span, DownlinkChannel, DownlinkStats, Fabric, FabricStats, GapTracker,
+    Health, LivenessMonitor, Observation, RecoveryStats, ReliabilityConfig,
 };
 use presto_sensor::{PushPolicy, SensorConfig, SensorNode};
 use presto_sim::{EnergyCategory, EnergyLedger, FaultPlan, SimDuration, SimRng, SimTime};
@@ -110,8 +116,9 @@ pub struct PrestoSystem {
     pub proxies: Vec<PrestoProxy>,
     /// `nodes[p][s]`: sensor `s` of proxy `p`.
     pub nodes: Vec<Vec<SensorNode>>,
-    /// Downlink link models, same shape.
-    pub downlinks: Vec<Vec<LinkModel>>,
+    /// Per-sensor downlink channels, same shape: every proxy→sensor
+    /// message rides one of these.
+    pub downlinks: Vec<Vec<DownlinkChannel>>,
     /// Per-proxy workload generators.
     labs: Vec<LabDeployment>,
     /// Order-preserving index over global sensor-id space: key = first
@@ -133,8 +140,9 @@ pub struct PrestoSystem {
     pub liveness: LivenessMonitor,
     /// Sequence-gap tracking and recovery queue (flat global ids).
     pub gaps: GapTracker,
-    /// Always-dead link substituted for unreachable sensors' downlinks.
-    dead_link: LinkModel,
+    /// One shared fading state per proxy when correlated loss is on:
+    /// every channel of that proxy's sensors samples it.
+    shared_loss: Vec<SharedLossState>,
     /// Whether a rare event was active last epoch (for onset detection).
     event_was_active: Vec<bool>,
     /// Whether each sensor was crashed at the last fault-gate pass
@@ -158,6 +166,21 @@ impl PrestoSystem {
         let mut downlinks = Vec::with_capacity(config.proxies);
         let mut labs = Vec::with_capacity(config.proxies);
         let mut index = SkipGraph::new(config.seed ^ 0xD15C);
+
+        // One shared fading state per proxy when correlated loss is on:
+        // its chain transitions are driven once per epoch by the system,
+        // and every channel of the proxy's sensors holds a clone.
+        let shared_loss: Vec<SharedLossState> = match config.reliability.shared_fading {
+            Some(chain) => (0..config.proxies)
+                .map(|p| SharedLossState::new(chain, rng.split(&format!("shared-fade-{p}"))))
+                .collect(),
+            None => Vec::new(),
+        };
+        let correlated = |p: usize| -> Option<LossProcess> {
+            shared_loss
+                .get(p)
+                .map(|s| LossProcess::Correlated(s.clone()))
+        };
 
         for p in 0..config.proxies {
             let mut proxy = PrestoProxy::new(ProxyConfig {
@@ -187,7 +210,17 @@ impl PrestoSystem {
                     }
                 };
                 cluster.push(SensorNode::new(gid, cfg, mk_link(format!("up-{gid}"))));
-                links.push(mk_link(format!("down-{gid}")));
+                // The downlink channel wraps the first-hop link; its
+                // end-to-end loss streams come from the reliability
+                // config, replaced by the proxy's shared fading state
+                // when correlated loss is on.
+                let mut dl_cfg = config.reliability.downlink.clone();
+                dl_cfg.seed ^= (config.seed.rotate_left(17)).wrapping_add(gid as u64 * 0x9E37);
+                if let Some(shared) = correlated(p) {
+                    dl_cfg.request_loss = shared.clone();
+                    dl_cfg.reply_loss = shared;
+                }
+                links.push(DownlinkChannel::new(dl_cfg, mk_link(format!("down-{gid}"))));
             }
             index.insert((p * config.sensors_per_proxy) as u64);
             proxies.push(proxy);
@@ -221,7 +254,10 @@ impl PrestoSystem {
         // systems with different seeds see different channel histories.
         let mut fabric_cfg = config.reliability.fabric.clone();
         fabric_cfg.seed ^= config.seed.rotate_left(13);
-        let fabric = Fabric::new(fabric_cfg, total);
+        let spp = config.sensors_per_proxy;
+        let fabric = Fabric::new_with_losses(fabric_cfg, total, |gid| {
+            correlated(gid / spp).map(|shared| (shared.clone(), shared))
+        });
         let liveness = LivenessMonitor::new(config.reliability.liveness, total);
         PrestoSystem {
             proxies,
@@ -236,7 +272,7 @@ impl PrestoSystem {
             fabric,
             liveness,
             gaps: GapTracker::new(total),
-            dead_link: LinkModel::new(LossProcess::Bernoulli(1.0), rng.split("dead-link")),
+            shared_loss,
             event_was_active: vec![false; total],
             was_down: vec![false; total],
             epoch_index: 0,
@@ -288,7 +324,18 @@ impl PrestoSystem {
         let epoch_end = self.now();
 
         // 1. Fault gates: detect crash edges and set each sensor's
-        // channel state for this epoch.
+        // channel state — uplink fabric *and* downlink channel — for
+        // this epoch. The shared fading state (when correlated loss is
+        // on) advances one chain step per epoch, pinned bad during
+        // injected burst windows.
+        for shared in &self.shared_loss {
+            shared.force(if self.config.faults.shared_burst_active(t) {
+                Some(true)
+            } else {
+                None
+            });
+            shared.advance(1);
+        }
         for gid in 0..self.total_sensors() {
             let (p, s) = self.locate(gid as u16);
             let down = self.config.faults.is_down(gid, t);
@@ -306,8 +353,11 @@ impl PrestoSystem {
                 self.fabric.clear_pending(gid);
             }
             self.was_down[gid] = down;
-            self.fabric
-                .set_link_up(gid, !self.config.faults.is_unreachable(gid, t));
+            let reachable = !self.config.faults.is_unreachable(gid, t);
+            self.fabric.set_link_up(gid, reachable);
+            self.downlinks[p][s].set_link_up(reachable);
+            // Downlink maintenance: refills the retransmission budget.
+            self.downlinks[p][s].tick(t);
         }
         self.last_fault_check = t;
 
@@ -433,8 +483,8 @@ impl PrestoSystem {
                         continue;
                     }
                     let node = &mut self.nodes[p][s];
-                    let link = &mut self.downlinks[p][s];
-                    self.proxies[p].maybe_train_and_push(t, gid, node, link);
+                    let chan = &mut self.downlinks[p][s];
+                    self.proxies[p].maybe_train_and_push(t, gid, node, chan);
                 }
                 self.proxies[p].refresh_spatial_model();
             }
@@ -473,8 +523,8 @@ impl PrestoSystem {
             let (from, to) = padded_span(r.from, r.to, self.config.reliability.recovery_pad);
             let tolerance = self.config.reliability.recovery_tolerance;
             let node = &mut self.nodes[p][s];
-            let link = &mut self.downlinks[p][s];
-            match self.proxies[p].recover_span(t, r.sensor as u16, from, to, tolerance, node, link)
+            let chan = &mut self.downlinks[p][s];
+            match self.proxies[p].recover_span(t, r.sensor as u16, from, to, tolerance, node, chan)
             {
                 Some(samples) => {
                     self.gaps.complete(&r, samples as u64, t);
@@ -491,28 +541,17 @@ impl PrestoSystem {
     }
 
     /// Splits the mutable borrows a query path needs: proxies, nodes,
-    /// downlinks, and the shared dead link substituted for unreachable
-    /// sensors.
+    /// and downlink channels. Unreachable sensors are handled by the
+    /// channels' own fault gates, not by link substitution.
     #[allow(clippy::type_complexity)]
     pub fn split_for_query(
         &mut self,
     ) -> (
         &mut Vec<PrestoProxy>,
         &mut Vec<Vec<SensorNode>>,
-        &mut Vec<Vec<LinkModel>>,
-        &mut LinkModel,
+        &mut Vec<Vec<DownlinkChannel>>,
     ) {
-        (
-            &mut self.proxies,
-            &mut self.nodes,
-            &mut self.downlinks,
-            &mut self.dead_link,
-        )
-    }
-
-    /// The always-dead link used for unreachable sensors.
-    pub fn dead_link_mut(&mut self) -> &mut LinkModel {
-        &mut self.dead_link
+        (&mut self.proxies, &mut self.nodes, &mut self.downlinks)
     }
 
     /// Current liveness grade of a sensor.
@@ -523,6 +562,29 @@ impl PrestoSystem {
     /// Fabric counters.
     pub fn fabric_stats(&self) -> FabricStats {
         self.fabric.stats()
+    }
+
+    /// Downlink channel counters, summed across every sensor.
+    pub fn downlink_stats(&self) -> DownlinkStats {
+        let mut total = DownlinkStats::default();
+        for ch in self.downlinks.iter().flatten() {
+            let s = ch.stats();
+            total.rpcs += s.rpcs;
+            total.delivered += s.delivered;
+            total.retransmits += s.retransmits;
+            total.requests_lost += s.requests_lost;
+            total.replies_lost += s.replies_lost;
+            total.rpc_failures += s.rpc_failures;
+            total.dropped_budget += s.dropped_budget;
+            total.blocked_link_down += s.blocked_link_down;
+            total.duplicate_replies += s.duplicate_replies;
+        }
+        total
+    }
+
+    /// Shared fading states (one per proxy) when correlated loss is on.
+    pub fn shared_loss(&self) -> &[SharedLossState] {
+        &self.shared_loss
     }
 
     /// Gap/recovery counters.
@@ -874,6 +936,90 @@ mod tests {
                 "gaps detected but never repaired: {rs:?}"
             );
         }
+    }
+
+    #[test]
+    fn correlated_burst_fails_every_sensors_pulls_honestly() {
+        use crate::store::{StoreQuery, UnifiedStore};
+        let mut cfg = small();
+        cfg.proxies = 1;
+        cfg.reliability.shared_fading = Some(presto_net::GilbertElliott {
+            p_gb: 0.002,
+            p_bg: 0.2,
+            loss_good: 0.0,
+            loss_bad: 1.0, // a fade takes the whole neighbourhood down
+        });
+        // Deterministic burst mid-run, injected through the fault plan.
+        let burst_from = SimTime::from_hours(5);
+        let burst_to = SimTime::from_hours(6);
+        cfg.faults = presto_sim::FaultPlan::none().with_shared_burst(burst_from, burst_to);
+        let mut sys = PrestoSystem::new(cfg);
+        assert_eq!(sys.shared_loss().len(), 1, "one shared state per proxy");
+
+        // Run into the middle of the burst.
+        sys.run(SimDuration::from_hours(5) + SimDuration::from_mins(30));
+        assert!(sys.shared_loss()[0].in_bad(), "burst window must pin bad");
+        let pull_failures_before: u64 = sys.proxies.iter().map(|p| p.stats().pull_failures).sum();
+        for sensor in 0..sys.total_sensors() as u16 {
+            // Tolerance far below the push tolerance defeats
+            // extrapolation, forcing the pull path.
+            let r = UnifiedStore::new(&mut sys).query(StoreQuery::Now {
+                sensor,
+                tolerance: 0.05,
+            });
+            assert_eq!(
+                r.source,
+                presto_proxy::AnswerSource::Failed,
+                "sensor {sensor} pulled through a total shared fade"
+            );
+            assert!(r.sigma.is_infinite(), "failed pulls must advertise nothing");
+            // The failed RPC's timeouts surface in the answer latency.
+            assert!(r.latency >= SimDuration::from_secs(5), "{:?}", r.latency);
+        }
+        let pull_failures_during: u64 = sys.proxies.iter().map(|p| p.stats().pull_failures).sum();
+        assert_eq!(
+            pull_failures_during - pull_failures_before,
+            sys.total_sensors() as u64,
+            "every burst-time pull must surface in pull_failures"
+        );
+        let dl = sys.downlink_stats();
+        assert!(dl.retransmits > 0, "burst pulls must have retried: {dl:?}");
+
+        // After the burst the same queries succeed again.
+        sys.run(SimDuration::from_hours(1));
+        assert!(!sys.shared_loss()[0].in_bad(), "burst must release");
+        let r = UnifiedStore::new(&mut sys).query(StoreQuery::Now {
+            sensor: 0,
+            tolerance: 0.05,
+        });
+        assert_ne!(r.source, presto_proxy::AnswerSource::Failed);
+    }
+
+    #[test]
+    fn shared_fading_correlates_the_whole_neighbourhood() {
+        // With per-channel independent loss, per-sensor delivery dips are
+        // uncorrelated; under shared fading the fabric sees common bursts.
+        // Sanity-check the plumbing end to end: the correlated run still
+        // delivers (retransmission covers the bursts) and every channel
+        // observed loss.
+        let mut cfg = small();
+        cfg.proxies = 1;
+        cfg.reliability.shared_fading = Some(presto_net::GilbertElliott {
+            p_gb: 0.05,
+            p_bg: 0.3,
+            loss_good: 0.01,
+            loss_bad: 0.95,
+        });
+        let mut sys = PrestoSystem::new(cfg);
+        sys.run(SimDuration::from_hours(8));
+        let fs = sys.fabric_stats();
+        assert!(fs.lost_in_channel > 0, "shared fading never lost a message");
+        assert!(fs.retransmits > 0);
+        assert!(
+            fs.delivered > fs.offered / 2,
+            "retransmission failed to recover deliveries: {fs:?}"
+        );
+        assert!(sys.shared_loss()[0].steps() > 0, "driver never advanced the chain");
     }
 
     #[test]

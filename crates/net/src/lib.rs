@@ -24,5 +24,5 @@ pub mod mac;
 pub use duty::DutyCycle;
 pub use energy::{CpuModel, FlashModel, PlatformModel, RadioModel};
 pub use frame::FrameFormat;
-pub use link::{GilbertElliott, LinkModel, LossProcess};
+pub use link::{GilbertElliott, LinkModel, LossProcess, SharedLossState};
 pub use mac::{Mac, TxOutcome};

@@ -2,11 +2,27 @@
 //!
 //! Low-power wireless links lose frames, and they lose them in bursts
 //! (the paper cites the UCLA "complex behavior at scale" study [4] for
-//! the unreliability of these networks). Two processes are provided:
+//! the unreliability of these networks). Four processes are provided:
 //!
 //! * [`LossProcess::Bernoulli`] — independent loss with fixed probability.
 //! * [`LossProcess::Gilbert`] — a two-state Gilbert–Elliott chain with a
-//!   "good" and a "bad" state, producing bursty loss episodes.
+//!   "good" and a "bad" state, producing bursty loss episodes. The chain
+//!   state is private to one link.
+//! * [`LossProcess::Correlated`] — Gilbert–Elliott where the good/bad
+//!   *state* lives in a [`SharedLossState`] sampled by every link that
+//!   holds a clone of the handle: when the shared path near a proxy
+//!   fades, all of its sensors' channels degrade together, which is what
+//!   stresses retry budgets and liveness leases realistically (one bad
+//!   burst hits every channel at once instead of averaging out).
+//!   Per-frame loss draws remain independent *given* the state; the
+//!   state itself advances on the driver's clock via
+//!   [`SharedLossState::advance`], not per frame, so no link
+//!   double-advances the chain.
+//! * [`LossProcess::Scripted`] — replays a fixed delivery pattern,
+//!   cycling; the reference process for property tests that must
+//!   exercise exact loss traces (all-lost bursts included).
+
+use std::sync::{Arc, Mutex};
 
 use presto_sim::SimRng;
 
@@ -42,6 +58,89 @@ impl GilbertElliott {
     }
 }
 
+/// The fading state shared by every channel that clones one
+/// [`SharedLossState`] handle: a Gilbert–Elliott chain whose transitions
+/// are driven by the simulation driver (per epoch), not per frame.
+#[derive(Debug)]
+struct SharedFading {
+    chain: GilbertElliott,
+    in_bad: bool,
+    /// While `Some`, the fault plan pins the state (burst injection).
+    forced: Option<bool>,
+    rng: SimRng,
+    /// Driver advances observed (for diagnostics / determinism checks).
+    steps: u64,
+}
+
+/// Handle to a common fading/congestion state near one proxy.
+///
+/// Cloning the handle shares the state — that is the point: every
+/// channel constructed with a clone samples the *same* good/bad burst
+/// process. Equality is identity (two handles are equal iff they share
+/// state).
+#[derive(Clone, Debug)]
+pub struct SharedLossState(Arc<Mutex<SharedFading>>);
+
+impl PartialEq for SharedLossState {
+    fn eq(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.0, &other.0)
+    }
+}
+
+impl SharedLossState {
+    /// Creates a shared state over the given chain, starting good.
+    pub fn new(chain: GilbertElliott, rng: SimRng) -> Self {
+        SharedLossState(Arc::new(Mutex::new(SharedFading {
+            chain,
+            in_bad: false,
+            forced: None,
+            rng,
+            steps: 0,
+        })))
+    }
+
+    /// Advances the chain by `steps` transitions. Called by the system
+    /// driver once per epoch; links never advance the shared state.
+    pub fn advance(&self, steps: u64) {
+        let mut s = self.0.lock().expect("shared loss state poisoned");
+        for _ in 0..steps {
+            let flip = if s.in_bad { s.chain.p_bg } else { s.chain.p_gb };
+            if s.rng.chance(flip) {
+                s.in_bad = !s.in_bad;
+            }
+            s.steps += 1;
+        }
+    }
+
+    /// Pins the state bad (`Some(true)`), good (`Some(false)`), or
+    /// releases it to the chain (`None`) — the fault-plan hook for
+    /// deterministic correlated-burst windows.
+    pub fn force(&self, state: Option<bool>) {
+        self.0.lock().expect("shared loss state poisoned").forced = state;
+    }
+
+    /// True while the shared path is in the bad (fading) state.
+    pub fn in_bad(&self) -> bool {
+        let s = self.0.lock().expect("shared loss state poisoned");
+        s.forced.unwrap_or(s.in_bad)
+    }
+
+    /// Per-frame loss probability under the current state.
+    pub fn loss_prob(&self) -> f64 {
+        let s = self.0.lock().expect("shared loss state poisoned");
+        if s.forced.unwrap_or(s.in_bad) {
+            s.chain.loss_bad
+        } else {
+            s.chain.loss_good
+        }
+    }
+
+    /// Driver advances observed so far.
+    pub fn steps(&self) -> u64 {
+        self.0.lock().expect("shared loss state poisoned").steps
+    }
+}
+
 /// A frame loss process.
 #[derive(Clone, Debug, PartialEq)]
 pub enum LossProcess {
@@ -51,6 +150,12 @@ pub enum LossProcess {
     Bernoulli(f64),
     /// Bursty Gilbert–Elliott loss.
     Gilbert(GilbertElliott),
+    /// Gilbert–Elliott loss whose burst state is shared with every other
+    /// link holding a clone of the same handle (common-path fading).
+    Correlated(SharedLossState),
+    /// Replays a fixed delivery pattern (`true` = deliver), cycling.
+    /// Empty patterns deliver everything.
+    Scripted(Arc<[bool]>),
 }
 
 /// A directional link with its loss process state.
@@ -59,6 +164,8 @@ pub struct LinkModel {
     process: LossProcess,
     /// Current Gilbert state: `true` = bad.
     in_bad_state: bool,
+    /// Cursor into a [`LossProcess::Scripted`] pattern.
+    script_pos: usize,
     rng: SimRng,
     frames_offered: u64,
     frames_lost: u64,
@@ -70,6 +177,7 @@ impl LinkModel {
         LinkModel {
             process,
             in_bad_state: false,
+            script_pos: 0,
             rng,
             frames_offered: 0,
             frames_lost: 0,
@@ -99,6 +207,21 @@ impl LinkModel {
                     g.loss_good
                 };
                 self.rng.chance(p)
+            }
+            LossProcess::Correlated(shared) => {
+                // The burst state is shared; the in-state draw is this
+                // link's own (conditionally independent given the state).
+                let p = shared.loss_prob();
+                self.rng.chance(p)
+            }
+            LossProcess::Scripted(pattern) => {
+                if pattern.is_empty() {
+                    false
+                } else {
+                    let deliver = pattern[self.script_pos % pattern.len()];
+                    self.script_pos += 1;
+                    !deliver
+                }
             }
         };
         if lost {
@@ -215,5 +338,94 @@ mod tests {
         };
         assert_eq!(seq(3), seq(3));
         assert_ne!(seq(3), seq(4));
+    }
+
+    #[test]
+    fn scripted_replays_the_exact_trace_cyclically() {
+        let pattern: Arc<[bool]> = vec![true, false, false, true].into();
+        let mut l = LinkModel::new(LossProcess::Scripted(pattern), SimRng::new(0));
+        let got: Vec<bool> = (0..8).map(|_| l.deliver()).collect();
+        assert_eq!(
+            got,
+            vec![true, false, false, true, true, false, false, true]
+        );
+        // Empty pattern delivers everything.
+        let mut e = LinkModel::new(LossProcess::Scripted(Vec::new().into()), SimRng::new(0));
+        assert!((0..16).all(|_| e.deliver()));
+    }
+
+    #[test]
+    fn correlated_links_fade_together() {
+        // Extreme chain so the state is unambiguous: lossless good state,
+        // total loss in the bad state.
+        let chain = GilbertElliott {
+            p_gb: 0.2,
+            p_bg: 0.2,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let shared = SharedLossState::new(chain, SimRng::new(11));
+        let mut a = LinkModel::new(LossProcess::Correlated(shared.clone()), SimRng::new(1));
+        let mut b = LinkModel::new(LossProcess::Correlated(shared.clone()), SimRng::new(2));
+        let mut agree = 0u64;
+        let mut bad_epochs = 0u64;
+        for _ in 0..400 {
+            shared.advance(1);
+            let (da, db) = (a.deliver(), b.deliver());
+            if da == db {
+                agree += 1;
+            }
+            if shared.in_bad() {
+                bad_epochs += 1;
+                assert!(!da && !db, "bad state must kill both channels");
+            } else {
+                assert!(da && db, "good state must deliver on both");
+            }
+        }
+        assert_eq!(agree, 400, "channels sharing one state never diverge");
+        assert!(
+            bad_epochs > 50 && bad_epochs < 350,
+            "chain should visit both states: {bad_epochs} bad epochs"
+        );
+    }
+
+    #[test]
+    fn correlated_state_only_moves_when_advanced() {
+        let shared = SharedLossState::new(GilbertElliott::indoor(), SimRng::new(3));
+        let mut l = LinkModel::new(LossProcess::Correlated(shared.clone()), SimRng::new(4));
+        let before = shared.in_bad();
+        for _ in 0..1000 {
+            l.deliver();
+        }
+        assert_eq!(shared.in_bad(), before, "frames must not advance the chain");
+        assert_eq!(shared.steps(), 0);
+        shared.advance(10);
+        assert_eq!(shared.steps(), 10);
+    }
+
+    #[test]
+    fn forcing_overrides_the_chain_until_released() {
+        let chain = GilbertElliott {
+            p_gb: 0.0, // chain alone never goes bad
+            p_bg: 1.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let shared = SharedLossState::new(chain, SimRng::new(5));
+        let mut l = LinkModel::new(LossProcess::Correlated(shared.clone()), SimRng::new(6));
+        assert!(l.deliver());
+        shared.force(Some(true));
+        assert!(!l.deliver(), "forced-bad path must lose every frame");
+        assert!(shared.in_bad());
+        shared.force(None);
+        assert!(l.deliver(), "released path follows the (good) chain");
+    }
+
+    #[test]
+    fn shared_handles_compare_by_identity() {
+        let a = SharedLossState::new(GilbertElliott::indoor(), SimRng::new(7));
+        let b = SharedLossState::new(GilbertElliott::indoor(), SimRng::new(7));
+        assert_eq!(a, a.clone());
+        assert_ne!(a, b);
     }
 }

@@ -7,11 +7,20 @@
 //! If the spatio-temporal extrapolation does not yield sufficiently
 //! accurate data to meet the query error tolerances, then the cache miss
 //! is handled by fetching data from … the archive at remote sensors."
+//!
+//! Every proxy→sensor interaction — pulls, aggregate requests, model
+//! pushes, retunes — is a fabric-routed RPC over a per-sensor
+//! [`DownlinkChannel`]: sequenced, deduplicated at the sensor,
+//! retransmitted on timeout from an energy-metered retry budget, with
+//! replies matched through a pending-RPC table. There is no infallible
+//! direct-call path; downlink loss surfaces as query latency and
+//! [`AnswerSource::Failed`] answers.
 
 use std::collections::HashMap;
 
 use presto_models::SpatialGaussian;
-use presto_net::{LinkModel, Mac};
+use presto_net::Mac;
+use presto_reliability::{DownlinkChannel, RpcOutcome};
 use presto_sim::{EnergyLedger, SimDuration, SimTime};
 
 use presto_sensor::{DownlinkMsg, SensorNode, UplinkMsg, UplinkPayload};
@@ -41,8 +50,6 @@ pub struct ProxyConfig {
     pub frame: presto_net::FrameFormat,
     /// The sensors' LPL check interval (downlink preamble length).
     pub sensor_lpl: SimDuration,
-    /// Pull attempts per query before giving up.
-    pub pull_retries: u32,
     /// Required cache coverage for a PAST-query cache hit.
     pub past_coverage_hit: f64,
     /// Event cache capacity, in events (oldest evict first).
@@ -61,7 +68,6 @@ impl Default for ProxyConfig {
             radio: presto_net::RadioModel::mica2(),
             frame: presto_net::FrameFormat::tinyos_mica2(),
             sensor_lpl: SimDuration::from_secs(1),
-            pull_retries: 2,
             past_coverage_hit: 0.9,
             event_capacity: 100_000,
         }
@@ -352,30 +358,25 @@ impl PrestoProxy {
         }
     }
 
-    /// Delivers a downlink message to a sensor over the energy-metered
-    /// MAC. Returns `(reply, latency, delivered)`; the reply is the
-    /// sensor's response (pull replies), already folded into the cache.
-    pub fn deliver_downlink(
+    /// Runs a fabric-routed RPC towards a sensor: the request rides the
+    /// sequenced, ack/retransmit [`DownlinkChannel`] (first-hop MAC
+    /// energy billed to this proxy's ledger, retransmissions metered by
+    /// the channel's retry budget), and any matched reply is folded into
+    /// the proxy's cache before being returned. There is no infallible
+    /// path: every proxy→sensor interaction goes through here and can
+    /// time out, retry, and fail.
+    pub fn rpc(
         &mut self,
         t: SimTime,
         msg: &DownlinkMsg,
         node: &mut SensorNode,
-        link: &mut LinkModel,
-    ) -> (Option<UplinkMsg>, SimDuration, bool) {
-        let outcome = self.downlink.send(
-            msg.wire_bytes(),
-            link,
-            &mut self.ledger,
-            Some(node.ledger_mut()),
-        );
-        if !outcome.delivered {
-            return (None, outcome.latency, false);
-        }
-        let reply = node.handle_downlink(t, msg, Some(&mut self.ledger));
-        if let Some(r) = &reply {
+        chan: &mut DownlinkChannel,
+    ) -> RpcOutcome {
+        let outcome = chan.rpc(t, msg, node, &self.downlink, &mut self.ledger);
+        if let Some(r) = &outcome.reply {
             self.on_uplink(r);
         }
-        (reply, outcome.latency, true)
+        outcome
     }
 
     /// Trains (if warranted) and pushes a model to a sensor. Returns true
@@ -385,7 +386,7 @@ impl PrestoProxy {
         t: SimTime,
         sensor: u16,
         node: &mut SensorNode,
-        link: &mut LinkModel,
+        chan: &mut DownlinkChannel,
     ) -> bool {
         let Some(slot) = self.sensors.get(&sensor) else {
             return false;
@@ -408,8 +409,8 @@ impl PrestoProxy {
         let params = trained.model.encode_params();
         let kind = trained.model.kind();
         let msg = DownlinkMsg::ModelUpdate { kind, params };
-        let (_, _, delivered) = self.deliver_downlink(t, &msg, node, link);
-        // Install only if the sensor actually received it; otherwise the
+        let delivered = self.rpc(t, &msg, node, chan).delivered;
+        // Install only if the sensor acknowledged it; otherwise the
         // replicas would diverge.
         if delivered && node.has_model() {
             let slot = self.sensors.get_mut(&sensor).expect("registered");
@@ -418,6 +419,16 @@ impl PrestoProxy {
             self.stats.models_pushed += 1;
             true
         } else {
+            // Unconfirmed push: the request may have been applied at the
+            // sensor with only the ack lost, in which case the sensor is
+            // now checking against the NEW model while our replica is
+            // the OLD one — "silence means within tolerance" would be
+            // silently false. We cannot tell the two cases apart, so
+            // drop the replica: queries fall back to honest pulls until
+            // a later confirmed push resynchronizes both ends.
+            let slot = self.sensors.get_mut(&sensor).expect("registered");
+            slot.model = None;
+            slot.model_installed_at = None;
             false
         }
     }
@@ -428,11 +439,10 @@ impl PrestoProxy {
         t: SimTime,
         msg: &DownlinkMsg,
         node: &mut SensorNode,
-        link: &mut LinkModel,
+        chan: &mut DownlinkChannel,
     ) -> bool {
         debug_assert!(matches!(msg, DownlinkMsg::Retune { .. }));
-        let (_, _, delivered) = self.deliver_downlink(t, msg, node, link);
-        if !delivered {
+        if !self.rpc(t, msg, node, chan).delivered {
             return false;
         }
         // Track the sensor's tolerance for extrapolation bounds.
@@ -501,7 +511,7 @@ impl PrestoProxy {
         sensor: u16,
         tolerance: f64,
         node: &mut SensorNode,
-        link: &mut LinkModel,
+        chan: &mut DownlinkChannel,
     ) -> Answer {
         self.stats.now_queries += 1;
         let Some(slot) = self.sensors.get(&sensor) else {
@@ -578,7 +588,7 @@ impl PrestoProxy {
             t,
             tolerance,
             node,
-            link,
+            chan,
         );
         match reply {
             Some(samples) if !samples.is_empty() => {
@@ -619,7 +629,7 @@ impl PrestoProxy {
         to: SimTime,
         tolerance: f64,
         node: &mut SensorNode,
-        link: &mut LinkModel,
+        chan: &mut DownlinkChannel,
     ) -> PastAnswer {
         self.stats.past_queries += 1;
         let Some(slot) = self.sensors.get(&sensor) else {
@@ -684,7 +694,7 @@ impl PrestoProxy {
         }
 
         // 3. Pull from the sensor's archive.
-        let (reply, latency) = self.pull(t, sensor, from, to, tolerance, node, link);
+        let (reply, latency) = self.pull(t, sensor, from, to, tolerance, node, chan);
         match reply {
             Some(samples) if !samples.is_empty() => PastAnswer {
                 samples,
@@ -717,7 +727,7 @@ impl PrestoProxy {
         to: SimTime,
         op: presto_sensor::AggregateOp,
         node: &mut SensorNode,
-        link: &mut LinkModel,
+        chan: &mut DownlinkChannel,
     ) -> Answer {
         self.stats.past_queries += 1;
         let Some(slot) = self.sensors.get(&sensor) else {
@@ -747,30 +757,39 @@ impl PrestoProxy {
             };
         }
 
-        // Ship the operator to the sensor.
-        let mut latency = SimDuration::ZERO;
-        for _ in 0..=self.config.pull_retries {
-            let query_id = self.next_query_id;
-            self.next_query_id += 1;
-            let msg = DownlinkMsg::AggregateRequest {
-                query_id,
-                from,
-                to,
-                op,
-            };
-            let (reply, down_latency, _) = self.deliver_downlink(t, &msg, node, link);
-            latency += down_latency;
-            if let Some(r) = reply {
-                if let UplinkPayload::AggregateReply { value, count, .. } = &r.payload {
-                    latency += self.reply_latency(r.wire_bytes);
-                    self.stats.pulls += 1;
-                    return Answer {
-                        value: *value,
-                        sigma: if *count == 0 { f64::INFINITY } else { 0.0 },
-                        source: AnswerSource::Pulled,
-                        latency,
-                    };
-                }
+        // Ship the operator to the sensor. One RPC — the downlink
+        // channel owns retransmission — counted when issued, not when it
+        // happens to succeed, so `pulls` means attempts-per-RPC on every
+        // path.
+        self.stats.pulls += 1;
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let msg = DownlinkMsg::AggregateRequest {
+            query_id,
+            from,
+            to,
+            op,
+        };
+        let out = self.rpc(t, &msg, node, chan);
+        let mut latency = out.latency;
+        if let Some(r) = out.reply {
+            if let UplinkPayload::AggregateReply {
+                value,
+                count,
+                sigma,
+                ..
+            } = &r.payload
+            {
+                latency += self.reply_latency(r.wire_bytes);
+                return Answer {
+                    value: *value,
+                    // The sensor derives the bound from the codec/aging
+                    // error of the rows it aggregated; an empty range
+                    // carries no information.
+                    sigma: if *count == 0 { f64::INFINITY } else { *sigma },
+                    source: AnswerSource::Pulled,
+                    latency,
+                };
             }
         }
         self.stats.pull_failures += 1;
@@ -796,10 +815,13 @@ impl PrestoProxy {
         to: SimTime,
         tolerance: f64,
         node: &mut SensorNode,
-        link: &mut LinkModel,
+        chan: &mut DownlinkChannel,
     ) -> Option<usize> {
+        // Recovery pulls are counted here and *only* here: `pulls` and
+        // `pull_failures` stay query-path counters (recovery failures
+        // are tracked by the gap tracker's `failed_attempts`).
         self.stats.recovery_pulls += 1;
-        let (reply, _) = self.pull(t, sensor, from, to, tolerance, node, link);
+        let (reply, _) = self.pull_inner(t, sensor, from, to, tolerance, node, chan, false);
         if reply.is_some() {
             // Replica-divergence fence: the repaired gap may have held
             // deviation pushes the sensor's replica observed and ours
@@ -816,9 +838,27 @@ impl PrestoProxy {
         reply.map(|samples| samples.len())
     }
 
-    /// Issues a pull with retries; integrates the reply into the cache.
+    /// Issues a query-path pull; integrates the reply into the cache.
     #[allow(clippy::too_many_arguments)]
     fn pull(
+        &mut self,
+        t: SimTime,
+        sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        tolerance: f64,
+        node: &mut SensorNode,
+        chan: &mut DownlinkChannel,
+    ) -> (Option<Vec<(SimTime, f64)>>, SimDuration) {
+        self.pull_inner(t, sensor, from, to, tolerance, node, chan, true)
+    }
+
+    /// One fabric-routed pull RPC. Retransmission lives in the downlink
+    /// channel, so this issues exactly one RPC; `count_as_query` selects
+    /// whether it books into the query-path `pulls`/`pull_failures`
+    /// counters (recovery replays keep their own disjoint counter).
+    #[allow(clippy::too_many_arguments)]
+    fn pull_inner(
         &mut self,
         t: SimTime,
         _sensor: u16,
@@ -826,32 +866,34 @@ impl PrestoProxy {
         to: SimTime,
         tolerance: f64,
         node: &mut SensorNode,
-        link: &mut LinkModel,
+        chan: &mut DownlinkChannel,
+        count_as_query: bool,
     ) -> (Option<Vec<(SimTime, f64)>>, SimDuration) {
-        self.stats.pulls += 1;
-        let mut latency = SimDuration::ZERO;
-        for _ in 0..=self.config.pull_retries {
-            let query_id = self.next_query_id;
-            self.next_query_id += 1;
-            let msg = DownlinkMsg::PullRequest {
-                query_id,
-                from,
-                to,
-                tolerance,
-            };
-            let (reply, down_latency, _) = self.deliver_downlink(t, &msg, node, link);
-            latency += down_latency;
-            if let Some(r) = reply {
-                if let UplinkPayload::PullReply { samples, .. } = &r.payload {
-                    latency += self.reply_latency(r.wire_bytes);
-                    return (
-                        Some(samples.iter().map(|s| (s.t, s.value)).collect()),
-                        latency,
-                    );
-                }
+        if count_as_query {
+            self.stats.pulls += 1;
+        }
+        let query_id = self.next_query_id;
+        self.next_query_id += 1;
+        let msg = DownlinkMsg::PullRequest {
+            query_id,
+            from,
+            to,
+            tolerance,
+        };
+        let out = self.rpc(t, &msg, node, chan);
+        let mut latency = out.latency;
+        if let Some(r) = out.reply {
+            if let UplinkPayload::PullReply { samples, .. } = &r.payload {
+                latency += self.reply_latency(r.wire_bytes);
+                return (
+                    Some(samples.iter().map(|s| (s.t, s.value)).collect()),
+                    latency,
+                );
             }
         }
-        self.stats.pull_failures += 1;
+        if count_as_query {
+            self.stats.pull_failures += 1;
+        }
         (None, latency)
     }
 }
@@ -859,6 +901,7 @@ impl PrestoProxy {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use presto_net::LinkModel;
     use presto_sensor::{PushPolicy, SensorConfig};
     use presto_sim::SimRng;
 
@@ -866,13 +909,25 @@ mod tests {
         21.0 + 4.0 * ((t.hour_of_day() - 14.0) / 24.0 * std::f64::consts::TAU).cos()
     }
 
+    /// A downlink channel whose first hop loses frames at `loss`.
+    fn chan_with_loss(loss: f64, seed: u64) -> DownlinkChannel {
+        if loss > 0.0 {
+            DownlinkChannel::over(LinkModel::new(
+                presto_net::LossProcess::Bernoulli(loss),
+                SimRng::new(seed),
+            ))
+        } else {
+            DownlinkChannel::perfect()
+        }
+    }
+
     /// Runs `days` of samples through sensor + proxy with the given push
-    /// policy and link, returning (proxy, node, link).
+    /// policy and downlink loss, returning (proxy, node, channel).
     fn run_deployment(
         push: PushPolicy,
         days: u64,
         loss: f64,
-    ) -> (PrestoProxy, SensorNode, LinkModel) {
+    ) -> (PrestoProxy, SensorNode, DownlinkChannel) {
         let mut proxy = PrestoProxy::new(ProxyConfig::default());
         proxy.register_sensor(3);
         let mut node = SensorNode::new(
@@ -883,11 +938,7 @@ mod tests {
             },
             LinkModel::perfect(),
         );
-        let mut link = if loss > 0.0 {
-            LinkModel::new(presto_net::LossProcess::Bernoulli(loss), SimRng::new(9))
-        } else {
-            LinkModel::perfect()
-        };
+        let mut chan = chan_with_loss(loss, 9);
         let epochs = days * 86_400 / 31;
         for i in 0..epochs {
             let t = SimTime::from_secs(31 * i);
@@ -896,10 +947,10 @@ mod tests {
             }
             // Periodic training opportunity once per simulated hour.
             if i % 120 == 0 {
-                proxy.maybe_train_and_push(t, 3, &mut node, &mut link);
+                proxy.maybe_train_and_push(t, 3, &mut node, &mut chan);
             }
         }
-        (proxy, node, link)
+        (proxy, node, chan)
     }
 
     #[test]
@@ -1065,8 +1116,8 @@ mod tests {
     fn unregistered_sensor_fails_cleanly() {
         let mut proxy = PrestoProxy::new(ProxyConfig::default());
         let mut node = SensorNode::new(9, SensorConfig::default(), LinkModel::perfect());
-        let mut link = LinkModel::perfect();
-        let a = proxy.answer_now(SimTime::ZERO, 9, 1.0, &mut node, &mut link);
+        let mut chan = DownlinkChannel::perfect();
+        let a = proxy.answer_now(SimTime::ZERO, 9, 1.0, &mut node, &mut chan);
         assert_eq!(a.source, AnswerSource::Failed);
     }
 
@@ -1082,10 +1133,14 @@ mod tests {
             },
             LinkModel::perfect(),
         );
-        let mut dead = LinkModel::new(presto_net::LossProcess::Bernoulli(1.0), SimRng::new(4));
+        let mut dead = chan_with_loss(1.0, 4);
         let a = proxy.answer_now(SimTime::from_hours(1), 1, 0.5, &mut node, &mut dead);
         assert_eq!(a.source, AnswerSource::Failed);
         assert_eq!(proxy.stats().pull_failures, 1);
+        // The channel retried before giving up, and every timeout is in
+        // the answer's latency.
+        assert!(dead.stats().retransmits >= 1);
+        assert!(a.latency >= SimDuration::from_secs(5));
     }
 
     #[test]
@@ -1136,10 +1191,141 @@ mod tests {
         // at an instant where the target's cache is stale (93 s old,
         // beyond the 62 s freshness window) but the neighbours' entries
         // (62 s old) are still fresh.
-        let mut dead = LinkModel::new(presto_net::LossProcess::Bernoulli(1.0), SimRng::new(5));
+        let mut dead = chan_with_loss(1.0, 5);
         let a = proxy.answer_now(t + SimDuration::from_secs(62), 2, 1.0, &mut node, &mut dead);
         assert_eq!(a.source, AnswerSource::SpatialExtrapolated);
         assert!((a.value - (diurnal(t) + 1.0)).abs() < 1.0, "{}", a.value);
+    }
+
+    #[test]
+    fn pull_counters_are_disjoint_and_count_rpcs() {
+        // One query pull, one aggregate pull, one recovery pull, one
+        // failed query pull: `pulls` counts exactly one per query-path
+        // RPC issued (success or not), `pull_failures` only the failed
+        // query RPC, `recovery_pulls` only the recovery replay.
+        let (mut proxy, mut node, mut chan) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 1, 0.0);
+        let t = SimTime::from_days(1);
+        let a = proxy.answer_past(
+            t,
+            3,
+            SimTime::from_hours(6),
+            SimTime::from_hours(7),
+            0.1,
+            &mut node,
+            &mut chan,
+        );
+        assert_eq!(a.source, AnswerSource::Pulled);
+        assert_eq!(proxy.stats().pulls, 1);
+        assert_eq!(proxy.stats().pull_failures, 0);
+        assert_eq!(proxy.stats().recovery_pulls, 0);
+
+        let ag = proxy.answer_aggregate(
+            t,
+            3,
+            SimTime::from_hours(6),
+            SimTime::from_hours(8),
+            presto_sensor::AggregateOp::Mean,
+            &mut node,
+            &mut chan,
+        );
+        assert_eq!(ag.source, AnswerSource::Pulled);
+        assert_eq!(proxy.stats().pulls, 2, "aggregate RPC counts once");
+
+        let replayed = proxy.recover_span(
+            t,
+            3,
+            SimTime::from_hours(2),
+            SimTime::from_hours(3),
+            0.05,
+            &mut node,
+            &mut chan,
+        );
+        assert!(replayed.is_some());
+        assert_eq!(proxy.stats().recovery_pulls, 1);
+        assert_eq!(
+            proxy.stats().pulls,
+            2,
+            "recovery must not double-count into query pulls"
+        );
+        assert_eq!(proxy.stats().pull_failures, 0);
+
+        let mut dead = chan_with_loss(1.0, 77);
+        let failed = proxy.answer_past(
+            t,
+            3,
+            t - SimDuration::from_mins(30),
+            t,
+            0.01,
+            &mut node,
+            &mut dead,
+        );
+        assert_eq!(failed.source, AnswerSource::Failed);
+        assert_eq!(proxy.stats().pulls, 3, "failed RPC still counts as issued");
+        assert_eq!(proxy.stats().pull_failures, 1);
+        assert_eq!(proxy.stats().recovery_pulls, 1);
+    }
+
+    #[test]
+    fn failed_recovery_does_not_book_query_pull_failures() {
+        let (mut proxy, mut node, _) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 1, 0.0);
+        let mut dead = chan_with_loss(1.0, 78);
+        let out = proxy.recover_span(
+            SimTime::from_days(1),
+            3,
+            SimTime::from_hours(2),
+            SimTime::from_hours(3),
+            0.05,
+            &mut node,
+            &mut dead,
+        );
+        assert!(out.is_none());
+        assert_eq!(proxy.stats().recovery_pulls, 1);
+        assert_eq!(proxy.stats().pulls, 0);
+        assert_eq!(proxy.stats().pull_failures, 0);
+    }
+
+    #[test]
+    fn aggregate_over_aged_rows_reports_honest_sigma() {
+        // Tiny archive so early data ages into wavelet summaries, then
+        // aggregate over the aged span: the answer must not claim
+        // sigma = 0.
+        let mut node = SensorNode::new(
+            3,
+            SensorConfig {
+                push: PushPolicy::Silent,
+                archive: presto_archive::ArchiveConfig {
+                    capacity_bytes: 8 * 1024,
+                    ..presto_archive::ArchiveConfig::default()
+                },
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        let mut proxy = PrestoProxy::new(ProxyConfig::default());
+        proxy.register_sensor(3);
+        let mut chan = DownlinkChannel::perfect();
+        let mut t = SimTime::ZERO;
+        for i in 0..4000u64 {
+            t = SimTime::from_secs(31 * i);
+            node.on_sample(t, diurnal(t), None);
+        }
+        let a = proxy.answer_aggregate(
+            t,
+            3,
+            SimTime::ZERO,
+            SimTime::from_hours(2),
+            presto_sensor::AggregateOp::Mean,
+            &mut node,
+            &mut chan,
+        );
+        assert_eq!(a.source, AnswerSource::Pulled);
+        assert!(
+            a.sigma > 0.0 && a.sigma.is_finite(),
+            "aged aggregate claimed sigma {}",
+            a.sigma
+        );
     }
 
     #[test]

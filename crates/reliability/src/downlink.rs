@@ -1,0 +1,590 @@
+//! The proxy→sensor half of the message fabric.
+//!
+//! Until this module existed, only sensor→proxy traffic rode the lossy
+//! [`crate::fabric`]; every proxy-initiated interaction — archive pulls,
+//! aggregate requests, model pushes, retunes, recovery replays — crossed
+//! by an infallible direct call, so the entire pull path had never been
+//! exercised under loss. The [`DownlinkChannel`] closes that asymmetry:
+//! one sequenced, ack/retransmit channel per sensor, mirroring the
+//! uplink machinery.
+//!
+//! * every request gets a **sequence number**; retransmissions reuse it,
+//!   so the sensor can deduplicate (see
+//!   [`presto_sensor::SensorNode::handle_sequenced_downlink`]) — a model
+//!   update whose ack died is *not* applied twice, and a pull whose
+//!   reply died is re-sent from the sensor's reply cache instead of
+//!   re-read from flash;
+//! * the request pays the first-hop MAC (wake-up preamble, frame ARQ,
+//!   energy billed to the **proxy-side ledger**) and then samples an
+//!   end-to-end [`LossProcess`] for the multi-hop path, exactly like the
+//!   uplink fabric — including [`LossProcess::Correlated`] shared-fading
+//!   states, so a burst near the proxy degrades every sensor's pulls at
+//!   once;
+//! * replies and acks ride the (also lossy) reverse path; a lost reply
+//!   triggers a timed-out retransmission, each timeout surfacing in the
+//!   RPC's latency;
+//! * retransmissions beyond the first attempt draw from an
+//!   energy-charged **retry budget** that refills slowly (a token
+//!   bucket): a proxy hammering a dead path exhausts it and the RPC
+//!   fails honestly instead of retrying forever;
+//! * a **pending-RPC table** tracks outstanding `query_id`s and matches
+//!   `PullReply`/`AggregateReply` uplinks to them, consuming each reply
+//!   exactly once. Under the current synchronous driver an entry lives
+//!   only within its own `rpc` call (sensor-side dedup already pins a
+//!   retransmitted request's reply to the same query id), so the
+//!   mismatch path is a defensive guard; the table is the structural
+//!   hook for the queued asynchronous query pipeline on the roadmap,
+//!   where replies genuinely arrive out of call order.
+//!
+//! The channel is driven synchronously in simulated time: an RPC call
+//! walks its own attempt/timeout schedule and returns the accumulated
+//! latency, so downlink loss shows up where the paper's users would see
+//! it — in query latency and `Failed` answer rates.
+
+use std::collections::HashSet;
+
+use presto_net::{LinkModel, LossProcess, Mac};
+use presto_sensor::{DownlinkMsg, SensorNode, UplinkMsg, UplinkPayload};
+use presto_sim::{EnergyCategory, EnergyLedger, SimDuration, SimRng, SimTime};
+
+/// Downlink channel parameters.
+#[derive(Clone, Debug)]
+pub struct DownlinkConfig {
+    /// End-to-end request loss beyond the first MAC hop.
+    pub request_loss: LossProcess,
+    /// Reply/ack-path loss beyond the sensor's first hop.
+    pub reply_loss: LossProcess,
+    /// Fixed propagation + queueing delay per delivered message.
+    pub base_delay: SimDuration,
+    /// Serialization delay per wire byte.
+    pub per_byte_delay: SimDuration,
+    /// How long the proxy waits on a request before retransmitting.
+    pub rpc_timeout: SimDuration,
+    /// Retransmissions allowed per RPC after the first attempt.
+    pub max_retransmits: u32,
+    /// Retry-budget capacity, joules. Retransmissions beyond each RPC's
+    /// first attempt draw from it; the proxy is tethered, but unbounded
+    /// retries into a dead path would stall the query pipeline and
+    /// monopolize the shared medium, so the budget is real.
+    pub retry_budget_j: f64,
+    /// Budget refill rate, joules per hour (token bucket).
+    pub budget_refill_j_per_hour: f64,
+    /// RNG seed for the channel loss streams.
+    pub seed: u64,
+}
+
+impl Default for DownlinkConfig {
+    fn default() -> Self {
+        DownlinkConfig {
+            request_loss: LossProcess::Perfect,
+            reply_loss: LossProcess::Perfect,
+            base_delay: SimDuration::from_millis(20),
+            per_byte_delay: SimDuration::from_micros(400),
+            rpc_timeout: SimDuration::from_secs(5),
+            // Matches the pre-fabric pull retry count, so a Perfect
+            // channel reproduces the old failure behavior.
+            max_retransmits: 2,
+            retry_budget_j: 50.0,
+            budget_refill_j_per_hour: 20.0,
+            seed: 0xD0_FA,
+        }
+    }
+}
+
+/// Downlink channel counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DownlinkStats {
+    /// RPCs issued.
+    pub rpcs: u64,
+    /// RPCs that completed (reply consumed or ack received).
+    pub delivered: u64,
+    /// Request retransmissions.
+    pub retransmits: u64,
+    /// Requests swallowed by the channel (first hop or multi-hop).
+    pub requests_lost: u64,
+    /// Replies or acks lost on the way back (each costs a timeout and
+    /// usually produces a duplicate request at the sensor).
+    pub replies_lost: u64,
+    /// RPCs that failed after exhausting retransmissions.
+    pub rpc_failures: u64,
+    /// RPCs abandoned because the retry budget ran dry.
+    pub dropped_budget: u64,
+    /// Attempts blocked because the link was gated down.
+    pub blocked_link_down: u64,
+    /// Replies that matched no outstanding query id (duplicates or
+    /// strays), dropped by the pending-RPC table.
+    pub duplicate_replies: u64,
+}
+
+/// Outcome of one fabric-routed RPC.
+#[derive(Clone, Debug)]
+pub struct RpcOutcome {
+    /// The matched reply, for request kinds that produce one.
+    pub reply: Option<UplinkMsg>,
+    /// True when the request was applied at the sensor *and* the proxy
+    /// learned so (reply or ack made it back).
+    pub delivered: bool,
+    /// End-to-end latency, including every timeout spent waiting on
+    /// lost requests/replies.
+    pub latency: SimDuration,
+    /// Transmission attempts made (1 = first try succeeded).
+    pub attempts: u32,
+}
+
+/// A sequenced, ack/retransmit proxy→sensor channel for one sensor.
+pub struct DownlinkChannel {
+    config: DownlinkConfig,
+    /// First-hop radio link (the old per-sensor downlink `LinkModel`).
+    first_hop: LinkModel,
+    /// End-to-end request-path loss beyond the first hop.
+    request: LinkModel,
+    /// Reply/ack-path loss beyond the sensor's first hop.
+    reply: LinkModel,
+    /// Driver-maintained gate: false during blackouts or while the
+    /// sensor is crashed.
+    link_up: bool,
+    next_seq: u64,
+    /// Pending-RPC table: outstanding query ids awaiting a reply.
+    outstanding: HashSet<u64>,
+    retry_spent_j: f64,
+    last_refill: SimTime,
+    stats: DownlinkStats,
+}
+
+impl DownlinkChannel {
+    /// Creates a channel with the given end-to-end config over the given
+    /// first-hop link.
+    pub fn new(config: DownlinkConfig, first_hop: LinkModel) -> Self {
+        let root = SimRng::new(config.seed);
+        DownlinkChannel {
+            request: LinkModel::new(config.request_loss.clone(), root.split("dl-req")),
+            reply: LinkModel::new(config.reply_loss.clone(), root.split("dl-rep")),
+            first_hop,
+            link_up: true,
+            next_seq: 0,
+            outstanding: HashSet::new(),
+            retry_spent_j: 0.0,
+            last_refill: SimTime::ZERO,
+            stats: DownlinkStats::default(),
+            config,
+        }
+    }
+
+    /// A lossless channel over a lossless first hop (wired testbeds and
+    /// unit tests).
+    pub fn perfect() -> Self {
+        DownlinkChannel::new(DownlinkConfig::default(), LinkModel::perfect())
+    }
+
+    /// Default end-to-end config over the given first-hop link — the
+    /// drop-in replacement for call sites that used to pass a bare
+    /// `LinkModel`.
+    pub fn over(first_hop: LinkModel) -> Self {
+        DownlinkChannel::new(DownlinkConfig::default(), first_hop)
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> DownlinkStats {
+        self.stats
+    }
+
+    /// Gates the channel (blackout or crash). While down, every attempt
+    /// dies in the channel.
+    pub fn set_link_up(&mut self, up: bool) {
+        self.link_up = up;
+    }
+
+    /// True when the channel is currently gated up.
+    pub fn link_up(&self) -> bool {
+        self.link_up
+    }
+
+    /// Outstanding query ids awaiting replies (pending-RPC table size).
+    pub fn outstanding_rpcs(&self) -> usize {
+        self.outstanding.len()
+    }
+
+    /// Remaining retry budget, joules.
+    pub fn budget_remaining_j(&self) -> f64 {
+        (self.config.retry_budget_j - self.retry_spent_j).max(0.0)
+    }
+
+    /// Periodic maintenance, driven by the system tier each epoch:
+    /// refills the retransmission token bucket.
+    pub fn tick(&mut self, t: SimTime) {
+        if t <= self.last_refill {
+            return;
+        }
+        let dt_h = (t - self.last_refill).as_secs_f64() / 3600.0;
+        self.retry_spent_j = (self.retry_spent_j - dt_h * self.config.budget_refill_j_per_hour)
+            .max(0.0);
+        self.last_refill = t;
+    }
+
+    /// Runs one fabric-routed RPC: transmits `msg` towards `node` with
+    /// retransmission on timeout, deduplicated at the sensor by sequence
+    /// number, replies matched through the pending-RPC table. `mac`
+    /// prices and charges the first-hop radio (proxy pays transmit and
+    /// preamble energy, the sensor pays reception).
+    pub fn rpc(
+        &mut self,
+        t: SimTime,
+        msg: &DownlinkMsg,
+        node: &mut SensorNode,
+        mac: &Mac,
+        proxy_ledger: &mut EnergyLedger,
+    ) -> RpcOutcome {
+        self.tick(t);
+        self.stats.rpcs += 1;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let rpc_qid = request_query_id(msg);
+        if let Some(q) = rpc_qid {
+            self.outstanding.insert(q);
+        }
+        let expects_reply = rpc_qid.is_some();
+        let wire = msg.wire_bytes();
+        let mut latency = SimDuration::ZERO;
+        let mut attempts: u32 = 0;
+        let mut outcome = None;
+
+        while attempts <= self.config.max_retransmits {
+            if attempts > 0 {
+                // Retransmissions are budget-metered: the bucket empties
+                // against a dead path and the RPC fails instead of
+                // spinning.
+                let cost = mac.expected_send_energy(wire);
+                if self.retry_spent_j + cost > self.config.retry_budget_j {
+                    self.stats.dropped_budget += 1;
+                    break;
+                }
+                self.retry_spent_j += cost;
+                self.stats.retransmits += 1;
+            }
+            attempts += 1;
+
+            if !self.link_up {
+                // The proxy cannot know the sensor is crashed or blacked
+                // out before transmitting: it pays the wake-up preamble
+                // and frames into the void, exactly as on real hardware.
+                // (The crashed sensor's radio is off — it pays nothing.)
+                self.stats.blocked_link_down += 1;
+                proxy_ledger.charge(EnergyCategory::RadioTx, mac.expected_send_energy(wire));
+                latency += self.config.rpc_timeout;
+                continue;
+            }
+            let mac_out = mac.send(wire, &mut self.first_hop, proxy_ledger, Some(node.ledger_mut()));
+            latency += mac_out.latency;
+            if !mac_out.delivered || !self.request.deliver() {
+                self.stats.requests_lost += 1;
+                latency += self.config.rpc_timeout;
+                continue;
+            }
+            latency += self.config.base_delay + self.config.per_byte_delay * wire as u64;
+            let arrive = t + latency;
+            let reply = node.handle_sequenced_downlink(arrive, seq, msg, Some(proxy_ledger));
+            match reply {
+                Some(r) => {
+                    if !self.link_up || !self.reply.deliver() {
+                        self.stats.replies_lost += 1;
+                        latency += self.config.rpc_timeout;
+                        continue;
+                    }
+                    latency +=
+                        self.config.base_delay + self.config.per_byte_delay * r.wire_bytes as u64;
+                    // Pending-RPC match: each query id is consumed once.
+                    let consumed = match (rpc_qid, reply_query_id(&r)) {
+                        (Some(want), Some(got)) if want == got => self.outstanding.remove(&want),
+                        (None, _) => true,
+                        _ => false,
+                    };
+                    if !consumed {
+                        self.stats.duplicate_replies += 1;
+                        latency += self.config.rpc_timeout;
+                        continue;
+                    }
+                    self.stats.delivered += 1;
+                    outcome = Some(RpcOutcome {
+                        reply: Some(r),
+                        delivered: true,
+                        latency,
+                        attempts,
+                    });
+                    break;
+                }
+                None if expects_reply => {
+                    // The reply died at the sensor's own MAC; the request
+                    // was applied, but the proxy learns nothing — retry,
+                    // and the sensor's dedup serves it from cache.
+                    self.stats.replies_lost += 1;
+                    latency += self.config.rpc_timeout;
+                    continue;
+                }
+                None => {
+                    // Ack-only request (model update, retune): a tiny
+                    // link-layer ack rides the reply path.
+                    if !self.reply.deliver() {
+                        self.stats.replies_lost += 1;
+                        latency += self.config.rpc_timeout;
+                        continue;
+                    }
+                    latency += self.config.base_delay;
+                    self.stats.delivered += 1;
+                    outcome = Some(RpcOutcome {
+                        reply: None,
+                        delivered: true,
+                        latency,
+                        attempts,
+                    });
+                    break;
+                }
+            }
+        }
+        if let Some(q) = rpc_qid {
+            self.outstanding.remove(&q);
+        }
+        outcome.unwrap_or_else(|| {
+            self.stats.rpc_failures += 1;
+            RpcOutcome {
+                reply: None,
+                delivered: false,
+                latency,
+                attempts,
+            }
+        })
+    }
+}
+
+/// Query id carried by a request, for kinds that expect a reply.
+fn request_query_id(msg: &DownlinkMsg) -> Option<u64> {
+    match msg {
+        DownlinkMsg::PullRequest { query_id, .. }
+        | DownlinkMsg::AggregateRequest { query_id, .. } => Some(*query_id),
+        DownlinkMsg::ModelUpdate { .. } | DownlinkMsg::Retune { .. } => None,
+    }
+}
+
+/// Query id carried by a reply payload.
+fn reply_query_id(msg: &UplinkMsg) -> Option<u64> {
+    match &msg.payload {
+        UplinkPayload::PullReply { query_id, .. }
+        | UplinkPayload::AggregateReply { query_id, .. } => Some(*query_id),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_net::{FrameFormat, RadioModel};
+    use presto_sensor::{PushPolicy, SensorConfig};
+
+    fn mac() -> Mac {
+        Mac::downlink(
+            RadioModel::mica2(),
+            FrameFormat::tinyos_mica2(),
+            SimDuration::from_secs(1),
+        )
+    }
+
+    fn archived_node() -> SensorNode {
+        let mut n = SensorNode::new(
+            0,
+            SensorConfig {
+                push: PushPolicy::Silent,
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        for i in 0..200u64 {
+            n.on_sample(SimTime::from_secs(31 * i), 20.0 + (i % 7) as f64 * 0.1, None);
+        }
+        n
+    }
+
+    fn pull(qid: u64) -> DownlinkMsg {
+        DownlinkMsg::PullRequest {
+            query_id: qid,
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(31 * 100),
+            tolerance: 0.3,
+        }
+    }
+
+    #[test]
+    fn perfect_channel_completes_in_one_attempt() {
+        let mut ch = DownlinkChannel::perfect();
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let t = SimTime::from_hours(2);
+        let out = ch.rpc(t, &pull(1), &mut node, &mac(), &mut ledger);
+        assert!(out.delivered);
+        assert_eq!(out.attempts, 1);
+        let r = out.reply.expect("pull produces a reply");
+        assert!(matches!(r.payload, UplinkPayload::PullReply { query_id: 1, .. }));
+        // Latency includes the LPL preamble plus channel delays.
+        assert!(out.latency >= SimDuration::from_secs(1));
+        assert_eq!(ch.stats().delivered, 1);
+        assert_eq!(ch.outstanding_rpcs(), 0, "pending table drained");
+        assert!(ledger.total() > 0.0, "proxy pays the downlink energy");
+    }
+
+    #[test]
+    fn lost_request_retries_and_latency_carries_the_timeouts() {
+        // First request dies end-to-end, second survives.
+        let cfg = DownlinkConfig {
+            request_loss: LossProcess::Scripted(vec![false, true].into()),
+            ..DownlinkConfig::default()
+        };
+        let mut ch = DownlinkChannel::new(cfg.clone(), LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let out = ch.rpc(SimTime::from_hours(2), &pull(2), &mut node, &mac(), &mut ledger);
+        assert!(out.delivered);
+        assert_eq!(out.attempts, 2);
+        assert!(
+            out.latency >= cfg.rpc_timeout,
+            "the lost attempt's timeout must surface in latency"
+        );
+        assert_eq!(ch.stats().retransmits, 1);
+        assert_eq!(ch.stats().requests_lost, 1);
+    }
+
+    #[test]
+    fn lost_reply_is_recovered_from_sensor_cache_not_flash() {
+        let cfg = DownlinkConfig {
+            reply_loss: LossProcess::Scripted(vec![false, true].into()),
+            ..DownlinkConfig::default()
+        };
+        let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let out = ch.rpc(SimTime::from_hours(2), &pull(3), &mut node, &mac(), &mut ledger);
+        assert!(out.delivered);
+        assert_eq!(out.attempts, 2);
+        // The sensor served the flash read once and answered the
+        // retransmission from its reply cache.
+        assert_eq!(node.stats().pulls_served, 1);
+        assert_eq!(node.stats().duplicate_requests, 1);
+        assert_eq!(ch.stats().replies_lost, 1);
+    }
+
+    #[test]
+    fn dead_channel_fails_honestly_after_retries() {
+        let cfg = DownlinkConfig {
+            request_loss: LossProcess::Bernoulli(1.0),
+            ..DownlinkConfig::default()
+        };
+        let max = cfg.max_retransmits;
+        let timeout = cfg.rpc_timeout;
+        let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let out = ch.rpc(SimTime::from_hours(2), &pull(4), &mut node, &mac(), &mut ledger);
+        assert!(!out.delivered);
+        assert!(out.reply.is_none());
+        assert_eq!(out.attempts, max + 1);
+        assert!(out.latency >= timeout * (max as u64 + 1));
+        assert_eq!(ch.stats().rpc_failures, 1);
+        assert_eq!(ch.outstanding_rpcs(), 0, "failed RPCs leave no stale entry");
+    }
+
+    #[test]
+    fn ack_only_requests_dedup_at_the_sensor() {
+        // Ack path drops the first ack; the model update must be applied
+        // exactly once and the retransmission acked from the dedup
+        // window.
+        let cfg = DownlinkConfig {
+            reply_loss: LossProcess::Scripted(vec![false, true].into()),
+            ..DownlinkConfig::default()
+        };
+        let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let retune = DownlinkMsg::Retune {
+            push_tolerance: Some(2.0),
+            batching_interval: None,
+            lpl_check_interval: None,
+            reply_codec: None,
+        };
+        let out = ch.rpc(SimTime::from_hours(2), &retune, &mut node, &mac(), &mut ledger);
+        assert!(out.delivered);
+        assert_eq!(out.attempts, 2);
+        assert_eq!(node.stats().duplicate_requests, 1);
+    }
+
+    #[test]
+    fn budget_bounds_retries_and_refills_over_time() {
+        let cfg = DownlinkConfig {
+            request_loss: LossProcess::Bernoulli(1.0),
+            max_retransmits: 1_000,
+            retry_budget_j: 0.2, // a few preamble-bearing attempts' worth
+            budget_refill_j_per_hour: 0.2,
+            ..DownlinkConfig::default()
+        };
+        let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let out = ch.rpc(SimTime::from_hours(2), &pull(5), &mut node, &mac(), &mut ledger);
+        assert!(!out.delivered);
+        assert_eq!(ch.stats().dropped_budget, 1);
+        assert!(out.attempts < 100, "budget must bound attempts");
+        let drained = ch.budget_remaining_j();
+        // An hour later the bucket has refilled.
+        ch.tick(SimTime::from_hours(3));
+        assert!(ch.budget_remaining_j() > drained);
+    }
+
+    #[test]
+    fn gated_link_fails_but_proxy_still_pays_for_transmitting() {
+        let mut ch = DownlinkChannel::perfect();
+        ch.set_link_up(false);
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let rx_before = node.ledger().total();
+        let out = ch.rpc(SimTime::from_hours(2), &pull(6), &mut node, &mac(), &mut ledger);
+        assert!(!out.delivered);
+        // The proxy cannot know the sensor is down before transmitting:
+        // every attempt pays preamble + frames into the void…
+        assert!(
+            ledger.total() > 0.0,
+            "transmissions towards a down sensor must cost energy"
+        );
+        // …while the crashed sensor's radio is off and pays nothing.
+        assert_eq!(node.ledger().total(), rx_before);
+        assert!(ch.stats().blocked_link_down >= 1);
+        // Reopening restores service.
+        ch.set_link_up(true);
+        let out = ch.rpc(SimTime::from_hours(2), &pull(7), &mut node, &mac(), &mut ledger);
+        assert!(out.delivered);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed| {
+            let cfg = DownlinkConfig {
+                request_loss: LossProcess::Bernoulli(0.4),
+                reply_loss: LossProcess::Bernoulli(0.2),
+                seed,
+                ..DownlinkConfig::default()
+            };
+            let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+            let mut node = archived_node();
+            let mut ledger = EnergyLedger::new();
+            (0..32u64)
+                .map(|i| {
+                    let out = ch.rpc(
+                        SimTime::from_hours(2) + SimDuration::from_secs(i),
+                        &pull(i),
+                        &mut node,
+                        &mac(),
+                        &mut ledger,
+                    );
+                    (out.delivered, out.attempts)
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4));
+    }
+}

@@ -162,18 +162,32 @@ pub struct Fabric {
 impl Fabric {
     /// Creates a fabric with one channel per sensor.
     pub fn new(config: FabricConfig, sensors: usize) -> Self {
+        Self::new_with_losses(config, sensors, |_| None)
+    }
+
+    /// Creates a fabric whose per-sensor loss processes may be
+    /// overridden — the hook correlated-loss deployments use to hand
+    /// every channel near one proxy a clone of the same
+    /// [`presto_net::SharedLossState`]. Returning `None` keeps the
+    /// config's processes for that sensor.
+    pub fn new_with_losses(
+        config: FabricConfig,
+        sensors: usize,
+        mut losses: impl FnMut(usize) -> Option<(LossProcess, LossProcess)>,
+    ) -> Self {
         let root = SimRng::new(config.seed);
         let channels = (0..sensors)
-            .map(|i| Channel {
-                up: LinkModel::new(config.up_loss.clone(), root.split(&format!("fab-up-{i}"))),
-                down: LinkModel::new(
-                    config.down_loss.clone(),
-                    root.split(&format!("fab-down-{i}")),
-                ),
-                link_up: true,
-                next_seq: 0,
-                unacked: VecDeque::new(),
-                retry_spent_j: 0.0,
+            .map(|i| {
+                let (up_loss, down_loss) = losses(i)
+                    .unwrap_or_else(|| (config.up_loss.clone(), config.down_loss.clone()));
+                Channel {
+                    up: LinkModel::new(up_loss, root.split(&format!("fab-up-{i}"))),
+                    down: LinkModel::new(down_loss, root.split(&format!("fab-down-{i}"))),
+                    link_up: true,
+                    next_seq: 0,
+                    unacked: VecDeque::new(),
+                    retry_spent_j: 0.0,
+                }
             })
             .collect();
         let retx_mac = Mac::uplink(config.radio.clone(), config.frame.clone());

@@ -40,10 +40,12 @@
 //! which is exactly what the paper's always-archive design makes
 //! possible.
 
+pub mod downlink;
 pub mod fabric;
 pub mod liveness;
 pub mod recovery;
 
+pub use downlink::{DownlinkChannel, DownlinkConfig, DownlinkStats, RpcOutcome};
 pub use fabric::{Fabric, FabricConfig, FabricStats, SequencedUplink};
 pub use liveness::{Health, LivenessConfig, LivenessMonitor, LivenessStats};
 pub use recovery::{GapTracker, Observation, PendingRecovery, RecoveryStats};
@@ -53,6 +55,14 @@ pub use recovery::{GapTracker, Observation, PendingRecovery, RecoveryStats};
 pub struct ReliabilityConfig {
     /// Message fabric parameters (channel loss, delays, retransmit).
     pub fabric: FabricConfig,
+    /// Downlink channel parameters (proxy→sensor requests, replies).
+    pub downlink: DownlinkConfig,
+    /// Shared-fading chain near each proxy. When set, every channel of a
+    /// proxy's sensors — fabric uplinks, their ack paths, and the
+    /// downlink request/reply paths — samples one common
+    /// [`presto_net::SharedLossState`] per proxy instead of its
+    /// configured loss process, so bursts hit all of them together.
+    pub shared_fading: Option<presto_net::GilbertElliott>,
     /// Liveness lease parameters.
     pub liveness: LivenessConfig,
     /// Heartbeat interval for silent sensors. Must be shorter than the
@@ -70,6 +80,8 @@ impl Default for ReliabilityConfig {
     fn default() -> Self {
         ReliabilityConfig {
             fabric: FabricConfig::default(),
+            downlink: DownlinkConfig::default(),
+            shared_fading: None,
             liveness: LivenessConfig::default(),
             // Low-rate on purpose: ~19 B every 10 min is ~2.7 kB/day,
             // noise next to the model-driven push budget. Experiments

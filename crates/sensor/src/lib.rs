@@ -28,6 +28,6 @@ pub mod push;
 
 pub use config::SensorConfig;
 pub use msg::{AggregateOp, DownlinkMsg, UplinkMsg, UplinkPayload};
-pub use node::evaluate_aggregate;
+pub use node::{aggregate_sigma, evaluate_aggregate};
 pub use node::{SensorNode, SensorStats};
 pub use push::PushPolicy;

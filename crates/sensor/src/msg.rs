@@ -75,6 +75,12 @@ pub enum UplinkPayload {
         value: f64,
         /// Number of archived samples aggregated.
         count: u32,
+        /// Error bound (one sigma) of the aggregate, derived from the
+        /// codec/aging error of the archived rows it consumed: exact
+        /// rows contribute nothing, wavelet-aged rows contribute their
+        /// quantizer-ladder bound. An aggregate over a partly-aged
+        /// range is *not* exact and must not claim to be.
+        sigma: f64,
     },
     /// A low-rate liveness beacon. Under model-driven push a conforming
     /// sensor is silent, so silence alone cannot distinguish "all
@@ -231,8 +237,9 @@ pub mod wire {
         let _ = samples;
         UPLINK_HEADER + 8 + 2 + 8 + 4 + codec_bytes
     }
-    /// Aggregate reply: header + query id + f32 value + u32 count.
-    pub const AGGREGATE_REPLY: usize = UPLINK_HEADER + 8 + 4 + 4;
+    /// Aggregate reply: header + query id + f32 value + u32 count +
+    /// f32 error bound.
+    pub const AGGREGATE_REPLY: usize = UPLINK_HEADER + 8 + 4 + 4 + 4;
     /// Heartbeat: header + archive high-water timestamp.
     pub const HEARTBEAT: usize = UPLINK_HEADER + 8;
     /// Segment-seal notification: header + two timestamps.

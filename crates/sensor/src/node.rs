@@ -44,6 +44,10 @@ pub struct SensorStats {
     pub seals_sent: u64,
     /// Reboots survived (RAM wiped, archive kept).
     pub reboots: u64,
+    /// Duplicate downlink requests filtered by sequence number (a
+    /// retransmitted request whose reply or ack was lost on the way
+    /// back); the cached reply is re-sent instead of re-serving.
+    pub duplicate_requests: u64,
 }
 
 /// A PRESTO sensor node.
@@ -71,8 +75,20 @@ pub struct SensorNode {
     pending_seals: Vec<(SimTime, SimTime)>,
     /// Reusable transform buffers for batch/pull-reply encoding.
     codec_scratch: EncodeScratch,
+    /// Downlink sequence numbers already applied, with the reply each
+    /// produced (bounded window). A retransmitted request — the proxy
+    /// never saw the reply or ack — must not be re-applied or re-served
+    /// from flash; the cached reply is re-transmitted instead. Lives in
+    /// RAM: a reboot forgets it, which is safe (the archive-backed
+    /// requests are idempotent) and realistic.
+    seen_downlinks: std::collections::VecDeque<(u64, Option<UplinkMsg>)>,
     stats: SensorStats,
 }
+
+/// Bound on the sensor's duplicate-request window. Retransmissions
+/// arrive within a few RPC timeouts of the original, so a small window
+/// suffices; older duplicates re-serve (idempotent, just costlier).
+const SEEN_DOWNLINK_WINDOW: usize = 64;
 
 impl SensorNode {
     /// Creates a node with the given uplink loss process.
@@ -105,6 +121,7 @@ impl SensorNode {
             last_delivered_tx: SimTime::ZERO,
             pending_seals: Vec::new(),
             codec_scratch: EncodeScratch::default(),
+            seen_downlinks: std::collections::VecDeque::new(),
             config,
             stats: SensorStats::default(),
         }
@@ -215,6 +232,9 @@ impl SensorNode {
         // programmed into flash never existed as far as recovery is
         // concerned.
         self.archive.discard_ram_buffer();
+        // The duplicate-request window is RAM too: post-reboot
+        // retransmissions re-serve, which is safe (idempotent requests).
+        self.seen_downlinks.clear();
         self.stats.reboots += 1;
     }
 
@@ -485,6 +505,57 @@ impl SensorNode {
         )
     }
 
+    /// Handles a *sequenced* proxy → sensor message from the downlink
+    /// channel, deduplicating retransmitted requests by sequence number:
+    /// a duplicate is never re-applied (model updates, retunes) or
+    /// re-served from flash (pulls); its cached reply is re-transmitted
+    /// instead, paying radio energy but not flash reads. Returns the
+    /// reply (fresh or re-sent), if its uplink transmission succeeded.
+    pub fn handle_sequenced_downlink(
+        &mut self,
+        t: SimTime,
+        seq: u64,
+        msg: &DownlinkMsg,
+        proxy_ledger: Option<&mut EnergyLedger>,
+    ) -> Option<UplinkMsg> {
+        if let Some(pos) = self.seen_downlinks.iter().position(|(s, _)| *s == seq) {
+            self.stats.duplicate_requests += 1;
+            let cached = self.seen_downlinks[pos].1.clone();
+            let expects_reply = matches!(
+                msg,
+                DownlinkMsg::PullRequest { .. } | DownlinkMsg::AggregateRequest { .. }
+            );
+            return match cached {
+                // Re-send the cached reply over the radio (a fresh
+                // transmission: it costs energy and can fail again).
+                Some(prev) => self
+                    .send(t, prev.wire_bytes, prev.payload, proxy_ledger)
+                    .map(|m| UplinkMsg {
+                        // Keep the original send time: the reply content
+                        // describes the state at first serving.
+                        sent_at: prev.sent_at,
+                        ..m
+                    }),
+                // The first serving's reply never left the MAC, so there
+                // is nothing to re-send: serve again (archive reads are
+                // idempotent). Ack-only requests (model update, retune)
+                // were already applied — do NOT re-apply.
+                None if expects_reply => {
+                    let reply = self.handle_downlink(t, msg, proxy_ledger);
+                    self.seen_downlinks[pos].1 = reply.clone();
+                    reply
+                }
+                None => None,
+            };
+        }
+        let reply = self.handle_downlink(t, msg, proxy_ledger);
+        self.seen_downlinks.push_back((seq, reply.clone()));
+        while self.seen_downlinks.len() > SEEN_DOWNLINK_WINDOW {
+            self.seen_downlinks.pop_front();
+        }
+        reply
+    }
+
     /// Handles a proxy → sensor message. The proxy charges the radio
     /// energy of the downlink itself; this method performs the sensor's
     /// *reaction* (and any reply transmission).
@@ -570,6 +641,11 @@ impl SensorNode {
         self.charge_cpu(rows.len() as u64 * 8);
         let values: Vec<f64> = rows.iter().map(|r| r.value).collect();
         let value = evaluate_aggregate(op, &values);
+        let sigma = aggregate_sigma(
+            op,
+            rows.iter().map(|r| r.quality),
+            self.config.archive.quant_step,
+        );
         self.send(
             t,
             wire::AGGREGATE_REPLY,
@@ -577,6 +653,7 @@ impl SensorNode {
                 query_id,
                 value,
                 count: values.len() as u32,
+                sigma,
             },
             proxy_ledger,
         )
@@ -654,6 +731,50 @@ impl SensorNode {
             UplinkPayload::PullReply { query_id, samples },
             proxy_ledger,
         )
+    }
+}
+
+/// Error bound (one sigma) of an aggregate computed over archived rows
+/// of the given qualities.
+///
+/// Each row's reconstruction error is bounded by its provenance: a raw
+/// record is exact, a wavelet-aged summary at ladder level `l` carries
+/// the quantizer bound widened by the level's time-smoothing (each rung
+/// halves the resolution, so the bound doubles per level). The operator
+/// then propagates the per-row bounds: a mean averages them, an
+/// extremum is located to within the worst row's bound, a mode adds the
+/// binning half-width on top. `Count` is exact by construction; an
+/// empty range carries no information at all.
+pub fn aggregate_sigma(
+    op: crate::msg::AggregateOp,
+    qualities: impl Iterator<Item = Quality>,
+    quant_step: f64,
+) -> f64 {
+    use crate::msg::AggregateOp;
+    let bound = |q: Quality| match q {
+        Quality::Exact => 0.0,
+        Quality::Aged(level) => quant_step * (1u64 << level.min(32)) as f64,
+    };
+    let (mut n, mut sum, mut max) = (0u64, 0.0f64, 0.0f64);
+    for q in qualities {
+        let b = bound(q);
+        n += 1;
+        sum += b;
+        max = max.max(b);
+    }
+    match op {
+        AggregateOp::Count => 0.0,
+        _ if n == 0 => f64::INFINITY,
+        AggregateOp::Mean => sum / n as f64,
+        AggregateOp::Max | AggregateOp::Min => max,
+        AggregateOp::Mode { bin_width } => {
+            let w = if bin_width > 0.0 && bin_width.is_finite() {
+                bin_width
+            } else {
+                1.0
+            };
+            w / 2.0 + max
+        }
     }
 }
 
@@ -996,6 +1117,125 @@ mod tests {
         // by zero.
         let m = evaluate_aggregate(AggregateOp::Mode { bin_width: 0.0 }, &xs);
         assert!(m.is_finite());
+    }
+
+    #[test]
+    fn duplicate_sequenced_requests_resend_without_reserving() {
+        let mut n = node(PushPolicy::Silent);
+        for i in 0..100u64 {
+            let t = SimTime::ZERO + SimDuration::from_secs(31) * i;
+            n.on_sample(t, diurnal_value(t), None);
+        }
+        let req = DownlinkMsg::PullRequest {
+            query_id: 7,
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(31 * 50),
+            tolerance: 0.3,
+        };
+        let t = SimTime::from_secs(31 * 101);
+        let first = n.handle_sequenced_downlink(t, 0, &req, None).unwrap();
+        assert_eq!(n.stats().pulls_served, 1);
+        // Retransmitted request (same seq): same reply, no second serve.
+        let dup = n
+            .handle_sequenced_downlink(t + SimDuration::from_secs(10), 0, &req, None)
+            .unwrap();
+        assert_eq!(n.stats().pulls_served, 1, "duplicate re-read the flash");
+        assert_eq!(n.stats().duplicate_requests, 1);
+        assert_eq!(dup.payload, first.payload);
+        assert_eq!(dup.sent_at, first.sent_at, "reply describes first serving");
+        // A *new* sequence number is served fresh.
+        n.handle_sequenced_downlink(t + SimDuration::from_secs(20), 1, &req, None)
+            .unwrap();
+        assert_eq!(n.stats().pulls_served, 2);
+    }
+
+    #[test]
+    fn duplicate_model_update_is_not_reapplied() {
+        let mut n = node(PushPolicy::ModelDriven { tolerance: 1.0 });
+        let update = trained_model_update();
+        assert!(n
+            .handle_sequenced_downlink(SimTime::ZERO, 3, &update, None)
+            .is_none());
+        assert!(n.has_model());
+        let checks_before = n.stats().model_checks;
+        n.handle_sequenced_downlink(SimTime::from_secs(5), 3, &update, None);
+        assert_eq!(n.stats().duplicate_requests, 1);
+        assert_eq!(n.stats().model_checks, checks_before);
+    }
+
+    #[test]
+    fn reply_lost_at_mac_is_reserved_on_retransmit() {
+        // Scripted link: the first reply's opening fragment dies through
+        // all 4 MAC attempts (4 slots), the retransmitted serving's
+        // frames and acks all survive.
+        let mut pattern = vec![false; 4];
+        pattern.extend(std::iter::repeat_n(true, 64));
+        let link = LinkModel::new(
+            presto_net::LossProcess::Scripted(pattern.into()),
+            presto_sim::SimRng::new(2),
+        );
+        let mut n = SensorNode::new(
+            5,
+            SensorConfig {
+                push: PushPolicy::Silent,
+                ..SensorConfig::default()
+            },
+            link,
+        );
+        for i in 0..50u64 {
+            let t = SimTime::ZERO + SimDuration::from_secs(31) * i;
+            n.on_sample(t, 20.0, None);
+        }
+        let req = DownlinkMsg::PullRequest {
+            query_id: 9,
+            from: SimTime::ZERO,
+            to: SimTime::from_secs(31 * 40),
+            tolerance: 0.5,
+        };
+        let t = SimTime::from_secs(31 * 51);
+        assert!(
+            n.handle_sequenced_downlink(t, 0, &req, None).is_none(),
+            "first reply must die at the MAC"
+        );
+        // Retransmitted request: nothing was cached, so serve again.
+        let retry = n.handle_sequenced_downlink(t + SimDuration::from_secs(10), 0, &req, None);
+        assert!(retry.is_some(), "retransmit must recover the reply");
+        assert_eq!(n.stats().duplicate_requests, 1);
+    }
+
+    #[test]
+    fn aggregate_sigma_honest_about_aged_rows() {
+        use crate::msg::AggregateOp;
+        use presto_archive::Quality;
+        let exact = [Quality::Exact; 4];
+        assert_eq!(
+            aggregate_sigma(AggregateOp::Mean, exact.iter().copied(), 0.05),
+            0.0
+        );
+        // Aged rows widen the bound; deeper aging widens it more.
+        let aged1 = [Quality::Exact, Quality::Aged(1)];
+        let aged3 = [Quality::Exact, Quality::Aged(3)];
+        let s1 = aggregate_sigma(AggregateOp::Max, aged1.iter().copied(), 0.05);
+        let s3 = aggregate_sigma(AggregateOp::Max, aged3.iter().copied(), 0.05);
+        assert!(s1 > 0.0 && s3 > s1, "{s1} vs {s3}");
+        // Mean averages bounds, so one aged row among many dilutes.
+        let diluted = [
+            Quality::Aged(1),
+            Quality::Exact,
+            Quality::Exact,
+            Quality::Exact,
+        ];
+        let sm = aggregate_sigma(AggregateOp::Mean, diluted.iter().copied(), 0.05);
+        assert!(sm < s1);
+        // Count is exact regardless; empty ranges carry no information.
+        assert_eq!(
+            aggregate_sigma(AggregateOp::Count, aged3.iter().copied(), 0.05),
+            0.0
+        );
+        assert!(aggregate_sigma(AggregateOp::Mean, std::iter::empty(), 0.05).is_infinite());
+        // Mode adds the binning half-width.
+        let sb = aggregate_sigma(AggregateOp::Mode { bin_width: 0.5 }, exact.iter().copied(), 0.05);
+        assert_eq!(sb, 0.25);
     }
 
     #[test]

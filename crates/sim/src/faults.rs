@@ -36,11 +36,24 @@ pub struct Blackout {
     pub nodes: Option<Vec<usize>>,
 }
 
+/// One shared-fading burst window: the common loss state near every
+/// proxy is pinned *bad* in `[from, to)`. Only meaningful when the
+/// deployment runs correlated loss (a shared Gilbert–Elliott state);
+/// drivers without one ignore these windows.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SharedBurst {
+    /// First instant of the burst.
+    pub from: SimTime,
+    /// First instant after the burst.
+    pub to: SimTime,
+}
+
 /// A deterministic schedule of crashes and blackouts.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
     crashes: Vec<CrashWindow>,
     blackouts: Vec<Blackout>,
+    shared_bursts: Vec<SharedBurst>,
 }
 
 impl FaultPlan {
@@ -51,7 +64,7 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.blackouts.is_empty()
+        self.crashes.is_empty() && self.blackouts.is_empty() && self.shared_bursts.is_empty()
     }
 
     /// Adds a crash/reboot window for one node (builder style).
@@ -95,6 +108,25 @@ impl FaultPlan {
     /// The scheduled blackouts.
     pub fn blackouts(&self) -> &[Blackout] {
         &self.blackouts
+    }
+
+    /// Adds a shared-fading burst window (builder style): while active,
+    /// a correlated-loss deployment pins its common channel state bad,
+    /// so every channel near the proxy fades at once.
+    pub fn with_shared_burst(mut self, from: SimTime, to: SimTime) -> Self {
+        assert!(from <= to, "burst window must not be inverted");
+        self.shared_bursts.push(SharedBurst { from, to });
+        self
+    }
+
+    /// The scheduled shared-fading bursts.
+    pub fn shared_bursts(&self) -> &[SharedBurst] {
+        &self.shared_bursts
+    }
+
+    /// True while a shared-fading burst is active at `t`.
+    pub fn shared_burst_active(&self, t: SimTime) -> bool {
+        self.shared_bursts.iter().any(|b| b.from <= t && t < b.to)
     }
 
     /// True when `node` is crashed at `t`.
@@ -176,6 +208,18 @@ mod tests {
         assert!(!p.rebooted_within(0, t(20), t(30)), "already up at `since`");
         assert!(!p.rebooted_within(0, t(5), t(15)), "still down");
         assert!(!p.rebooted_within(1, t(15), t(25)), "different node");
+    }
+
+    #[test]
+    fn shared_bursts_are_half_open_windows() {
+        let p = FaultPlan::none().with_shared_burst(t(50), t(60));
+        assert!(!p.is_empty());
+        assert!(!p.shared_burst_active(t(49)));
+        assert!(p.shared_burst_active(t(50)));
+        assert!(p.shared_burst_active(t(59)));
+        assert!(!p.shared_burst_active(t(60)));
+        // Bursts alone make no node unreachable.
+        assert!(!p.is_unreachable(0, t(55)));
     }
 
     #[test]

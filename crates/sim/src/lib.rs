@@ -27,6 +27,6 @@ pub mod time;
 
 pub use energy::{EnergyCategory, EnergyLedger};
 pub use events::{EventQueue, Simulation};
-pub use faults::{Blackout, CrashWindow, FaultPlan};
+pub use faults::{Blackout, CrashWindow, FaultPlan, SharedBurst};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

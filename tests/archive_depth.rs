@@ -4,6 +4,7 @@
 
 use presto::archive::{ArchiveConfig, ArchiveStore, Quality};
 use presto::net::LinkModel;
+use presto::reliability::DownlinkChannel;
 use presto::proxy::{AnswerSource, PrestoProxy, ProxyConfig};
 use presto::sensor::{PushPolicy, SensorConfig, SensorNode};
 use presto::sim::{EnergyLedger, SimDuration, SimTime};
@@ -44,7 +45,7 @@ fn pull_reply_precision_tracks_query_tolerance() {
         }
         let mut proxy = PrestoProxy::new(ProxyConfig::default());
         proxy.register_sensor(0);
-        let mut link = LinkModel::perfect();
+        let mut link = DownlinkChannel::perfect();
         let before = node.stats().bytes_sent;
         let a = proxy.answer_past(
             query_t,
@@ -141,7 +142,7 @@ fn proxy_extrapolated_past_answers_respect_the_guarantee() {
         ..ProxyConfig::default()
     });
     proxy.register_sensor(0);
-    let mut link = LinkModel::perfect();
+    let mut link = DownlinkChannel::perfect();
     for (i, &(t, v)) in trace.iter().enumerate() {
         for msg in node.on_sample(t, v, None) {
             proxy.on_uplink(&msg);

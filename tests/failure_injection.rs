@@ -4,6 +4,7 @@
 
 use presto::net::{LinkModel, LossProcess};
 use presto::proxy::{AnswerSource, PrestoProxy, ProxyConfig};
+use presto::reliability::DownlinkChannel;
 use presto::sensor::{PushPolicy, SensorConfig, SensorNode};
 use presto::sim::{SimDuration, SimRng, SimTime};
 use presto::workloads::{LabDeployment, LabParams};
@@ -19,7 +20,7 @@ fn lab_trace(days: u64, seed: u64) -> Vec<presto::workloads::lab::LabReading> {
     )
 }
 
-fn paired(push: PushPolicy, loss: f64, seed: u64) -> (PrestoProxy, SensorNode, LinkModel) {
+fn paired(push: PushPolicy, loss: f64, seed: u64) -> (PrestoProxy, SensorNode, DownlinkChannel) {
     let mut proxy = PrestoProxy::new(ProxyConfig::default());
     proxy.register_sensor(0);
     let uplink = if loss > 0.0 {
@@ -36,9 +37,9 @@ fn paired(push: PushPolicy, loss: f64, seed: u64) -> (PrestoProxy, SensorNode, L
         uplink,
     );
     let downlink = if loss > 0.0 {
-        LinkModel::new(LossProcess::Bernoulli(loss), SimRng::new(seed ^ 1))
+        DownlinkChannel::over(LinkModel::new(LossProcess::Bernoulli(loss), SimRng::new(seed ^ 1)))
     } else {
-        LinkModel::perfect()
+        DownlinkChannel::perfect()
     };
     (proxy, node, downlink)
 }
@@ -74,7 +75,7 @@ fn bursty_loss_degrades_but_does_not_corrupt() {
 fn dead_sensor_yields_failed_answers_not_garbage() {
     let (mut proxy, mut node, _) = paired(PushPolicy::Silent, 0.0, 6);
     // The sensor never reports and the downlink is completely dead.
-    let mut dead = LinkModel::new(LossProcess::Bernoulli(1.0), SimRng::new(9));
+    let mut dead = DownlinkChannel::over(LinkModel::new(LossProcess::Bernoulli(1.0), SimRng::new(9)));
     let a = proxy.answer_now(SimTime::from_hours(1), 0, 0.5, &mut node, &mut dead);
     assert_eq!(a.source, AnswerSource::Failed);
     assert!(
@@ -118,7 +119,7 @@ fn sensor_that_stops_midway_still_serves_its_past() {
 fn lost_model_update_never_installs_a_divergent_replica() {
     let trace = lab_trace(2, 33);
     let (mut proxy, mut node, _) = paired(PushPolicy::ModelDriven { tolerance: 1.0 }, 0.0, 8);
-    let mut dead = LinkModel::new(LossProcess::Bernoulli(1.0), SimRng::new(10));
+    let mut dead = DownlinkChannel::over(LinkModel::new(LossProcess::Bernoulli(1.0), SimRng::new(10)));
     for r in &trace[..3000] {
         for msg in node.on_sample(r.timestamp, r.value, None) {
             proxy.on_uplink(&msg);
@@ -144,7 +145,7 @@ fn retries_recover_moderate_downlink_loss() {
         }
     }
     // 20% loss: ARQ + pull retries should still get a PAST answer.
-    let mut lossy = LinkModel::new(LossProcess::Bernoulli(0.2), SimRng::new(12));
+    let mut lossy = DownlinkChannel::over(LinkModel::new(LossProcess::Bernoulli(0.2), SimRng::new(12)));
     let t = trace[3000].timestamp;
     let a = proxy.answer_past(
         t,
