@@ -94,6 +94,34 @@ fn bench_skipgraph(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_linalg(c: &mut Criterion) {
+    use presto_models::Matrix;
+    // Blocked vs naive matmul: the gap at each size is the loop-tiling
+    // win. Today's spatial model multiplies tens×tens; the 192/256
+    // points cover the proxy-neighbourhood growth the blocking is for.
+    let mut group = c.benchmark_group("linalg");
+    for n in [48usize, 192, 256] {
+        let fill = |seed: usize| {
+            Matrix::from_vec(
+                n,
+                n,
+                (0..n * n)
+                    .map(|i| ((i * 31 + seed) % 97) as f64 / 97.0 - 0.5)
+                    .collect(),
+            )
+        };
+        let a = fill(1);
+        let b = fill(2);
+        group.bench_with_input(BenchmarkId::new("mul_blocked", n), &n, |bch, _| {
+            bch.iter(|| a.mul(&b))
+        });
+        group.bench_with_input(BenchmarkId::new("mul_naive", n), &n, |bch, _| {
+            bch.iter(|| a.mul_naive(&b))
+        });
+    }
+    group.finish();
+}
+
 fn bench_archive(c: &mut Criterion) {
     let mut group = c.benchmark_group("archive");
     group.sample_size(20);
@@ -131,6 +159,7 @@ criterion_group!(
     bench_wavelet,
     bench_models,
     bench_skipgraph,
+    bench_linalg,
     bench_archive
 );
 criterion_main!(benches);

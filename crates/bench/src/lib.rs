@@ -10,6 +10,7 @@
 pub mod experiments;
 pub mod failure;
 pub mod figure2;
+pub mod query_pipeline;
 pub mod table1;
 
 /// Renders a JSON value for machine-readable output next to each table.

@@ -19,6 +19,7 @@ pub mod run;
 pub mod store;
 pub mod system;
 
+pub use presto_proxy::{CompletedQuery, PipelineAnswer, PipelineQuery, PipelineStats};
 pub use run::run_presto;
 pub use store::{StoreQuery, StoreResponse, UnifiedStore};
 pub use system::{PrestoSystem, SystemConfig, SystemReport};

@@ -20,7 +20,7 @@
 
 use presto_index::{ClockCorrector, DriftClock, SkipGraph, TimeRangeIndex};
 use presto_net::{LinkModel, LossProcess, SharedLossState};
-use presto_proxy::{PrestoProxy, ProxyConfig};
+use presto_proxy::{CompletedQuery, PipelineQuery, PipelineStats, PrestoProxy, ProxyConfig};
 use presto_reliability::{
     recovery::padded_span, DownlinkChannel, DownlinkStats, Fabric, FabricStats, GapTracker,
     Health, LivenessMonitor, Observation, RecoveryStats, ReliabilityConfig,
@@ -471,6 +471,16 @@ impl PrestoSystem {
         }
         self.attempt_recoveries(t);
 
+        // 7. Asynchronous query pipeline pump: every proxy issues or
+        // retransmits downlink pulls for all of its outstanding queries
+        // (fairness-budgeted across its sensors), matches arriving
+        // replies back to pending queries, and completes them — one
+        // proxy overlaps many in-flight pulls across epochs.
+        for p in 0..self.config.proxies {
+            let base = (p * self.config.sensors_per_proxy) as u16;
+            self.proxies[p].pump_queries(t, base, &mut self.nodes[p], &mut self.downlinks[p]);
+        }
+
         // Periodic model training checks. (The time-range index is
         // maintained by seal notifications and recovery rebuilds, so no
         // periodic refresh happens here.)
@@ -554,6 +564,90 @@ impl PrestoSystem {
         (&mut self.proxies, &mut self.nodes, &mut self.downlinks)
     }
 
+    /// Submits a query to the owning proxy's asynchronous pipeline at
+    /// the system's current time. Returns `(proxy index, ticket)` — the
+    /// completion surfaces under that ticket in
+    /// [`PrestoSystem::take_completed_queries`] — or `None` for query
+    /// classes the pipeline does not serve (deployment-wide Events).
+    pub fn submit_query(&mut self, q: crate::store::StoreQuery) -> Option<(usize, u64)> {
+        let t = self.now();
+        let pq = match q {
+            crate::store::StoreQuery::Now { sensor, tolerance } => {
+                PipelineQuery::Now { sensor, tolerance }
+            }
+            crate::store::StoreQuery::Past {
+                sensor,
+                from,
+                to,
+                tolerance,
+            } => PipelineQuery::Past {
+                sensor,
+                from,
+                to,
+                tolerance,
+            },
+            crate::store::StoreQuery::Aggregate {
+                sensor,
+                from,
+                to,
+                op,
+            } => PipelineQuery::Aggregate {
+                sensor,
+                from,
+                to,
+                op,
+            },
+            crate::store::StoreQuery::Events { .. } => return None,
+        };
+        let (p, _) = self.locate(pq.sensor());
+        let ticket = self.proxies[p].submit_query(t, pq);
+        Some((p, ticket))
+    }
+
+    /// Drains every pipeline completion across proxies since the last
+    /// call, tagged with the owning proxy's index.
+    pub fn take_completed_queries(&mut self) -> Vec<(usize, CompletedQuery)> {
+        let mut out = Vec::new();
+        for (p, proxy) in self.proxies.iter_mut().enumerate() {
+            out.extend(proxy.take_completed_queries().into_iter().map(|c| (p, c)));
+        }
+        out
+    }
+
+    /// Pipeline counters summed across proxies (`max_in_flight` is the
+    /// per-proxy peak, maxed).
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        let mut total = PipelineStats::default();
+        for p in &self.proxies {
+            let s = p.pipeline().stats();
+            total.submitted += s.submitted;
+            total.completed_fast += s.completed_fast;
+            total.completed_pull += s.completed_pull;
+            total.completed_cached += s.completed_cached;
+            total.failed += s.failed;
+            total.coalesced += s.coalesced;
+            total.rpcs_issued += s.rpcs_issued;
+            total.max_in_flight = total.max_in_flight.max(s.max_in_flight);
+        }
+        total
+    }
+
+    /// Pending pipeline queries across proxies (leak probe: zero after
+    /// every submitted query completed or failed).
+    pub fn pipeline_pending_total(&self) -> usize {
+        self.proxies.iter().map(|p| p.pipeline().pending_queries()).sum()
+    }
+
+    /// Outstanding async RPC entries across every downlink channel
+    /// (leak probe for the pending-RPC tables).
+    pub fn async_in_flight_total(&self) -> usize {
+        self.downlinks
+            .iter()
+            .flatten()
+            .map(|c| c.async_in_flight())
+            .sum()
+    }
+
     /// Current liveness grade of a sensor.
     pub fn health(&self, sensor: u16) -> Health {
         self.liveness.health(sensor as usize)
@@ -578,6 +672,10 @@ impl PrestoSystem {
             total.dropped_budget += s.dropped_budget;
             total.blocked_link_down += s.blocked_link_down;
             total.duplicate_replies += s.duplicate_replies;
+            total.async_submitted += s.async_submitted;
+            total.async_expired += s.async_expired;
+            total.deferred_budget += s.deferred_budget;
+            total.max_in_flight = total.max_in_flight.max(s.max_in_flight);
         }
         total
     }
@@ -1020,6 +1118,94 @@ mod tests {
             "retransmission failed to recover deliveries: {fs:?}"
         );
         assert!(sys.shared_loss()[0].steps() > 0, "driver never advanced the chain");
+    }
+
+    #[test]
+    fn pipeline_serves_concurrent_queries_under_loss_without_leaks() {
+        use crate::store::StoreQuery;
+        let mut cfg = small();
+        cfg.proxies = 1;
+        cfg.sensors_per_proxy = 4;
+        cfg.reliability.downlink.request_loss = presto_net::LossProcess::Bernoulli(0.3);
+        cfg.reliability.downlink.reply_loss = presto_net::LossProcess::Bernoulli(0.3);
+        let mut sys = PrestoSystem::new(cfg);
+        sys.run(SimDuration::from_days(1));
+        // A burst of tight-tolerance PAST queries across every sensor:
+        // none can be answered radio-free, so they all enqueue pulls.
+        let mut tickets = Vec::new();
+        for sensor in 0..4u16 {
+            for w in 0..3u64 {
+                let from = SimTime::from_hours(14 + 2 * w);
+                tickets.push(
+                    sys.submit_query(StoreQuery::Past {
+                        sensor,
+                        from,
+                        to: from + SimDuration::from_mins(30),
+                        tolerance: 0.05,
+                    })
+                    .expect("past queries are pipelined"),
+                );
+            }
+        }
+        assert_eq!(sys.pipeline_pending_total(), 12);
+        // Pump across epochs until every query terminates (bounded by
+        // the pipeline deadline).
+        let deadline = sys.config().proxy.pipeline.deadline;
+        let epochs = deadline.div_duration(sys.config().lab.epoch) + 2;
+        let mut done = Vec::new();
+        for _ in 0..epochs {
+            sys.step_epoch();
+            done.extend(sys.take_completed_queries());
+            if done.len() == tickets.len() {
+                break;
+            }
+        }
+        assert_eq!(done.len(), tickets.len(), "every query must terminate");
+        // No hangs, no leaks: pending queries and pending-RPC tables
+        // are empty once everything completed.
+        assert_eq!(sys.pipeline_pending_total(), 0);
+        assert_eq!(sys.async_in_flight_total(), 0);
+        let ps = sys.pipeline_stats();
+        assert!(
+            ps.max_in_flight >= 4,
+            "loss must force overlapping in-flight pulls: {ps:?}"
+        );
+        for (_, c) in &done {
+            match &c.answer {
+                presto_proxy::PipelineAnswer::Series(a) => {
+                    assert!(
+                        a.source == presto_proxy::AnswerSource::Pulled
+                            || a.source == presto_proxy::AnswerSource::Failed,
+                        "{:?}",
+                        a.source
+                    );
+                    if a.source == presto_proxy::AnswerSource::Pulled {
+                        assert!(!a.samples.is_empty());
+                    }
+                }
+                other => panic!("past queries produce series: {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn pipeline_fast_paths_complete_without_radio_work() {
+        use crate::store::StoreQuery;
+        let mut sys = PrestoSystem::new(small());
+        sys.run(SimDuration::from_days(1));
+        let before = sys.pipeline_stats();
+        for sensor in 0..6u16 {
+            sys.submit_query(StoreQuery::Now {
+                sensor,
+                tolerance: 1.5,
+            });
+        }
+        let done = sys.take_completed_queries();
+        assert_eq!(done.len(), 6, "loose NOW queries complete at submit");
+        let after = sys.pipeline_stats();
+        assert_eq!(after.completed_fast - before.completed_fast, 6);
+        assert_eq!(after.rpcs_issued, before.rpcs_issued, "no radio work");
+        assert_eq!(sys.pipeline_pending_total(), 0);
     }
 
     #[test]

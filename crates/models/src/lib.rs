@@ -41,6 +41,7 @@ pub mod traits;
 
 pub use ar::ArModel;
 pub use combined::SeasonalArModel;
+pub use linalg::Matrix;
 pub use markov::MarkovModel;
 pub use regression::LinearTrendModel;
 pub use seasonal::SeasonalModel;

@@ -22,9 +22,14 @@
 pub mod cache;
 pub mod engine;
 pub mod matching;
+pub mod pipeline;
 pub mod proxy;
 
 pub use cache::{CachedEvent, EventCache, SensorCache};
 pub use engine::{EngineConfig, PredictionEngine};
 pub use matching::{QueryClass, QuerySensorMatcher};
+pub use pipeline::{
+    CompletedQuery, PipelineAnswer, PipelineConfig, PipelineQuery, PipelineStats, PullReplyCache,
+    QueryPipeline,
+};
 pub use proxy::{Answer, AnswerSource, PastAnswer, PrestoProxy, ProxyConfig, ProxyStats};

@@ -1,0 +1,438 @@
+//! The proxy-resident asynchronous query pipeline.
+//!
+//! The synchronous query path ([`crate::PrestoProxy::answer_now`] and
+//! friends) drives each pull's entire attempt/timeout schedule inside
+//! one blocking call, so a proxy serves exactly one precision-miss at a
+//! time. The pipeline replaces that with a queued design, the tethered
+//! tier the paper says "absorbs queries" for many users:
+//!
+//! * a query that misses the cache/model precision check enqueues a
+//!   [`PendingQuery`] (query id, sensor, window, deadline, retry state)
+//!   instead of spinning;
+//! * each epoch tick [`crate::PrestoProxy::pump_queries`] issues or
+//!   retransmits downlink pulls for *all* outstanding queries through
+//!   the per-sensor `DownlinkChannel`s — bounded by a per-epoch attempt
+//!   budget that is spread round-robin across sensors for fairness —
+//!   and matches arriving `PullReply`/`AggregateReply` messages back to
+//!   pending queries;
+//! * in front of the queue sits a **shared pull-reply cache** keyed by
+//!   (sensor, window, tolerance): concurrent queries over the same span
+//!   coalesce into one radio pull, and later queries over an
+//!   already-pulled span are served without touching the radio at all —
+//!   guarded by an explicit freshness check so a cached reply never
+//!   serves a query whose window extends past the reply's coverage.
+//!
+//! One proxy therefore overlaps many in-flight pulls across epochs, and
+//! downlink loss shows up as latency percentiles instead of serialized
+//! stalls. Every query terminates: by its deadline it has either
+//! completed with a real answer or failed honestly (`Failed`, sigma ∞).
+
+use std::collections::VecDeque;
+
+use presto_sensor::AggregateOp;
+use presto_sim::{SimDuration, SimTime};
+
+use crate::proxy::{Answer, PastAnswer};
+
+/// Pipeline parameters.
+#[derive(Clone, Debug)]
+pub struct PipelineConfig {
+    /// How long a query may stay pending before it fails honestly.
+    pub deadline: SimDuration,
+    /// Downlink transmission attempts (first tries plus retransmissions)
+    /// the pump may issue per epoch, shared across all of the proxy's
+    /// sensors. The round-robin pump start rotates each epoch so no
+    /// sensor monopolizes the budget.
+    pub epoch_attempt_budget: u32,
+    /// Shared pull-reply cache capacity, in replies (oldest evict first).
+    pub reply_cache_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            deadline: SimDuration::from_mins(10),
+            epoch_attempt_budget: 16,
+            reply_cache_capacity: 128,
+        }
+    }
+}
+
+/// A query submitted to the pipeline.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum PipelineQuery {
+    /// Current value of one sensor.
+    Now {
+        /// Sensor id.
+        sensor: u16,
+        /// Acceptable absolute error.
+        tolerance: f64,
+    },
+    /// Historical series of one sensor.
+    Past {
+        /// Sensor id.
+        sensor: u16,
+        /// Range start.
+        from: SimTime,
+        /// Range end.
+        to: SimTime,
+        /// Acceptable absolute error.
+        tolerance: f64,
+    },
+    /// An aggregate over one sensor's archive.
+    Aggregate {
+        /// Sensor id.
+        sensor: u16,
+        /// Range start.
+        from: SimTime,
+        /// Range end.
+        to: SimTime,
+        /// The operator.
+        op: AggregateOp,
+    },
+}
+
+impl PipelineQuery {
+    /// The queried sensor.
+    pub fn sensor(&self) -> u16 {
+        match self {
+            PipelineQuery::Now { sensor, .. }
+            | PipelineQuery::Past { sensor, .. }
+            | PipelineQuery::Aggregate { sensor, .. } => *sensor,
+        }
+    }
+}
+
+/// A completed query's answer: scalar (NOW, aggregate) or series (PAST).
+#[derive(Clone, Debug, PartialEq)]
+pub enum PipelineAnswer {
+    /// NOW and aggregate answers.
+    Scalar(Answer),
+    /// PAST answers.
+    Series(PastAnswer),
+}
+
+impl PipelineAnswer {
+    /// The answer's provenance.
+    pub fn source(&self) -> crate::AnswerSource {
+        match self {
+            PipelineAnswer::Scalar(a) => a.source,
+            PipelineAnswer::Series(a) => a.source,
+        }
+    }
+
+    /// The answer's end-to-end latency.
+    pub fn latency(&self) -> SimDuration {
+        match self {
+            PipelineAnswer::Scalar(a) => a.latency,
+            PipelineAnswer::Series(a) => a.latency,
+        }
+    }
+}
+
+/// A query the pipeline has finished, successfully or honestly not.
+#[derive(Clone, Debug)]
+pub struct CompletedQuery {
+    /// The ticket returned by `submit_query`.
+    pub id: u64,
+    /// The query as submitted.
+    pub query: PipelineQuery,
+    /// The answer.
+    pub answer: PipelineAnswer,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Completion time (equal to `submitted_at` for fast-path answers).
+    pub completed_at: SimTime,
+}
+
+/// Identity of the radio work a pending query needs: queries with equal
+/// keys coalesce into one RPC and are served from one cached reply.
+/// Exact equality (window *and* tolerance/operator) is deliberate:
+/// serving a sub-window slice of a differently-encoded reply would
+/// break value-identity with the synchronous reference path, because
+/// the reply codec is applied per reply, not per sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub(crate) enum PullKey {
+    /// An archive pull.
+    Pull {
+        sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        tol_bits: u64,
+    },
+    /// A sensor-evaluated aggregate.
+    Aggregate {
+        sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        op: (u8, u64),
+    },
+}
+
+/// Hashable encoding of an [`AggregateOp`].
+pub(crate) fn op_key(op: AggregateOp) -> (u8, u64) {
+    match op {
+        AggregateOp::Mean => (0, 0),
+        AggregateOp::Max => (1, 0),
+        AggregateOp::Min => (2, 0),
+        AggregateOp::Count => (3, 0),
+        AggregateOp::Mode { bin_width } => (4, bin_width.to_bits()),
+    }
+}
+
+/// One enqueued query awaiting radio work.
+#[derive(Clone, Debug)]
+pub(crate) struct PendingQuery {
+    /// Ticket id.
+    pub id: u64,
+    /// The query as submitted.
+    pub query: PipelineQuery,
+    /// The radio work it needs.
+    pub key: PullKey,
+    /// Pull window and reply tolerance derived from the query.
+    pub pull_from: SimTime,
+    pub pull_to: SimTime,
+    pub pull_tolerance: f64,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Honest-failure deadline.
+    pub deadline: SimTime,
+    /// The in-flight RPC serving this query, once issued. Several
+    /// pending queries may share one (coalescing).
+    pub rpc_qid: Option<u64>,
+}
+
+/// Pipeline counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Completed immediately from cache/model/spatial fast paths.
+    pub completed_fast: u64,
+    /// Completed from a matched RPC reply.
+    pub completed_pull: u64,
+    /// Completed from the shared pull-reply cache (no radio work).
+    pub completed_cached: u64,
+    /// Honest failures (deadline reached, or unregistered sensor).
+    pub failed: u64,
+    /// Queries attached to an RPC another query already had in flight.
+    pub coalesced: u64,
+    /// RPCs issued into the downlink channels.
+    pub rpcs_issued: u64,
+    /// Peak simultaneously outstanding pulls across the proxy's sensors.
+    pub max_in_flight: u64,
+}
+
+/// A reply kept in the shared pull-reply cache.
+#[derive(Clone, Debug)]
+struct CachedReply {
+    key: PullKey,
+    /// When the sensor served the reply: the archive span the samples
+    /// cover ends here, whatever the window asked for.
+    served_at: SimTime,
+    samples: Vec<(SimTime, f64)>,
+}
+
+/// Shared pull-reply cache: one entry per (sensor, window, tolerance),
+/// bounded FIFO. Repeat queries over a span any user already pulled are
+/// served from proxy memory instead of the radio.
+#[derive(Debug, Default)]
+pub struct PullReplyCache {
+    entries: VecDeque<CachedReply>,
+    capacity: usize,
+    hits: u64,
+    misses: u64,
+    stale_rejections: u64,
+}
+
+impl PullReplyCache {
+    /// Creates a cache bounded to `capacity` replies.
+    pub fn new(capacity: usize) -> Self {
+        PullReplyCache {
+            entries: VecDeque::new(),
+            capacity,
+            hits: 0,
+            misses: 0,
+            stale_rejections: 0,
+        }
+    }
+
+    /// Inserts a served reply, evicting the oldest beyond capacity. A
+    /// re-pull of the same key replaces the older entry (the newer
+    /// serving covers at least as much of the window).
+    pub(crate) fn insert(&mut self, key: PullKey, served_at: SimTime, samples: Vec<(SimTime, f64)>) {
+        if self.capacity == 0 {
+            return;
+        }
+        self.entries.retain(|e| e.key != key);
+        self.entries.push_back(CachedReply {
+            key,
+            served_at,
+            samples,
+        });
+        while self.entries.len() > self.capacity {
+            self.entries.pop_front();
+        }
+    }
+
+    /// Looks up a cached reply for `key`, applying the staleness
+    /// boundary: the query's window may extend past the instant the
+    /// cached reply was served (a window whose end was still in the
+    /// future then), in which case the cached samples cannot cover the
+    /// newest demanded data and the reply must NOT be served — the
+    /// query takes a fresh pull instead.
+    pub(crate) fn lookup(&mut self, key: PullKey, needed_through: SimTime) -> Option<&[(SimTime, f64)]> {
+        let Some(pos) = self.entries.iter().position(|e| e.key == key) else {
+            self.misses += 1;
+            return None;
+        };
+        if self.entries[pos].served_at < needed_through {
+            self.stale_rejections += 1;
+            self.misses += 1;
+            return None;
+        }
+        self.hits += 1;
+        Some(&self.entries[pos].samples)
+    }
+
+    /// Cached replies currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Lookups served from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Lookups that went to the radio.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Lookups rejected by the freshness check (cached reply too old
+    /// for the query's window), a subset of `misses`.
+    pub fn stale_rejections(&self) -> u64 {
+        self.stale_rejections
+    }
+}
+
+/// The pipeline state a proxy carries.
+pub struct QueryPipeline {
+    pub(crate) config: PipelineConfig,
+    pub(crate) pending: Vec<PendingQuery>,
+    pub(crate) completed: Vec<CompletedQuery>,
+    pub(crate) reply_cache: PullReplyCache,
+    pub(crate) stats: PipelineStats,
+    pub(crate) next_ticket: u64,
+    /// Rotating pump start index for cross-sensor fairness.
+    pub(crate) rr_cursor: usize,
+}
+
+impl QueryPipeline {
+    /// Creates an empty pipeline.
+    pub fn new(config: PipelineConfig) -> Self {
+        let reply_cache = PullReplyCache::new(config.reply_cache_capacity);
+        QueryPipeline {
+            config,
+            pending: Vec::new(),
+            completed: Vec::new(),
+            reply_cache,
+            stats: PipelineStats::default(),
+            next_ticket: 1,
+            rr_cursor: 0,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> PipelineStats {
+        self.stats
+    }
+
+    /// The shared pull-reply cache.
+    pub fn reply_cache(&self) -> &PullReplyCache {
+        &self.reply_cache
+    }
+
+    /// Queries currently pending (enqueued, not yet completed).
+    pub fn pending_queries(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Completed queries awaiting collection.
+    pub fn completed_ready(&self) -> usize {
+        self.completed.len()
+    }
+
+    /// Drains every completed query recorded since the last call.
+    pub fn take_completed(&mut self) -> Vec<CompletedQuery> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(from_s: u64, to_s: u64) -> PullKey {
+        PullKey::Pull {
+            sensor: 1,
+            from: SimTime::from_secs(from_s),
+            to: SimTime::from_secs(to_s),
+            tol_bits: 0.5f64.to_bits(),
+        }
+    }
+
+    #[test]
+    fn reply_cache_serves_exact_key() {
+        let mut c = PullReplyCache::new(4);
+        c.insert(key(0, 100), SimTime::from_secs(100), vec![(SimTime::from_secs(50), 1.0)]);
+        assert!(c.lookup(key(0, 100), SimTime::from_secs(100)).is_some());
+        assert!(c.lookup(key(0, 101), SimTime::from_secs(100)).is_none());
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn reply_cache_freshness_rejects_stale_coverage() {
+        // A reply served at t=100 for a window ending at t=200 (the
+        // window's end was still in the future at serve time) must not
+        // answer a later query demanding coverage through t=200.
+        let mut c = PullReplyCache::new(4);
+        c.insert(key(0, 200), SimTime::from_secs(100), vec![(SimTime::from_secs(90), 1.0)]);
+        assert!(
+            c.lookup(key(0, 200), SimTime::from_secs(200)).is_none(),
+            "stale reply served past its coverage"
+        );
+        assert_eq!(c.stale_rejections(), 1);
+        // The same entry is fine for a query content with coverage
+        // through its serve time.
+        assert!(c.lookup(key(0, 200), SimTime::from_secs(100)).is_some());
+    }
+
+    #[test]
+    fn reply_cache_bounds_capacity_fifo() {
+        let mut c = PullReplyCache::new(2);
+        for i in 0..3u64 {
+            c.insert(key(i, i + 10), SimTime::from_secs(i + 10), Vec::new());
+        }
+        assert_eq!(c.len(), 2);
+        assert!(c.lookup(key(0, 10), SimTime::ZERO).is_none(), "oldest evicted");
+        assert!(c.lookup(key(2, 12), SimTime::ZERO).is_some());
+    }
+
+    #[test]
+    fn reply_cache_repull_replaces_entry() {
+        let mut c = PullReplyCache::new(4);
+        c.insert(key(0, 100), SimTime::from_secs(100), vec![(SimTime::from_secs(10), 1.0)]);
+        c.insert(key(0, 100), SimTime::from_secs(300), vec![(SimTime::from_secs(10), 2.0)]);
+        assert_eq!(c.len(), 1);
+        let s = c.lookup(key(0, 100), SimTime::from_secs(200)).expect("fresh entry");
+        assert_eq!(s[0].1, 2.0, "newest serving wins");
+    }
+}

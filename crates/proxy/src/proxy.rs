@@ -27,6 +27,10 @@ use presto_sensor::{DownlinkMsg, SensorNode, UplinkMsg, UplinkPayload};
 
 use crate::cache::{CacheSource, CachedEvent, CachedSample, EventCache, SensorCache};
 use crate::engine::{EngineConfig, ModelSlot, PredictionEngine};
+use crate::pipeline::{
+    op_key, CompletedQuery, PendingQuery, PipelineAnswer, PipelineConfig, PipelineQuery,
+    PullKey, QueryPipeline,
+};
 
 /// Proxy configuration.
 #[derive(Clone, Debug)]
@@ -54,6 +58,8 @@ pub struct ProxyConfig {
     pub past_coverage_hit: f64,
     /// Event cache capacity, in events (oldest evict first).
     pub event_capacity: usize,
+    /// Asynchronous query pipeline parameters.
+    pub pipeline: PipelineConfig,
 }
 
 impl Default for ProxyConfig {
@@ -70,6 +76,7 @@ impl Default for ProxyConfig {
             sensor_lpl: SimDuration::from_secs(1),
             past_coverage_hit: 0.9,
             event_capacity: 100_000,
+            pipeline: PipelineConfig::default(),
         }
     }
 }
@@ -174,6 +181,9 @@ pub struct PrestoProxy {
     downlink: Mac,
     stats: ProxyStats,
     next_query_id: u64,
+    /// The asynchronous query pipeline: pending queries, the shared
+    /// pull-reply cache, and completed answers awaiting collection.
+    pipeline: QueryPipeline,
     /// Reusable buffer for model-training history snapshots, so periodic
     /// retrain checks do not allocate a fresh vector per sensor pass.
     history_scratch: Vec<(SimTime, f64)>,
@@ -199,6 +209,7 @@ impl PrestoProxy {
             ledger: EnergyLedger::new(),
             stats: ProxyStats::default(),
             next_query_id: 1,
+            pipeline: QueryPipeline::new(config.pipeline.clone()),
             history_scratch: Vec::new(),
             config,
         }
@@ -503,36 +514,22 @@ impl PrestoProxy {
         self.config.radio.airtime(wire) + SimDuration::from_millis(2) * frames
     }
 
-    /// Answers a NOW query for one sensor: cache hit → extrapolation →
-    /// spatial → pull.
-    pub fn answer_now(
-        &mut self,
-        t: SimTime,
-        sensor: u16,
-        tolerance: f64,
-        node: &mut SensorNode,
-        chan: &mut DownlinkChannel,
-    ) -> Answer {
-        self.stats.now_queries += 1;
-        let Some(slot) = self.sensors.get(&sensor) else {
-            return Answer {
-                value: 0.0,
-                sigma: f64::INFINITY,
-                source: AnswerSource::Failed,
-                latency: SimDuration::ZERO,
-            };
-        };
+    /// Fast, radio-free NOW paths — cache hit → temporal extrapolation
+    /// → spatial conditioning — shared by the blocking query path and
+    /// the asynchronous pipeline. `None` means only a pull can answer.
+    fn try_now_fast(&mut self, t: SimTime, sensor: u16, tolerance: f64) -> Option<Answer> {
+        let slot = self.sensors.get(&sensor)?;
 
         // 1. Fresh cached sample.
         if let Some(s) = slot.cache.latest() {
             if t - s.t <= self.config.freshness {
                 self.stats.cache_hits += 1;
-                return Answer {
+                return Some(Answer {
                     value: s.value,
                     sigma: 0.0,
                     source: AnswerSource::CacheHit,
                     latency: SimDuration::from_millis(1),
-                };
+                });
             }
         }
 
@@ -542,12 +539,12 @@ impl PrestoProxy {
             if self.config.push_tolerance <= tolerance {
                 let p = PredictionEngine::extrapolate(m, t, self.config.push_tolerance);
                 self.stats.extrapolations += 1;
-                return Answer {
+                return Some(Answer {
                     value: p.value,
                     sigma: p.sigma,
                     source: AnswerSource::Extrapolated,
                     latency: SimDuration::from_millis(2),
-                };
+                });
             }
         }
 
@@ -569,15 +566,40 @@ impl PrestoProxy {
                     let p = g.condition(&observed, target_idx);
                     if p.sigma <= tolerance {
                         self.stats.spatial_extrapolations += 1;
-                        return Answer {
+                        return Some(Answer {
                             value: p.value,
                             sigma: p.sigma,
                             source: AnswerSource::SpatialExtrapolated,
                             latency: SimDuration::from_millis(2),
-                        };
+                        });
                     }
                 }
             }
+        }
+        None
+    }
+
+    /// Answers a NOW query for one sensor: cache hit → extrapolation →
+    /// spatial → pull.
+    pub fn answer_now(
+        &mut self,
+        t: SimTime,
+        sensor: u16,
+        tolerance: f64,
+        node: &mut SensorNode,
+        chan: &mut DownlinkChannel,
+    ) -> Answer {
+        self.stats.now_queries += 1;
+        if !self.sensors.contains_key(&sensor) {
+            return Answer {
+                value: 0.0,
+                sigma: f64::INFINITY,
+                source: AnswerSource::Failed,
+                latency: SimDuration::ZERO,
+            };
+        }
+        if let Some(a) = self.try_now_fast(t, sensor, tolerance) {
+            return a;
         }
 
         // 4. Miss-triggered pull of the most recent archive contents.
@@ -618,33 +640,23 @@ impl PrestoProxy {
         }
     }
 
-    /// Answers a PAST query: cache coverage → extrapolation (model
-    /// guarantee over the range) → archive pull.
-    #[allow(clippy::too_many_arguments)]
-    pub fn answer_past(
+    /// Fast, radio-free PAST paths — dense cache coverage → model-era
+    /// extrapolation — shared by the blocking query path and the
+    /// asynchronous pipeline. `None` means only a pull can answer.
+    fn try_past_fast(
         &mut self,
-        t: SimTime,
         sensor: u16,
         from: SimTime,
         to: SimTime,
         tolerance: f64,
-        node: &mut SensorNode,
-        chan: &mut DownlinkChannel,
-    ) -> PastAnswer {
-        self.stats.past_queries += 1;
-        let Some(slot) = self.sensors.get(&sensor) else {
-            return PastAnswer {
-                samples: Vec::new(),
-                source: AnswerSource::Failed,
-                latency: SimDuration::ZERO,
-            };
-        };
+    ) -> Option<PastAnswer> {
+        let slot = self.sensors.get(&sensor)?;
 
         // 1. Dense cache coverage.
         let coverage = slot.cache.coverage(from, to, self.config.sample_period);
         if coverage >= self.config.past_coverage_hit {
             self.stats.cache_hits += 1;
-            return PastAnswer {
+            return Some(PastAnswer {
                 samples: slot
                     .cache
                     .range(from, to)
@@ -653,7 +665,7 @@ impl PrestoProxy {
                     .collect(),
                 source: AnswerSource::CacheHit,
                 latency: SimDuration::from_millis(2),
-            };
+            });
         }
 
         // 2. Model extrapolation over the range, valid only for the span
@@ -685,12 +697,39 @@ impl PrestoProxy {
                     ts += self.config.sample_period;
                 }
                 self.stats.extrapolations += 1;
-                return PastAnswer {
+                return Some(PastAnswer {
                     samples,
                     source: AnswerSource::Extrapolated,
                     latency: SimDuration::from_millis(3),
-                };
+                });
             }
+        }
+        None
+    }
+
+    /// Answers a PAST query: cache coverage → extrapolation (model
+    /// guarantee over the range) → archive pull.
+    #[allow(clippy::too_many_arguments)]
+    pub fn answer_past(
+        &mut self,
+        t: SimTime,
+        sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        tolerance: f64,
+        node: &mut SensorNode,
+        chan: &mut DownlinkChannel,
+    ) -> PastAnswer {
+        self.stats.past_queries += 1;
+        if !self.sensors.contains_key(&sensor) {
+            return PastAnswer {
+                samples: Vec::new(),
+                source: AnswerSource::Failed,
+                latency: SimDuration::ZERO,
+            };
+        }
+        if let Some(a) = self.try_past_fast(sensor, from, to, tolerance) {
+            return a;
         }
 
         // 3. Pull from the sensor's archive.
@@ -714,6 +753,35 @@ impl PrestoProxy {
         }
     }
 
+    /// Fast, radio-free aggregate path (dense cache coverage), shared
+    /// by the blocking query path and the asynchronous pipeline.
+    fn try_aggregate_fast(
+        &mut self,
+        sensor: u16,
+        from: SimTime,
+        to: SimTime,
+        op: presto_sensor::AggregateOp,
+    ) -> Option<Answer> {
+        let slot = self.sensors.get(&sensor)?;
+        let coverage = slot.cache.coverage(from, to, self.config.sample_period);
+        if coverage >= self.config.past_coverage_hit {
+            let values: Vec<f64> = slot
+                .cache
+                .range(from, to)
+                .into_iter()
+                .map(|s| s.value)
+                .collect();
+            self.stats.cache_hits += 1;
+            return Some(Answer {
+                value: presto_sensor::evaluate_aggregate(op, &values),
+                sigma: 0.0,
+                source: AnswerSource::CacheHit,
+                latency: SimDuration::from_millis(2),
+            });
+        }
+        None
+    }
+
     /// Answers an aggregate PAST query: computed from the cache when
     /// coverage allows, otherwise evaluated *at the sensor* over its
     /// archive so only the scalar result crosses the radio (paper §3's
@@ -730,31 +798,17 @@ impl PrestoProxy {
         chan: &mut DownlinkChannel,
     ) -> Answer {
         self.stats.past_queries += 1;
-        let Some(slot) = self.sensors.get(&sensor) else {
+        if !self.sensors.contains_key(&sensor) {
             return Answer {
                 value: f64::NAN,
                 sigma: f64::INFINITY,
                 source: AnswerSource::Failed,
                 latency: SimDuration::ZERO,
             };
-        };
-
+        }
         // Dense cache coverage: aggregate locally.
-        let coverage = slot.cache.coverage(from, to, self.config.sample_period);
-        if coverage >= self.config.past_coverage_hit {
-            let values: Vec<f64> = slot
-                .cache
-                .range(from, to)
-                .into_iter()
-                .map(|s| s.value)
-                .collect();
-            self.stats.cache_hits += 1;
-            return Answer {
-                value: presto_sensor::evaluate_aggregate(op, &values),
-                sigma: 0.0,
-                source: AnswerSource::CacheHit,
-                latency: SimDuration::from_millis(2),
-            };
+        if let Some(a) = self.try_aggregate_fast(sensor, from, to, op) {
+            return a;
         }
 
         // Ship the operator to the sensor. One RPC — the downlink
@@ -895,6 +949,487 @@ impl PrestoProxy {
             self.stats.pull_failures += 1;
         }
         (None, latency)
+    }
+
+    // ──────────────── asynchronous query pipeline ────────────────
+
+    /// The asynchronous query pipeline (stats, reply cache, queue
+    /// depth).
+    pub fn pipeline(&self) -> &QueryPipeline {
+        &self.pipeline
+    }
+
+    /// Drains completed pipeline queries recorded since the last call.
+    pub fn take_completed_queries(&mut self) -> Vec<CompletedQuery> {
+        self.pipeline.take_completed()
+    }
+
+    /// Submits a query to the asynchronous pipeline. The radio-free
+    /// fast paths (cache hit, model extrapolation, spatial
+    /// conditioning, dense-coverage aggregation, the shared pull-reply
+    /// cache) complete immediately; a precision miss enqueues a
+    /// `PendingQuery` that [`PrestoProxy::pump_queries`] serves across
+    /// epochs. Returns the ticket id under which the completion
+    /// surfaces in [`PrestoProxy::take_completed_queries`].
+    pub fn submit_query(&mut self, t: SimTime, query: PipelineQuery) -> u64 {
+        let id = self.pipeline.next_ticket;
+        self.pipeline.next_ticket += 1;
+        self.pipeline.stats.submitted += 1;
+        match query {
+            PipelineQuery::Now { .. } => self.stats.now_queries += 1,
+            PipelineQuery::Past { .. } | PipelineQuery::Aggregate { .. } => {
+                self.stats.past_queries += 1
+            }
+        }
+        if !self.sensors.contains_key(&query.sensor()) {
+            let answer = self.failed_answer(&query, SimDuration::ZERO);
+            self.pipeline.stats.failed += 1;
+            self.pipeline.completed.push(CompletedQuery {
+                id,
+                query,
+                answer,
+                submitted_at: t,
+                completed_at: t,
+            });
+            return id;
+        }
+        let fast = match query {
+            PipelineQuery::Now { sensor, tolerance } => self
+                .try_now_fast(t, sensor, tolerance)
+                .map(PipelineAnswer::Scalar),
+            PipelineQuery::Past {
+                sensor,
+                from,
+                to,
+                tolerance,
+            } => self
+                .try_past_fast(sensor, from, to, tolerance)
+                .map(PipelineAnswer::Series),
+            PipelineQuery::Aggregate {
+                sensor,
+                from,
+                to,
+                op,
+            } => self
+                .try_aggregate_fast(sensor, from, to, op)
+                .map(PipelineAnswer::Scalar),
+        };
+        if let Some(answer) = fast {
+            self.pipeline.stats.completed_fast += 1;
+            self.pipeline.completed.push(CompletedQuery {
+                id,
+                query,
+                answer,
+                submitted_at: t,
+                completed_at: t,
+            });
+            return id;
+        }
+        let (key, pull_from, pull_to, pull_tolerance) = self.pull_plan(t, &query);
+        // Shared pull-reply cache: a span any user already pulled at
+        // this tolerance answers from proxy memory — unless the window
+        // extends past the cached reply's coverage (freshness check),
+        // in which case a fresh pull is the only honest answer.
+        if matches!(key, PullKey::Pull { .. }) {
+            if let Some(samples) = self.pipeline.reply_cache.lookup(key, pull_to) {
+                let samples = samples.to_vec();
+                let answer =
+                    self.answer_from_samples(&query, &samples, SimDuration::from_millis(2));
+                self.pipeline.stats.completed_cached += 1;
+                self.pipeline.completed.push(CompletedQuery {
+                    id,
+                    query,
+                    answer,
+                    submitted_at: t,
+                    completed_at: t,
+                });
+                return id;
+            }
+        }
+        let deadline = t + self.pipeline.config.deadline;
+        self.pipeline.pending.push(PendingQuery {
+            id,
+            query,
+            key,
+            pull_from,
+            pull_to,
+            pull_tolerance,
+            submitted_at: t,
+            deadline,
+            rpc_qid: None,
+        });
+        id
+    }
+
+    /// The radio work a precision-missed query needs: its pull window,
+    /// reply tolerance, and coalescing key.
+    fn pull_plan(&self, t: SimTime, query: &PipelineQuery) -> (PullKey, SimTime, SimTime, f64) {
+        match *query {
+            PipelineQuery::Now { sensor, tolerance } => {
+                let from = t - self.config.sample_period * 3;
+                (
+                    PullKey::Pull {
+                        sensor,
+                        from,
+                        to: t,
+                        tol_bits: tolerance.to_bits(),
+                    },
+                    from,
+                    t,
+                    tolerance,
+                )
+            }
+            PipelineQuery::Past {
+                sensor,
+                from,
+                to,
+                tolerance,
+            } => (
+                PullKey::Pull {
+                    sensor,
+                    from,
+                    to,
+                    tol_bits: tolerance.to_bits(),
+                },
+                from,
+                to,
+                tolerance,
+            ),
+            PipelineQuery::Aggregate {
+                sensor,
+                from,
+                to,
+                op,
+            } => (
+                PullKey::Aggregate {
+                    sensor,
+                    from,
+                    to,
+                    op: op_key(op),
+                },
+                from,
+                to,
+                0.0,
+            ),
+        }
+    }
+
+    /// The honest failure answer for a query, mirroring the blocking
+    /// path's best-effort fallbacks (stale cache value or partial cached
+    /// range, always advertised with sigma ∞ / `Failed`).
+    fn failed_answer(&self, query: &PipelineQuery, latency: SimDuration) -> PipelineAnswer {
+        match *query {
+            PipelineQuery::Now { sensor, .. } => {
+                let (value, sigma) = self
+                    .sensors
+                    .get(&sensor)
+                    .and_then(|s| s.cache.latest())
+                    .map(|s| (s.value, f64::INFINITY))
+                    .unwrap_or((0.0, f64::INFINITY));
+                PipelineAnswer::Scalar(Answer {
+                    value,
+                    sigma,
+                    source: AnswerSource::Failed,
+                    latency,
+                })
+            }
+            PipelineQuery::Past {
+                sensor, from, to, ..
+            } => {
+                let samples = self
+                    .sensors
+                    .get(&sensor)
+                    .map(|s| {
+                        s.cache
+                            .range(from, to)
+                            .into_iter()
+                            .map(|cs| (cs.t, cs.value))
+                            .collect()
+                    })
+                    .unwrap_or_default();
+                PipelineAnswer::Series(PastAnswer {
+                    samples,
+                    source: AnswerSource::Failed,
+                    latency,
+                })
+            }
+            PipelineQuery::Aggregate { .. } => PipelineAnswer::Scalar(Answer {
+                value: f64::NAN,
+                sigma: f64::INFINITY,
+                source: AnswerSource::Failed,
+                latency,
+            }),
+        }
+    }
+
+    /// Builds a query's answer from a pull reply's samples, mirroring
+    /// the blocking path's value extraction exactly (value-identity is
+    /// pinned by the pipeline-equivalence property test).
+    fn answer_from_samples(
+        &self,
+        query: &PipelineQuery,
+        samples: &[(SimTime, f64)],
+        latency: SimDuration,
+    ) -> PipelineAnswer {
+        match *query {
+            PipelineQuery::Now { tolerance, .. } => match samples.last() {
+                Some(&(_, v)) => PipelineAnswer::Scalar(Answer {
+                    value: v,
+                    sigma: tolerance / 2.0,
+                    source: AnswerSource::Pulled,
+                    latency,
+                }),
+                None => self.failed_answer(query, latency),
+            },
+            PipelineQuery::Past { .. } => {
+                if samples.is_empty() {
+                    self.failed_answer(query, latency)
+                } else {
+                    PipelineAnswer::Series(PastAnswer {
+                        samples: samples.to_vec(),
+                        source: AnswerSource::Pulled,
+                        latency,
+                    })
+                }
+            }
+            // Aggregates complete straight from their scalar reply, not
+            // from samples.
+            PipelineQuery::Aggregate { .. } => self.failed_answer(query, latency),
+        }
+    }
+
+    /// Drives the pipeline one epoch tick: expires overdue queries
+    /// honestly, issues RPCs for newly enqueued ones (coalescing
+    /// identical (sensor, window, tolerance) needs into one pull),
+    /// pumps every sensor's downlink channel round-robin under the
+    /// per-epoch attempt budget, and completes queries whose replies
+    /// arrived. `base_gid` maps sensor ids to slice indices: sensor `g`
+    /// lives at `nodes[g - base_gid]` / `chans[g - base_gid]`.
+    pub fn pump_queries(
+        &mut self,
+        t: SimTime,
+        base_gid: u16,
+        nodes: &mut [SensorNode],
+        chans: &mut [DownlinkChannel],
+    ) {
+        let pending = std::mem::take(&mut self.pipeline.pending);
+
+        // 1. Honest expiry: overdue queries fail now. An RPC left with
+        // no attached query is cancelled, so the pending-RPC table
+        // cannot leak entries (sensor death included: its RPCs keep
+        // failing attempts while the link is gated, then expire here).
+        let (expired, mut live): (Vec<PendingQuery>, Vec<PendingQuery>) =
+            pending.into_iter().partition(|q| q.deadline <= t);
+        for q in expired {
+            if let Some(qid) = q.rpc_qid {
+                if !live.iter().any(|p| p.rpc_qid == Some(qid)) {
+                    let cancelled = q
+                        .query
+                        .sensor()
+                        .checked_sub(base_gid)
+                        .and_then(|local| chans.get_mut(local as usize))
+                        .is_some_and(|ch| ch.cancel_async(qid));
+                    if cancelled {
+                        // The RPC was issued (booked in `pulls`) and
+                        // produced nothing: a query-path pull failure.
+                        self.stats.pull_failures += 1;
+                    }
+                }
+            }
+            let answer = self.failed_answer(&q.query, t - q.submitted_at);
+            self.pipeline.stats.failed += 1;
+            self.pipeline.completed.push(CompletedQuery {
+                id: q.id,
+                query: q.query,
+                answer,
+                submitted_at: q.submitted_at,
+                completed_at: t,
+            });
+        }
+
+        // 2. Issue radio work for queries that have none. A query whose
+        // (sensor, window, tolerance) an in-flight RPC already covers
+        // attaches to it instead of pulling again.
+        let mut in_flight_keys: HashMap<PullKey, u64> = live
+            .iter()
+            .filter_map(|q| q.rpc_qid.map(|qid| (q.key, qid)))
+            .collect();
+        for q in live.iter_mut() {
+            if q.rpc_qid.is_some() {
+                continue;
+            }
+            if let Some(&qid) = in_flight_keys.get(&q.key) {
+                q.rpc_qid = Some(qid);
+                self.pipeline.stats.coalesced += 1;
+                continue;
+            }
+            let Some(ch) = q
+                .query
+                .sensor()
+                .checked_sub(base_gid)
+                .and_then(|local| chans.get_mut(local as usize))
+            else {
+                // No channel for this sensor in the pumped cluster; the
+                // query fails honestly at its deadline.
+                continue;
+            };
+            let qid = self.next_query_id;
+            self.next_query_id += 1;
+            let msg = match q.query {
+                PipelineQuery::Now { .. } | PipelineQuery::Past { .. } => {
+                    DownlinkMsg::PullRequest {
+                        query_id: qid,
+                        from: q.pull_from,
+                        to: q.pull_to,
+                        tolerance: q.pull_tolerance,
+                    }
+                }
+                PipelineQuery::Aggregate { from, to, op, .. } => {
+                    DownlinkMsg::AggregateRequest {
+                        query_id: qid,
+                        from,
+                        to,
+                        op,
+                    }
+                }
+            };
+            // One RPC per coalesced group, counted when issued — the
+            // same attempts-per-RPC meaning `pulls` has on the blocking
+            // path, and still disjoint from `recovery_pulls`.
+            self.stats.pulls += 1;
+            self.pipeline.stats.rpcs_issued += 1;
+            ch.submit_async(t, msg, q.deadline);
+            q.rpc_qid = Some(qid);
+            in_flight_keys.insert(q.key, qid);
+        }
+
+        // Peak-concurrency high-water mark, measured after issuance.
+        let in_flight: usize = chans.iter().map(|c| c.async_in_flight()).sum();
+        self.pipeline.stats.max_in_flight =
+            self.pipeline.stats.max_in_flight.max(in_flight as u64);
+
+        // 3. Pump every channel, rotating the start index each epoch so
+        // the shared attempt budget is spread fairly across sensors.
+        let mut budget = self.pipeline.config.epoch_attempt_budget;
+        let n = chans.len().max(1);
+        let start = self.pipeline.rr_cursor % n;
+        self.pipeline.rr_cursor = self.pipeline.rr_cursor.wrapping_add(1);
+        let mut events = Vec::new();
+        for k in 0..chans.len() {
+            let i = (start + k) % n;
+            if chans[i].async_in_flight() == 0 {
+                continue;
+            }
+            events.extend(chans[i].pump_async(
+                t,
+                &mut nodes[i],
+                &self.downlink,
+                &mut self.ledger,
+                &mut budget,
+            ));
+        }
+
+        // 4. Match events back to pending queries.
+        for ev in events {
+            match ev {
+                presto_reliability::AsyncRpcEvent::Completed {
+                    query_id,
+                    reply,
+                    attempt_latency,
+                    ..
+                } => {
+                    // Fold the reply into the per-sensor cache exactly
+                    // as the blocking path does.
+                    self.on_uplink(&reply);
+                    let reply_air = self.reply_latency(reply.wire_bytes);
+                    let mut served = Vec::new();
+                    let mut i = 0;
+                    while i < live.len() {
+                        if live[i].rpc_qid == Some(query_id) {
+                            served.push(live.remove(i));
+                        } else {
+                            i += 1;
+                        }
+                    }
+                    match &reply.payload {
+                        UplinkPayload::PullReply { samples, .. } => {
+                            let samples: Vec<(SimTime, f64)> =
+                                samples.iter().map(|s| (s.t, s.value)).collect();
+                            if let Some(first) = served.first() {
+                                // Share the reply: later queries over
+                                // this span skip the radio. `sent_at`
+                                // is the sensor-side serving time — the
+                                // instant the samples' coverage ends.
+                                self.pipeline.reply_cache.insert(
+                                    first.key,
+                                    reply.sent_at,
+                                    samples.clone(),
+                                );
+                            }
+                            for q in served {
+                                let latency =
+                                    (t - q.submitted_at) + attempt_latency + reply_air;
+                                let answer =
+                                    self.answer_from_samples(&q.query, &samples, latency);
+                                self.pipeline.stats.completed_pull += 1;
+                                self.pipeline.completed.push(CompletedQuery {
+                                    id: q.id,
+                                    query: q.query,
+                                    answer,
+                                    submitted_at: q.submitted_at,
+                                    completed_at: t,
+                                });
+                            }
+                        }
+                        UplinkPayload::AggregateReply {
+                            value,
+                            count,
+                            sigma,
+                            ..
+                        } => {
+                            for q in served {
+                                let latency =
+                                    (t - q.submitted_at) + attempt_latency + reply_air;
+                                let answer = PipelineAnswer::Scalar(Answer {
+                                    value: *value,
+                                    // Codec/aging-derived bound; an
+                                    // empty range carries nothing.
+                                    sigma: if *count == 0 {
+                                        f64::INFINITY
+                                    } else {
+                                        *sigma
+                                    },
+                                    source: AnswerSource::Pulled,
+                                    latency,
+                                });
+                                self.pipeline.stats.completed_pull += 1;
+                                self.pipeline.completed.push(CompletedQuery {
+                                    id: q.id,
+                                    query: q.query,
+                                    answer,
+                                    submitted_at: q.submitted_at,
+                                    completed_at: t,
+                                });
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                presto_reliability::AsyncRpcEvent::Expired { query_id, .. } => {
+                    // The RPC's deadline (its issuing query's) passed in
+                    // the channel. That issuing query was expired in
+                    // phase 1; coalesced queries with time left re-issue
+                    // a fresh RPC on the next pump.
+                    self.stats.pull_failures += 1;
+                    for q in live.iter_mut() {
+                        if q.rpc_qid == Some(query_id) {
+                            q.rpc_qid = None;
+                        }
+                    }
+                }
+            }
+        }
+        self.pipeline.pending = live;
     }
 }
 
@@ -1358,6 +1893,224 @@ mod tests {
             "mean {} outside [{lo}, {hi}]",
             a.value
         );
+    }
+
+    /// A silent sensor with ~200 archived samples plus a proxy whose
+    /// radio-free fast paths are disabled (empty cache, no model,
+    /// impossible coverage threshold), so every pipeline query takes
+    /// the pull path.
+    fn pipeline_rig(loss: f64, seed: u64) -> (PrestoProxy, SensorNode, DownlinkChannel) {
+        let mut proxy = PrestoProxy::new(ProxyConfig {
+            past_coverage_hit: f64::INFINITY,
+            ..ProxyConfig::default()
+        });
+        proxy.register_sensor(0);
+        let mut node = SensorNode::new(
+            0,
+            SensorConfig {
+                push: PushPolicy::Silent,
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        for i in 0..200u64 {
+            node.on_sample(SimTime::from_secs(31 * i), diurnal(SimTime::from_secs(31 * i)), None);
+        }
+        (proxy, node, chan_with_loss(loss, seed))
+    }
+
+    fn past(from_s: u64, to_s: u64, tolerance: f64) -> PipelineQuery {
+        PipelineQuery::Past {
+            sensor: 0,
+            from: SimTime::from_secs(from_s),
+            to: SimTime::from_secs(to_s),
+            tolerance,
+        }
+    }
+
+    #[test]
+    fn pipeline_coalesces_identical_windows_into_one_pull() {
+        let (mut proxy, mut node, mut chan) = pipeline_rig(0.0, 1);
+        let t = SimTime::from_secs(31 * 210);
+        // Three users ask the same window, two ask another.
+        for _ in 0..3 {
+            proxy.submit_query(t, past(31 * 10, 31 * 60, 0.3));
+        }
+        for _ in 0..2 {
+            proxy.submit_query(t, past(31 * 100, 31 * 150, 0.3));
+        }
+        assert_eq!(proxy.pipeline().pending_queries(), 5);
+        proxy.pump_queries(t, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        let done = proxy.take_completed_queries();
+        assert_eq!(done.len(), 5, "all coalesced queries complete from one reply");
+        for c in &done {
+            assert_eq!(c.answer.source(), AnswerSource::Pulled);
+        }
+        // Identical windows shared one RPC: two pulls on the wire, two
+        // flash serves at the sensor, three coalesced riders.
+        assert_eq!(proxy.stats().pulls, 2);
+        assert_eq!(node.stats().pulls_served, 2);
+        let ps = proxy.pipeline().stats();
+        assert_eq!(ps.rpcs_issued, 2);
+        assert_eq!(ps.coalesced, 3);
+        assert_eq!(ps.max_in_flight, 2, "both RPCs overlapped in flight");
+        // Bookkeeping: nothing leaks after completion.
+        assert_eq!(proxy.pipeline().pending_queries(), 0);
+        assert_eq!(chan.async_in_flight(), 0);
+        assert_eq!(chan.outstanding_rpcs(), 0);
+        // Coalesced answers are identical to each other.
+        let a0 = &done[0].answer;
+        let a1 = &done[1].answer;
+        match (a0, a1) {
+            (PipelineAnswer::Series(x), PipelineAnswer::Series(y)) => {
+                assert_eq!(x.samples, y.samples);
+            }
+            _ => panic!("past queries produce series"),
+        }
+    }
+
+    #[test]
+    fn pipeline_reply_cache_serves_repeat_window_without_radio() {
+        let (mut proxy, mut node, mut chan) = pipeline_rig(0.0, 2);
+        let t = SimTime::from_secs(31 * 210);
+        proxy.submit_query(t, past(31 * 10, 31 * 60, 0.3));
+        proxy.pump_queries(t, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        let first = proxy.take_completed_queries().remove(0);
+        let pulls_after_first = proxy.stats().pulls;
+        // A later user asks the same window: served from the shared
+        // reply cache, zero radio work.
+        let t2 = t + SimDuration::from_mins(5);
+        proxy.submit_query(t2, past(31 * 10, 31 * 60, 0.3));
+        let second = proxy.take_completed_queries().remove(0);
+        assert_eq!(proxy.stats().pulls, pulls_after_first, "no new RPC");
+        assert_eq!(proxy.pipeline().stats().completed_cached, 1);
+        assert_eq!(proxy.pipeline().reply_cache().hits(), 1);
+        match (&first.answer, &second.answer) {
+            (PipelineAnswer::Series(x), PipelineAnswer::Series(y)) => {
+                assert_eq!(x.samples, y.samples, "cache serves the identical reply");
+            }
+            _ => panic!("past queries produce series"),
+        }
+    }
+
+    #[test]
+    fn pipeline_reply_cache_rejects_stale_coverage_regression() {
+        // Regression for the staleness boundary: a cached reply must
+        // not serve a query whose window extends past the reply's
+        // coverage. Window [3100 s, 12400 s] is pulled while its end is
+        // still in the future (t = 6200 s): the reply covers only what
+        // was archived by then. After the sensor archives through the
+        // window's end, a repeat query over the same window must take a
+        // fresh pull — serving the cached reply would silently drop the
+        // newer half.
+        let (mut proxy, mut node, mut chan) = pipeline_rig(0.0, 3);
+        let open_window = past(3_100, 12_400, 0.3);
+        let t1 = SimTime::from_secs(6_200);
+        proxy.submit_query(t1, open_window);
+        proxy.pump_queries(t1, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        let first = proxy.take_completed_queries().remove(0);
+        let first_n = match &first.answer {
+            PipelineAnswer::Series(a) => {
+                assert_eq!(a.source, AnswerSource::Pulled);
+                a.samples.len()
+            }
+            _ => panic!("past query produces a series"),
+        };
+        // The sensor keeps sampling through the window's end.
+        for i in 200..500u64 {
+            let ts = SimTime::from_secs(31 * i);
+            node.on_sample(ts, diurnal(ts), None);
+        }
+        let t2 = SimTime::from_secs(31 * 500);
+        proxy.submit_query(t2, open_window);
+        assert_eq!(
+            proxy.pipeline().pending_queries(),
+            1,
+            "stale cached reply must not serve the repeat query"
+        );
+        assert!(proxy.pipeline().reply_cache().stale_rejections() >= 1);
+        proxy.pump_queries(t2, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        let second = proxy.take_completed_queries().remove(0);
+        match &second.answer {
+            PipelineAnswer::Series(a) => {
+                assert_eq!(a.source, AnswerSource::Pulled);
+                assert!(
+                    a.samples.len() > first_n,
+                    "fresh pull must cover the newer span: {} vs {first_n}",
+                    a.samples.len()
+                );
+                let last = a.samples.last().expect("non-empty").0;
+                assert!(last > SimTime::from_secs(6_200), "newer half missing");
+            }
+            _ => panic!("past query produces a series"),
+        }
+    }
+
+    #[test]
+    fn pipeline_deadline_fails_honestly_and_leaves_no_leaks() {
+        let (mut proxy, mut node, mut chan) = pipeline_rig(1.0, 4);
+        let t0 = SimTime::from_secs(31 * 210);
+        let deadline = proxy.config().pipeline.deadline;
+        for i in 0..4u64 {
+            proxy.submit_query(t0, past(31 * 10 * (i + 1), 31 * 10 * (i + 2), 0.3));
+        }
+        // Pump epoch by epoch until past the deadline.
+        let epochs = deadline.div_duration(SimDuration::from_secs(31)) + 2;
+        for e in 0..epochs {
+            let t = t0 + SimDuration::from_secs(31) * e;
+            proxy.pump_queries(t, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        }
+        let done = proxy.take_completed_queries();
+        assert_eq!(done.len(), 4, "every query terminates by its deadline");
+        for c in &done {
+            match &c.answer {
+                PipelineAnswer::Series(a) => assert_eq!(a.source, AnswerSource::Failed),
+                PipelineAnswer::Scalar(a) => {
+                    assert_eq!(a.source, AnswerSource::Failed);
+                    assert!(a.sigma.is_infinite());
+                }
+            }
+            assert!(c.completed_at <= c.submitted_at + deadline + SimDuration::from_secs(31));
+        }
+        // Bookkeeping: no leaked PendingQuery or pending-RPC entries.
+        assert_eq!(proxy.pipeline().pending_queries(), 0);
+        assert_eq!(chan.async_in_flight(), 0);
+        assert_eq!(chan.outstanding_rpcs(), 0);
+        assert!(proxy.stats().pull_failures >= 4);
+    }
+
+    #[test]
+    fn pipeline_pull_counters_stay_disjoint_under_concurrency() {
+        let (mut proxy, mut node, mut chan) = pipeline_rig(0.0, 5);
+        let t = SimTime::from_secs(31 * 210);
+        // Two pipeline pulls in flight plus a recovery replay.
+        proxy.submit_query(t, past(31 * 10, 31 * 60, 0.3));
+        proxy.submit_query(
+            t,
+            PipelineQuery::Aggregate {
+                sensor: 0,
+                from: SimTime::from_secs(31 * 10),
+                to: SimTime::from_secs(31 * 120),
+                op: presto_sensor::AggregateOp::Mean,
+            },
+        );
+        proxy.pump_queries(t, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        let replayed = proxy.recover_span(
+            t,
+            0,
+            SimTime::from_secs(31 * 100),
+            SimTime::from_secs(31 * 150),
+            0.05,
+            &mut node,
+            &mut chan,
+        );
+        assert!(replayed.is_some());
+        assert_eq!(proxy.stats().pulls, 2, "one per pipeline RPC issued");
+        assert_eq!(proxy.stats().recovery_pulls, 1);
+        assert_eq!(proxy.stats().pull_failures, 0);
+        let done = proxy.take_completed_queries();
+        assert_eq!(done.len(), 2);
+        assert!(done.iter().all(|c| c.answer.source() == AnswerSource::Pulled));
     }
 
     #[test]

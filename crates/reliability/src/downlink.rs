@@ -36,10 +36,22 @@
 //!   hook for the queued asynchronous query pipeline on the roadmap,
 //!   where replies genuinely arrive out of call order.
 //!
-//! The channel is driven synchronously in simulated time: an RPC call
-//! walks its own attempt/timeout schedule and returns the accumulated
-//! latency, so downlink loss shows up where the paper's users would see
-//! it — in query latency and `Failed` answer rates.
+//! The channel offers two driving modes over the same attempt machinery:
+//!
+//! * **synchronous** — [`DownlinkChannel::rpc`] walks its own
+//!   attempt/timeout schedule inside one call and returns the
+//!   accumulated latency (the original mode, kept as the reference
+//!   implementation for the pipeline-equivalence tests);
+//! * **asynchronous** — [`DownlinkChannel::submit_async`] enqueues a
+//!   reply-bearing RPC into a genuinely multi-outstanding pending-RPC
+//!   table, and [`DownlinkChannel::pump_async`] — driven once per epoch
+//!   by the proxy's query pipeline — issues or retransmits every due
+//!   attempt (metered by a caller-held per-epoch attempt budget and the
+//!   energy retry budget), matching arriving `PullReply`/
+//!   `AggregateReply` messages back to their queries. Timeouts are real
+//!   simulated time between pumps, so one proxy overlaps many in-flight
+//!   pulls and downlink loss shows up as latency percentiles instead of
+//!   serialized stalls.
 
 use std::collections::HashSet;
 
@@ -114,6 +126,15 @@ pub struct DownlinkStats {
     /// Replies that matched no outstanding query id (duplicates or
     /// strays), dropped by the pending-RPC table.
     pub duplicate_replies: u64,
+    /// Async RPCs submitted into the pending-RPC table.
+    pub async_submitted: u64,
+    /// Async RPCs that expired (deadline passed) before completing.
+    pub async_expired: u64,
+    /// Async attempts deferred because the energy retry budget was dry
+    /// (the RPC waits for the bucket to refill instead of dying).
+    pub deferred_budget: u64,
+    /// High-water mark of simultaneously outstanding async RPCs.
+    pub max_in_flight: u64,
 }
 
 /// Outcome of one fabric-routed RPC.
@@ -131,6 +152,58 @@ pub struct RpcOutcome {
     pub attempts: u32,
 }
 
+/// A queued asynchronous RPC: one entry of the multi-outstanding
+/// pending-RPC table, alive across epoch pumps until its reply arrives,
+/// its deadline passes, or it is cancelled.
+#[derive(Clone, Debug)]
+struct AsyncRpc {
+    qid: u64,
+    seq: u64,
+    msg: DownlinkMsg,
+    attempts: u32,
+    next_attempt_at: SimTime,
+    expires_at: SimTime,
+}
+
+/// What one `pump_async` pass observed for an outstanding RPC.
+#[derive(Clone, Debug)]
+pub enum AsyncRpcEvent {
+    /// A reply arrived and was matched through the pending-RPC table.
+    Completed {
+        /// The RPC's query id.
+        query_id: u64,
+        /// The matched reply.
+        reply: UplinkMsg,
+        /// In-flight latency of the winning attempt (MAC + channel
+        /// delays); the epochs spent waiting are real simulated time
+        /// the caller already observes.
+        attempt_latency: SimDuration,
+        /// Transmission attempts made over the RPC's lifetime.
+        attempts: u32,
+    },
+    /// The RPC's deadline passed without a matched reply.
+    Expired {
+        /// The RPC's query id.
+        query_id: u64,
+        /// Transmission attempts made before giving up.
+        attempts: u32,
+    },
+}
+
+/// Outcome of one transmission attempt (shared by the synchronous RPC
+/// loop and the asynchronous pump).
+enum Attempt {
+    /// Reply-bearing request completed: the matched reply plus the
+    /// attempt's in-flight latency.
+    Reply(UplinkMsg, SimDuration),
+    /// Ack-only request acknowledged.
+    Acked(SimDuration),
+    /// The attempt died somewhere (link gated, request lost, reply or
+    /// ack lost, stray reply); the latency is what was spent on the air
+    /// before the proxy started waiting.
+    Lost(SimDuration),
+}
+
 /// A sequenced, ack/retransmit proxy→sensor channel for one sensor.
 pub struct DownlinkChannel {
     config: DownlinkConfig,
@@ -146,6 +219,10 @@ pub struct DownlinkChannel {
     next_seq: u64,
     /// Pending-RPC table: outstanding query ids awaiting a reply.
     outstanding: HashSet<u64>,
+    /// Queued asynchronous RPCs, in submission order (the pump serves
+    /// them oldest-first, so one hot query cannot starve the rest of
+    /// the channel).
+    async_rpcs: Vec<AsyncRpc>,
     retry_spent_j: f64,
     last_refill: SimTime,
     stats: DownlinkStats,
@@ -163,6 +240,7 @@ impl DownlinkChannel {
             link_up: true,
             next_seq: 0,
             outstanding: HashSet::new(),
+            async_rpcs: Vec::new(),
             retry_spent_j: 0.0,
             last_refill: SimTime::ZERO,
             stats: DownlinkStats::default(),
@@ -242,7 +320,6 @@ impl DownlinkChannel {
         if let Some(q) = rpc_qid {
             self.outstanding.insert(q);
         }
-        let expects_reply = rpc_qid.is_some();
         let wire = msg.wire_bytes();
         let mut latency = SimDuration::ZERO;
         let mut attempts: u32 = 0;
@@ -263,46 +340,9 @@ impl DownlinkChannel {
             }
             attempts += 1;
 
-            if !self.link_up {
-                // The proxy cannot know the sensor is crashed or blacked
-                // out before transmitting: it pays the wake-up preamble
-                // and frames into the void, exactly as on real hardware.
-                // (The crashed sensor's radio is off — it pays nothing.)
-                self.stats.blocked_link_down += 1;
-                proxy_ledger.charge(EnergyCategory::RadioTx, mac.expected_send_energy(wire));
-                latency += self.config.rpc_timeout;
-                continue;
-            }
-            let mac_out = mac.send(wire, &mut self.first_hop, proxy_ledger, Some(node.ledger_mut()));
-            latency += mac_out.latency;
-            if !mac_out.delivered || !self.request.deliver() {
-                self.stats.requests_lost += 1;
-                latency += self.config.rpc_timeout;
-                continue;
-            }
-            latency += self.config.base_delay + self.config.per_byte_delay * wire as u64;
-            let arrive = t + latency;
-            let reply = node.handle_sequenced_downlink(arrive, seq, msg, Some(proxy_ledger));
-            match reply {
-                Some(r) => {
-                    if !self.link_up || !self.reply.deliver() {
-                        self.stats.replies_lost += 1;
-                        latency += self.config.rpc_timeout;
-                        continue;
-                    }
-                    latency +=
-                        self.config.base_delay + self.config.per_byte_delay * r.wire_bytes as u64;
-                    // Pending-RPC match: each query id is consumed once.
-                    let consumed = match (rpc_qid, reply_query_id(&r)) {
-                        (Some(want), Some(got)) if want == got => self.outstanding.remove(&want),
-                        (None, _) => true,
-                        _ => false,
-                    };
-                    if !consumed {
-                        self.stats.duplicate_replies += 1;
-                        latency += self.config.rpc_timeout;
-                        continue;
-                    }
+            match self.attempt_once(t, seq, msg, rpc_qid, latency, wire, node, mac, proxy_ledger) {
+                Attempt::Reply(r, l) => {
+                    latency += l;
                     self.stats.delivered += 1;
                     outcome = Some(RpcOutcome {
                         reply: Some(r),
@@ -312,23 +352,8 @@ impl DownlinkChannel {
                     });
                     break;
                 }
-                None if expects_reply => {
-                    // The reply died at the sensor's own MAC; the request
-                    // was applied, but the proxy learns nothing — retry,
-                    // and the sensor's dedup serves it from cache.
-                    self.stats.replies_lost += 1;
-                    latency += self.config.rpc_timeout;
-                    continue;
-                }
-                None => {
-                    // Ack-only request (model update, retune): a tiny
-                    // link-layer ack rides the reply path.
-                    if !self.reply.deliver() {
-                        self.stats.replies_lost += 1;
-                        latency += self.config.rpc_timeout;
-                        continue;
-                    }
-                    latency += self.config.base_delay;
+                Attempt::Acked(l) => {
+                    latency += l;
                     self.stats.delivered += 1;
                     outcome = Some(RpcOutcome {
                         reply: None,
@@ -337,6 +362,12 @@ impl DownlinkChannel {
                         attempts,
                     });
                     break;
+                }
+                Attempt::Lost(l) => {
+                    // In the synchronous mode the proxy blocks through
+                    // the timeout, so it lands in the answer's latency.
+                    latency += l + self.config.rpc_timeout;
+                    continue;
                 }
             }
         }
@@ -352,6 +383,219 @@ impl DownlinkChannel {
                 attempts,
             }
         })
+    }
+
+    /// One transmission attempt of a sequenced request: first-hop MAC,
+    /// end-to-end request loss, sensor handling, reply/ack-path loss,
+    /// and the pending-RPC match. `elapsed` is the latency already
+    /// accumulated before this attempt starts (the synchronous loop's
+    /// timeouts; zero under the async pump, where waiting is real
+    /// simulated time).
+    #[allow(clippy::too_many_arguments)]
+    fn attempt_once(
+        &mut self,
+        t: SimTime,
+        seq: u64,
+        msg: &DownlinkMsg,
+        rpc_qid: Option<u64>,
+        elapsed: SimDuration,
+        wire: usize,
+        node: &mut SensorNode,
+        mac: &Mac,
+        proxy_ledger: &mut EnergyLedger,
+    ) -> Attempt {
+        let expects_reply = rpc_qid.is_some();
+        if !self.link_up {
+            // The proxy cannot know the sensor is crashed or blacked
+            // out before transmitting: it pays the wake-up preamble
+            // and frames into the void, exactly as on real hardware.
+            // (The crashed sensor's radio is off — it pays nothing.)
+            self.stats.blocked_link_down += 1;
+            proxy_ledger.charge(EnergyCategory::RadioTx, mac.expected_send_energy(wire));
+            return Attempt::Lost(SimDuration::ZERO);
+        }
+        let mut latency = SimDuration::ZERO;
+        let mac_out = mac.send(wire, &mut self.first_hop, proxy_ledger, Some(node.ledger_mut()));
+        latency += mac_out.latency;
+        if !mac_out.delivered || !self.request.deliver() {
+            self.stats.requests_lost += 1;
+            return Attempt::Lost(latency);
+        }
+        latency += self.config.base_delay + self.config.per_byte_delay * wire as u64;
+        let arrive = t + elapsed + latency;
+        let reply = node.handle_sequenced_downlink(arrive, seq, msg, Some(proxy_ledger));
+        match reply {
+            Some(r) => {
+                if !self.link_up || !self.reply.deliver() {
+                    self.stats.replies_lost += 1;
+                    return Attempt::Lost(latency);
+                }
+                latency +=
+                    self.config.base_delay + self.config.per_byte_delay * r.wire_bytes as u64;
+                // Pending-RPC match: each query id is consumed once.
+                let consumed = match (rpc_qid, reply_query_id(&r)) {
+                    (Some(want), Some(got)) if want == got => self.outstanding.remove(&want),
+                    (None, _) => true,
+                    _ => false,
+                };
+                if !consumed {
+                    self.stats.duplicate_replies += 1;
+                    return Attempt::Lost(latency);
+                }
+                Attempt::Reply(r, latency)
+            }
+            None if expects_reply => {
+                // The reply died at the sensor's own MAC; the request
+                // was applied, but the proxy learns nothing — retry,
+                // and the sensor's dedup serves it from cache.
+                self.stats.replies_lost += 1;
+                Attempt::Lost(latency)
+            }
+            None => {
+                // Ack-only request (model update, retune): a tiny
+                // link-layer ack rides the reply path.
+                if !self.reply.deliver() {
+                    self.stats.replies_lost += 1;
+                    return Attempt::Lost(latency);
+                }
+                latency += self.config.base_delay;
+                Attempt::Acked(latency)
+            }
+        }
+    }
+
+    /// Enqueues a reply-bearing RPC (pull or aggregate request) into
+    /// the multi-outstanding pending-RPC table without transmitting
+    /// anything yet; the next [`DownlinkChannel::pump_async`] issues the
+    /// first attempt. Returns the request's query id. The RPC stays
+    /// outstanding across pumps until its reply is matched, `expires_at`
+    /// passes, or it is cancelled.
+    ///
+    /// Panics if `msg` carries no query id (ack-only requests have no
+    /// reply to match and keep using the synchronous path).
+    pub fn submit_async(&mut self, t: SimTime, msg: DownlinkMsg, expires_at: SimTime) -> u64 {
+        let qid = request_query_id(&msg).expect("async RPCs must expect a reply");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.stats.rpcs += 1;
+        self.stats.async_submitted += 1;
+        self.outstanding.insert(qid);
+        self.async_rpcs.push(AsyncRpc {
+            qid,
+            seq,
+            msg,
+            attempts: 0,
+            next_attempt_at: t,
+            expires_at,
+        });
+        self.stats.max_in_flight = self.stats.max_in_flight.max(self.async_rpcs.len() as u64);
+        qid
+    }
+
+    /// Drives every outstanding async RPC that is due: expires the ones
+    /// past their deadline, then issues or retransmits attempts
+    /// oldest-first while `attempt_budget` lasts (the caller spreads one
+    /// budget across its sensors for fairness). A lost attempt schedules
+    /// its retransmission one `rpc_timeout` out; an attempt the energy
+    /// retry budget cannot afford is deferred, not dropped — the RPC
+    /// waits for the bucket to refill or its deadline, whichever first.
+    pub fn pump_async(
+        &mut self,
+        t: SimTime,
+        node: &mut SensorNode,
+        mac: &Mac,
+        proxy_ledger: &mut EnergyLedger,
+        attempt_budget: &mut u32,
+    ) -> Vec<AsyncRpcEvent> {
+        self.tick(t);
+        let mut events = Vec::new();
+        let mut i = 0;
+        while i < self.async_rpcs.len() {
+            if t >= self.async_rpcs[i].expires_at {
+                let rpc = self.async_rpcs.remove(i);
+                self.outstanding.remove(&rpc.qid);
+                self.stats.async_expired += 1;
+                self.stats.rpc_failures += 1;
+                events.push(AsyncRpcEvent::Expired {
+                    query_id: rpc.qid,
+                    attempts: rpc.attempts,
+                });
+                continue;
+            }
+            if self.async_rpcs[i].next_attempt_at > t || *attempt_budget == 0 {
+                i += 1;
+                continue;
+            }
+            let wire = self.async_rpcs[i].msg.wire_bytes();
+            if self.async_rpcs[i].attempts > 0 {
+                let cost = mac.expected_send_energy(wire);
+                if self.retry_spent_j + cost > self.config.retry_budget_j {
+                    self.stats.deferred_budget += 1;
+                    self.async_rpcs[i].next_attempt_at = t + self.config.rpc_timeout;
+                    i += 1;
+                    continue;
+                }
+                self.retry_spent_j += cost;
+                self.stats.retransmits += 1;
+            }
+            *attempt_budget -= 1;
+            self.async_rpcs[i].attempts += 1;
+            let AsyncRpc {
+                qid,
+                seq,
+                attempts,
+                ..
+            } = self.async_rpcs[i];
+            let msg = self.async_rpcs[i].msg.clone();
+            match self.attempt_once(
+                t,
+                seq,
+                &msg,
+                Some(qid),
+                SimDuration::ZERO,
+                wire,
+                node,
+                mac,
+                proxy_ledger,
+            ) {
+                Attempt::Reply(r, l) => {
+                    self.async_rpcs.remove(i);
+                    self.stats.delivered += 1;
+                    events.push(AsyncRpcEvent::Completed {
+                        query_id: qid,
+                        reply: r,
+                        attempt_latency: l,
+                        attempts,
+                    });
+                }
+                // Unreachable: submit_async only admits reply-bearing
+                // requests. Treat as lost if it ever happens.
+                Attempt::Acked(_) | Attempt::Lost(_) => {
+                    self.async_rpcs[i].next_attempt_at = t + self.config.rpc_timeout;
+                    i += 1;
+                }
+            }
+        }
+        events
+    }
+
+    /// Cancels an outstanding async RPC (e.g. its last attached query
+    /// expired at the pipeline tier), dropping its pending-table entry.
+    /// Returns true when the RPC existed.
+    pub fn cancel_async(&mut self, query_id: u64) -> bool {
+        let before = self.async_rpcs.len();
+        self.async_rpcs.retain(|r| r.qid != query_id);
+        if self.async_rpcs.len() != before {
+            self.outstanding.remove(&query_id);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Outstanding async RPCs currently in flight on this channel.
+    pub fn async_in_flight(&self) -> usize {
+        self.async_rpcs.len()
     }
 }
 
@@ -557,6 +801,176 @@ mod tests {
         ch.set_link_up(true);
         let out = ch.rpc(SimTime::from_hours(2), &pull(7), &mut node, &mac(), &mut ledger);
         assert!(out.delivered);
+    }
+
+    /// Pumps with an effectively unlimited attempt budget.
+    fn pump_all(
+        ch: &mut DownlinkChannel,
+        t: SimTime,
+        node: &mut SensorNode,
+        ledger: &mut EnergyLedger,
+    ) -> Vec<AsyncRpcEvent> {
+        let mut budget = u32::MAX;
+        ch.pump_async(t, node, &mac(), ledger, &mut budget)
+    }
+
+    #[test]
+    fn async_rpcs_are_multi_outstanding_and_drain() {
+        let mut ch = DownlinkChannel::perfect();
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let t = SimTime::from_hours(2);
+        let deadline = t + SimDuration::from_mins(10);
+        for q in 0..5u64 {
+            ch.submit_async(t, pull(q), deadline);
+        }
+        assert_eq!(ch.async_in_flight(), 5);
+        assert_eq!(ch.outstanding_rpcs(), 5, "pending table holds all five");
+        assert_eq!(ch.stats().max_in_flight, 5);
+        let events = pump_all(&mut ch, t, &mut node, &mut ledger);
+        assert_eq!(events.len(), 5);
+        let mut qids: Vec<u64> = events
+            .iter()
+            .map(|e| match e {
+                AsyncRpcEvent::Completed { query_id, reply, .. } => {
+                    assert!(matches!(reply.payload, UplinkPayload::PullReply { .. }));
+                    *query_id
+                }
+                other => panic!("perfect channel must complete: {other:?}"),
+            })
+            .collect();
+        qids.sort_unstable();
+        assert_eq!(qids, vec![0, 1, 2, 3, 4]);
+        // Bookkeeping invariant: nothing leaks after completion.
+        assert_eq!(ch.async_in_flight(), 0);
+        assert_eq!(ch.outstanding_rpcs(), 0);
+    }
+
+    #[test]
+    fn async_lost_attempt_retransmits_on_a_later_pump() {
+        let cfg = DownlinkConfig {
+            request_loss: LossProcess::Scripted(vec![false, true].into()),
+            ..DownlinkConfig::default()
+        };
+        let timeout = cfg.rpc_timeout;
+        let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let t = SimTime::from_hours(2);
+        ch.submit_async(t, pull(1), t + SimDuration::from_mins(10));
+        assert!(pump_all(&mut ch, t, &mut node, &mut ledger).is_empty());
+        assert_eq!(ch.async_in_flight(), 1, "lost RPC stays outstanding");
+        // Not due yet: pumping again immediately does nothing.
+        assert!(pump_all(&mut ch, t, &mut node, &mut ledger).is_empty());
+        assert_eq!(ch.stats().retransmits, 0);
+        // After the timeout the retransmission goes out and completes.
+        let events = pump_all(&mut ch, t + timeout, &mut node, &mut ledger);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(
+            events[0],
+            AsyncRpcEvent::Completed { query_id: 1, attempts: 2, .. }
+        ));
+        assert_eq!(ch.stats().retransmits, 1);
+        assert_eq!(ch.outstanding_rpcs(), 0);
+    }
+
+    #[test]
+    fn async_expiry_is_honest_and_leaves_no_entry() {
+        let cfg = DownlinkConfig {
+            request_loss: LossProcess::Bernoulli(1.0),
+            ..DownlinkConfig::default()
+        };
+        let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let t = SimTime::from_hours(2);
+        let deadline = t + SimDuration::from_secs(20);
+        ch.submit_async(t, pull(7), deadline);
+        let mut now = t;
+        let mut expired = None;
+        for _ in 0..10 {
+            for e in pump_all(&mut ch, now, &mut node, &mut ledger) {
+                expired = Some(e);
+            }
+            now += SimDuration::from_secs(10);
+        }
+        match expired.expect("dead channel must expire the RPC") {
+            AsyncRpcEvent::Expired { query_id, attempts } => {
+                assert_eq!(query_id, 7);
+                assert!(attempts >= 1, "at least one attempt before expiry");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(ch.async_in_flight(), 0, "expired RPCs leave no entry");
+        assert_eq!(ch.outstanding_rpcs(), 0);
+        assert_eq!(ch.stats().async_expired, 1);
+    }
+
+    #[test]
+    fn async_cancel_removes_pending_entry() {
+        let mut ch = DownlinkChannel::perfect();
+        let t = SimTime::from_hours(2);
+        ch.submit_async(t, pull(3), t + SimDuration::from_mins(5));
+        assert!(ch.cancel_async(3));
+        assert!(!ch.cancel_async(3), "double cancel is a no-op");
+        assert_eq!(ch.async_in_flight(), 0);
+        assert_eq!(ch.outstanding_rpcs(), 0);
+    }
+
+    #[test]
+    fn async_attempt_budget_bounds_per_pump_work() {
+        let cfg = DownlinkConfig {
+            request_loss: LossProcess::Bernoulli(1.0),
+            ..DownlinkConfig::default()
+        };
+        let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let t = SimTime::from_hours(2);
+        for q in 0..5u64 {
+            ch.submit_async(t, pull(q), t + SimDuration::from_mins(10));
+        }
+        let mut budget = 2u32;
+        ch.pump_async(t, &mut node, &mac(), &mut ledger, &mut budget);
+        assert_eq!(budget, 0);
+        assert_eq!(
+            ch.stats().requests_lost,
+            2,
+            "only the budgeted attempts were transmitted"
+        );
+        assert_eq!(ch.async_in_flight(), 5, "unattempted RPCs stay queued");
+    }
+
+    #[test]
+    fn async_empty_retry_budget_defers_instead_of_dropping() {
+        // Capacity for exactly one retransmission: the second retry
+        // must defer until the bucket refills.
+        let retry_cost = mac().expected_send_energy(pull(1).wire_bytes());
+        let cfg = DownlinkConfig {
+            request_loss: LossProcess::Scripted(
+                vec![false, false, true].into(),
+            ),
+            retry_budget_j: retry_cost * 1.5,
+            budget_refill_j_per_hour: retry_cost * 2.0,
+            ..DownlinkConfig::default()
+        };
+        let timeout = cfg.rpc_timeout;
+        let mut ch = DownlinkChannel::new(cfg, LinkModel::perfect());
+        let mut node = archived_node();
+        let mut ledger = EnergyLedger::new();
+        let t = SimTime::from_hours(2);
+        ch.submit_async(t, pull(1), t + SimDuration::from_hours(2));
+        // Attempt 1 (free) lost; retry 1 (affordable) lost; retry 2
+        // cannot afford the drained bucket and defers.
+        assert!(pump_all(&mut ch, t, &mut node, &mut ledger).is_empty());
+        assert!(pump_all(&mut ch, t + timeout, &mut node, &mut ledger).is_empty());
+        assert!(pump_all(&mut ch, t + timeout * 2, &mut node, &mut ledger).is_empty());
+        assert!(ch.stats().deferred_budget >= 1);
+        assert_eq!(ch.async_in_flight(), 1, "deferred RPC must survive");
+        // An hour later the bucket refilled; the retry completes.
+        let events = pump_all(&mut ch, t + SimDuration::from_hours(1), &mut node, &mut ledger);
+        assert_eq!(events.len(), 1);
+        assert!(matches!(events[0], AsyncRpcEvent::Completed { query_id: 1, .. }));
     }
 
     #[test]

@@ -11,6 +11,9 @@
 //!   the paper's claims are measured.
 //! * [`metrics`] — counters and streaming summaries used by the
 //!   experiment drivers.
+//! * [`queries`] — a seeded multi-user query workload generator (NOW /
+//!   PAST / aggregate arrivals with shared hot windows) for the
+//!   query-pipeline experiments.
 //! * [`Simulation`] — a minimal actor-style run loop.
 //! * [`FaultPlan`] — deterministic crash/reboot and link-blackout
 //!   schedules for failure-scenario experiments.
@@ -22,11 +25,13 @@ pub mod energy;
 pub mod events;
 pub mod faults;
 pub mod metrics;
+pub mod queries;
 pub mod rng;
 pub mod time;
 
 pub use energy::{EnergyCategory, EnergyLedger};
 pub use events::{EventQueue, Simulation};
 pub use faults::{Blackout, CrashWindow, FaultPlan, SharedBurst};
+pub use queries::{QueryArrival, QueryKind, QueryLoad, QueryLoadConfig};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};
