@@ -1,0 +1,137 @@
+//! A2 — does per-bin AR residual refinement earn its push rate?
+//!
+//! `EngineConfig::per_bin_ar` refines the SeasonalAr residual stage
+//! with per-bin lag coefficients. On workloads whose residual dynamics
+//! change by regime (traffic: rush-hour vs night; eldercare: sleep vs
+//! active hours) the refinement should predict better, so a
+//! model-driven sensor pushes fewer deviations. This bin measures that
+//! directly: one sensor + one proxy per arm, identical workload series,
+//! hourly train checks, deviations and uplink bytes counted over the
+//! post-warmup half. The result decides the config default (recorded
+//! in CHANGES.md).
+
+use presto_net::LinkModel;
+use presto_proxy::{EngineConfig, PrestoProxy, ProxyConfig};
+use presto_sensor::{PushPolicy, SensorConfig, SensorNode};
+use presto_sim::{SimDuration, SimTime};
+use presto_workloads::{EldercareGen, TrafficGen, TrafficParams};
+
+struct ArmResult {
+    pushes: u64,
+    bytes: u64,
+    models_pushed: u64,
+}
+
+/// Drives one sensor + proxy over a scalar series with hourly train
+/// checks; measures pushes/bytes over the second half (post-warmup).
+fn run_arm(series: &[(SimTime, f64)], per_bin_ar: bool, tolerance: f64) -> ArmResult {
+    let mut proxy = PrestoProxy::new(ProxyConfig {
+        engine: EngineConfig {
+            per_bin_ar,
+            ..EngineConfig::default()
+        },
+        push_tolerance: tolerance,
+        ..ProxyConfig::default()
+    });
+    proxy.register_sensor(0);
+    let mut node = SensorNode::new(
+        0,
+        SensorConfig {
+            push: PushPolicy::ModelDriven { tolerance },
+            ..SensorConfig::default()
+        },
+        LinkModel::perfect(),
+    );
+    let mut chan = presto_reliability::DownlinkChannel::perfect();
+    let mid = series.len() / 2;
+    let mut half_stats = (0u64, 0u64, 0u64);
+    let mut last_train = SimTime::ZERO;
+    for (i, &(t, v)) in series.iter().enumerate() {
+        if i == mid {
+            half_stats = (
+                node.stats().deviations_pushed,
+                node.stats().bytes_sent,
+                proxy.stats().models_pushed,
+            );
+        }
+        for msg in node.on_sample(t, v, Some(proxy.ledger_mut())) {
+            proxy.on_uplink(&msg);
+        }
+        if t - last_train >= SimDuration::from_hours(1) {
+            last_train = t;
+            proxy.maybe_train_and_push(t, 0, &mut node, &mut chan);
+        }
+    }
+    ArmResult {
+        pushes: node.stats().deviations_pushed - half_stats.0,
+        bytes: node.stats().bytes_sent - half_stats.1,
+        models_pushed: proxy.stats().models_pushed - half_stats.2,
+    }
+}
+
+fn eldercare_series(days: u64, seed: u64) -> Vec<(SimTime, f64)> {
+    let epoch = SimDuration::from_secs(31);
+    let mut gen = EldercareGen::new(epoch, 2.0, seed);
+    gen.generate(SimDuration::from_hours(24 * days))
+        .into_iter()
+        .map(|s| (s.timestamp, s.level))
+        .collect()
+}
+
+fn traffic_series(days: u64, seed: u64) -> Vec<(SimTime, f64)> {
+    // Detections bucketed into 5-minute counts: a rate series with
+    // regime-dependent dynamics (rush peaks, quiet nights).
+    let bucket = SimDuration::from_mins(5);
+    let mut gen = TrafficGen::new(
+        TrafficParams {
+            sensors: 1,
+            ..TrafficParams::default()
+        },
+        seed,
+    );
+    let dets = gen.generate(SimTime::ZERO, SimDuration::from_hours(24 * days));
+    let buckets = (days * 24 * 12) as usize;
+    let mut counts = vec![0.0f64; buckets];
+    for d in dets {
+        let idx = (d.timestamp.as_secs() / bucket.as_secs_f64() as u64) as usize;
+        if idx < buckets {
+            counts[idx] += 1.0;
+        }
+    }
+    counts
+        .into_iter()
+        .enumerate()
+        .map(|(i, c)| (SimTime::ZERO + bucket * i as u64, c))
+        .collect()
+}
+
+fn main() {
+    let mut win_both = true;
+    println!("workload        arm          pushes/day  bytes/day  models");
+    for (name, series, tolerance, days) in [
+        ("eldercare", eldercare_series(8, 11), 0.1, 8u64),
+        ("traffic", traffic_series(8, 13), 2.0, 8u64),
+    ] {
+        let half_days = days as f64 / 2.0;
+        let flat = run_arm(&series, false, tolerance);
+        let binned = run_arm(&series, true, tolerance);
+        for (arm, r) in [("flat-ar", &flat), ("per-bin-ar", &binned)] {
+            println!(
+                "{name:<15} {arm:<12} {:>10.1} {:>10.1} {:>7}",
+                r.pushes as f64 / half_days,
+                r.bytes as f64 / half_days,
+                r.models_pushed
+            );
+        }
+        let push_delta = flat.pushes as f64 - binned.pushes as f64;
+        let rel = push_delta / flat.pushes.max(1) as f64 * 100.0;
+        println!("{name:<15} push-rate win with per-bin AR: {rel:+.1}%\n");
+        if binned.pushes >= flat.pushes {
+            win_both = false;
+        }
+    }
+    println!(
+        "verdict: per-bin AR {} the push-rate win on both workloads",
+        if win_both { "HOLDS" } else { "does NOT hold" }
+    );
+}

@@ -1,0 +1,120 @@
+//! Cross-proxy fleet under Zipf-skewed load: shedding on vs off.
+//!
+//! `fleet_scenario [hours]` — the full experiment (default 4 h query
+//! phase over a 12 h warmup, 4 proxies × 3 sensors, Zipf 1.6 skew,
+//! 30% downlink loss, a permanent proxy crash one hour in).
+//! `fleet_scenario --quick` runs the small fixed-seed CI smoke
+//! (2 h query phase / 16 h warmup, 3 proxies × 2 sensors, 28 users at
+//! 100 q/h) and exits non-zero
+//! unless, under one-hot-proxy skew: shedding-on beats shedding-off on
+//! answered-query throughput AND p99 terminal latency, per-proxy
+//! completion fairness improves, zero stale-confident answers appear
+//! in either arm, and every leak probe reads zero after the proxy
+//! crash + re-home cycle.
+
+use presto_bench::experiments::render_json;
+use presto_bench::fleet::{fleet_scenario, FleetScenarioConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let quick = arg.as_deref() == Some("--quick");
+    let cfg = if quick {
+        FleetScenarioConfig::quick()
+    } else {
+        FleetScenarioConfig {
+            query_hours: arg.and_then(|a| a.parse().ok()).unwrap_or(4),
+            ..FleetScenarioConfig::default()
+        }
+    };
+    let r = fleet_scenario(&cfg);
+    print!(
+        "{}",
+        render_json(
+            &format!(
+                "fleet scenario — {} proxies × {} sensors, Zipf {:.1}, {} users, {:.0}% loss",
+                cfg.proxies,
+                cfg.sensors_per_proxy,
+                cfg.zipf_s,
+                cfg.users,
+                cfg.loss * 100.0
+            ),
+            &r
+        )
+    );
+    let mut failures = Vec::new();
+    for (label, arm) in [("shed-on", &r.shed_on), ("shed-off", &r.shed_off)] {
+        if arm.completed != arm.submitted {
+            failures.push(format!(
+                "{label}: {} of {} queries never terminated",
+                arm.submitted - arm.completed,
+                arm.submitted
+            ));
+        }
+        if arm.stale_confident > 0 {
+            failures.push(format!(
+                "{label}: {} stale-confident answers",
+                arm.stale_confident
+            ));
+        }
+        let leaks =
+            arm.leaked_router + arm.leaked_pipeline + arm.leaked_rpcs + arm.leaked_mesh;
+        if leaks > 0 {
+            failures.push(format!(
+                "{label}: leaked entries after drain (router {}, pipeline {}, rpcs {}, mesh {})",
+                arm.leaked_router, arm.leaked_pipeline, arm.leaked_rpcs, arm.leaked_mesh
+            ));
+        }
+        if cfg.crash_hours.is_some() && arm.rehomed < cfg.sensors_per_proxy as u64 {
+            failures.push(format!(
+                "{label}: proxy crash re-homed only {} sensors",
+                arm.rehomed
+            ));
+        }
+    }
+    if r.shed_on.shed == 0 {
+        failures.push("shedding never fired under skew".into());
+    }
+    if r.shed_on.forwarded_ok == 0 {
+        failures.push("no shed query completed with a real answer".into());
+    }
+    if r.throughput_gain <= 1.0 {
+        failures.push(format!(
+            "shedding did not raise answered throughput: {:.1} vs {:.1} q/h",
+            r.shed_on.throughput_qph, r.shed_off.throughput_qph
+        ));
+    }
+    if r.p99_gain <= 1.0 {
+        failures.push(format!(
+            "shedding did not cut p99: {:.1} s vs {:.1} s",
+            r.shed_on.p99_s, r.shed_off.p99_s
+        ));
+    }
+    if r.shed_on.fairness <= r.shed_off.fairness {
+        failures.push(format!(
+            "shedding did not improve per-proxy fairness: {:.3} vs {:.3}",
+            r.shed_on.fairness, r.shed_off.fairness
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!("fleet-scenario {} FAILED:", if quick { "smoke" } else { "run" });
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "fleet-scenario {} OK — {} queries, shed {}, {:.1} vs {:.1} q/h ({:.2}×), \
+         p99 {:.0} s vs {:.0} s, fairness {:.2} vs {:.2}, {} re-homed",
+        if quick { "smoke" } else { "run" },
+        r.shed_on.submitted,
+        r.shed_on.shed,
+        r.shed_on.throughput_qph,
+        r.shed_off.throughput_qph,
+        r.throughput_gain,
+        r.shed_on.p99_s,
+        r.shed_off.p99_s,
+        r.shed_on.fairness,
+        r.shed_off.fairness,
+        r.shed_on.rehomed
+    );
+}

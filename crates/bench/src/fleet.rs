@@ -1,0 +1,452 @@
+//! The fleet-scenario experiment: skewed multi-proxy load, query
+//! shedding on vs off, and a proxy crash + re-home cycle.
+//!
+//! Two identically seeded fleets run the same Zipf-skewed multi-user
+//! workload (one hot proxy absorbing most of the traffic) through the
+//! same lossy downlinks, inter-link mesh, and proxy-crash schedule.
+//! The only difference is the router's shed switch:
+//!
+//! * **shedding off** — every query is served where it enters; the hot
+//!   proxy's per-epoch attempt budget saturates, its queue grows, and
+//!   late queries fail honestly at their deadlines;
+//! * **shedding on** — the admission controller reads per-proxy
+//!   pressure and forwards archive-range queries from the hot proxy to
+//!   cool peers, which pull the sensors over cross-proxy channels.
+//!
+//! The report compares answered-query throughput, p99 terminal
+//! latency (honest failures included at deadline + grace — the latency
+//! a user actually experiences), per-proxy completion fairness, and
+//! the stale-confident count (answers claiming tight sigma while far
+//! from the live truth — must be zero: shedding may slow an answer,
+//! never silently wrong one). Leak probes must read clean after the
+//! drain window, across the crash + re-home cycle included.
+
+use presto_core::SystemConfig;
+use presto_fleet::{FleetConfig, FleetDeployment};
+use presto_net::LossProcess;
+use presto_proxy::{PipelineAnswer, PipelineQuery, QueryClass};
+use presto_sim::metrics::Summary;
+use presto_sim::{
+    FaultPlan, FleetLoadConfig, FleetQueryLoad, QueryLoadConfig, SimDuration, SimTime,
+};
+use serde::Serialize;
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct FleetScenarioConfig {
+    /// Warmup (archive + model build) before the query phase, hours.
+    pub warmup_hours: u64,
+    /// Query-phase length, hours.
+    pub query_hours: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Proxies in the fleet.
+    pub proxies: usize,
+    /// Sensors per proxy.
+    pub sensors_per_proxy: usize,
+    /// Downlink loss (Bernoulli, request and reply paths).
+    pub loss: f64,
+    /// Concurrent users.
+    pub users: usize,
+    /// Mean queries per user per hour.
+    pub queries_per_user_per_hour: f64,
+    /// Zipf skew over proxies (proxy 0 hottest).
+    pub zipf_s: f64,
+    /// Query tolerance (tight, so precision misses force pulls).
+    pub tolerance: f64,
+    /// Crash window for the last proxy, hours into the query phase
+    /// (`None` disables; the sensors re-home and stay re-homed).
+    pub crash_hours: Option<(u64, u64)>,
+}
+
+impl Default for FleetScenarioConfig {
+    fn default() -> Self {
+        FleetScenarioConfig {
+            warmup_hours: 12,
+            query_hours: 4,
+            seed: 2005,
+            proxies: 4,
+            sensors_per_proxy: 3,
+            loss: 0.3,
+            users: 32,
+            queries_per_user_per_hour: 120.0,
+            zipf_s: 1.6,
+            tolerance: 0.05,
+            crash_hours: Some((1, 1000)),
+        }
+    }
+}
+
+impl FleetScenarioConfig {
+    /// The small fixed-seed configuration the CI smoke runs.
+    pub fn quick() -> Self {
+        FleetScenarioConfig {
+            warmup_hours: 16,
+            query_hours: 2,
+            proxies: 3,
+            sensors_per_proxy: 2,
+            users: 28,
+            queries_per_user_per_hour: 100.0,
+            ..FleetScenarioConfig::default()
+        }
+    }
+}
+
+/// One arm's (shedding on or off) measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetArmReport {
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Terminals observed (every submitted query must terminate).
+    pub completed: u64,
+    /// Terminals with a real (non-Failed) answer.
+    pub answered_ok: u64,
+    /// Honest failures (router + pipeline deadlines, entry death).
+    pub failed: u64,
+    /// Queries shed from hot proxies.
+    pub shed: u64,
+    /// Pipeline completions straight from radio-free fast paths.
+    pub completed_fast: u64,
+    /// Pipeline completions from matched pull replies.
+    pub completed_pull: u64,
+    /// Pull RPCs issued across proxies.
+    pub rpcs_issued: u64,
+    /// Shed/resumed queries that completed with a real answer.
+    pub forwarded_ok: u64,
+    /// Answered-query throughput over the phase, queries/hour.
+    pub throughput_qph: f64,
+    /// Terminal-latency p50, seconds (failures included at
+    /// deadline + grace).
+    pub p50_s: f64,
+    /// Terminal-latency p99, seconds.
+    pub p99_s: f64,
+    /// Per-proxy answered fraction, by entry proxy.
+    pub per_proxy_answer_rate: Vec<f64>,
+    /// min / max of `per_proxy_answer_rate` (1.0 = perfectly fair).
+    pub fairness: f64,
+    /// Answers claiming sigma ≤ tolerance while far from the live
+    /// truth (must be zero).
+    pub stale_confident: u64,
+    /// Sensors re-homed after the proxy crash.
+    pub rehomed: u64,
+    /// Inter-link messages dropped after retransmission exhaustion.
+    pub mesh_dropped: u64,
+    /// Leak probes after the drain window (all must be zero).
+    pub leaked_router: u64,
+    /// Leaked pending pipeline queries.
+    pub leaked_pipeline: u64,
+    /// Leaked pending-RPC entries (home + cross-proxy channels).
+    pub leaked_rpcs: u64,
+    /// Leaked in-flight mesh messages.
+    pub leaked_mesh: u64,
+}
+
+/// Scenario result: both arms plus the headline comparisons.
+#[derive(Clone, Debug, Serialize)]
+pub struct FleetScenarioReport {
+    /// Configured downlink loss.
+    pub configured_loss: f64,
+    /// Zipf exponent.
+    pub zipf_s: f64,
+    /// Shedding on.
+    pub shed_on: FleetArmReport,
+    /// Shedding off.
+    pub shed_off: FleetArmReport,
+    /// `shed_on.throughput / shed_off.throughput`.
+    pub throughput_gain: f64,
+    /// `shed_off.p99 / shed_on.p99`.
+    pub p99_gain: f64,
+}
+
+fn fleet(cfg: &FleetScenarioConfig, shed: bool) -> FleetDeployment {
+    let mut sys_cfg = SystemConfig {
+        proxies: cfg.proxies,
+        sensors_per_proxy: cfg.sensors_per_proxy,
+        seed: cfg.seed,
+        lab: presto_workloads::LabParams {
+            events_per_day: 0.0,
+            // The quiet regime where model-driven silence actually
+            // holds: with the default heavy-tailed jitter the sensors
+            // push nearly every epoch, the proxy caches densify, and
+            // every query completes radio-free — no pipeline pressure,
+            // nothing to shed. Quiet sensors keep the caches sparse so
+            // tight-tolerance queries genuinely pull.
+            jitter_sigma: 0.08,
+            heavy_prob: 0.0,
+            field_sigma: 0.05,
+            ..presto_workloads::LabParams::default()
+        },
+        ..SystemConfig::default()
+    };
+    if cfg.loss > 0.0 {
+        sys_cfg.reliability.downlink.request_loss = LossProcess::Bernoulli(cfg.loss);
+        sys_cfg.reliability.downlink.reply_loss = LossProcess::Bernoulli(cfg.loss);
+    }
+    // A tight per-epoch attempt budget is the contended resource the
+    // deployment tier arbitrates: one proxy can push ~4 lossy pulls
+    // per epoch through it, so the Zipf-hot proxy saturates while its
+    // peers idle — exactly the imbalance shedding exists to absorb.
+    sys_cfg.proxy.pipeline.epoch_attempt_budget = 8;
+    // A bounded summary cache (the paper's "cache of summary
+    // information"): the queryable age band below is deliberately
+    // larger than this, so the workload's working set does not fit and
+    // distinct archive windows genuinely pull instead of re-reading
+    // spans earlier pulls densified. Large enough for model training
+    // (min_history 500).
+    sys_cfg.proxy.cache_capacity = 700;
+    if let Some((from_h, to_h)) = cfg.crash_hours {
+        let start = SimTime::from_hours(cfg.warmup_hours + from_h);
+        let end = SimTime::from_hours(cfg.warmup_hours + to_h);
+        sys_cfg.faults = FaultPlan::none().with_proxy_crash(cfg.proxies - 1, start, end);
+    }
+    let mut fc = FleetConfig {
+        system: sys_cfg,
+        ..FleetConfig::default()
+    };
+    fc.router.shed_enabled = shed;
+    // Latency classes: the tight-tolerance archive class gets the full
+    // default deadline; a loose NOW class trades deadline for budget.
+    fc.router.latency_classes = vec![
+        QueryClass {
+            rate_per_hour: cfg.users as f64 * cfg.queries_per_user_per_hour,
+            latency_bound: SimDuration::from_mins(10),
+            tolerance: cfg.tolerance,
+        },
+        QueryClass {
+            rate_per_hour: 10.0,
+            latency_bound: SimDuration::from_mins(4),
+            tolerance: 1.5,
+        },
+    ];
+    FleetDeployment::new(fc)
+}
+
+fn load(cfg: &FleetScenarioConfig) -> FleetQueryLoad {
+    FleetQueryLoad::new(
+        FleetLoadConfig {
+            load: QueryLoadConfig {
+                users: cfg.users,
+                queries_per_user_per_hour: cfg.queries_per_user_per_hour,
+                // Windows stay inside the model-era (quiet) span: the
+                // pre-model warmup hours pushed every sample, so
+                // windows reaching that far back would hit dense cache
+                // instead of pulling.
+                window_min: SimDuration::from_mins(10),
+                window_max: SimDuration::from_mins(30),
+                max_age: SimDuration::from_hours(cfg.warmup_hours.saturating_sub(8).max(2)),
+                // Mostly-distinct windows: dashboard-style hot windows
+                // coalesce into one pull and carry no load, so the
+                // skew stress comes from the uniform draws.
+                hot_fraction: 0.1,
+                tolerances: vec![cfg.tolerance],
+                seed: cfg.seed ^ 0xF1_EE7,
+                ..QueryLoadConfig::default()
+            },
+            groups: cfg.proxies,
+            zipf_s: cfg.zipf_s,
+        },
+        cfg.sensors_per_proxy,
+    )
+}
+
+fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
+    let epoch = SystemConfig::default().lab.epoch;
+    let warmup_epochs = SimDuration::from_hours(cfg.warmup_hours).div_duration(epoch);
+    let query_epochs = SimDuration::from_hours(cfg.query_hours).div_duration(epoch);
+    // Drain: the longest per-query deadline plus the router grace.
+    let drain_epochs = SimDuration::from_mins(14).div_duration(epoch) + 4;
+    let phase_hours = (query_epochs + drain_epochs) as f64 * epoch.as_secs_f64() / 3600.0;
+
+    let mut fleet = fleet(cfg, shed);
+    for _ in 0..warmup_epochs {
+        fleet.step_epoch();
+    }
+    let mut gen = load(cfg);
+    let mut submitted = 0u64;
+    let mut per_proxy_submitted = vec![0u64; cfg.proxies];
+    let mut per_proxy_ok = vec![0u64; cfg.proxies];
+    let mut latencies = Summary::new();
+    let mut answered_ok = 0u64;
+    let mut failed = 0u64;
+    let mut forwarded_ok = 0u64;
+    let mut stale_confident = 0u64;
+    let mut completed = 0u64;
+
+    // NOW queries answer "the value when you asked" (the pipeline's
+    // value-identity contract anchors at submission), so the
+    // stale-confidence oracle is the truth at submission time.
+    let mut truth_at_submit: std::collections::HashMap<u64, f64> =
+        std::collections::HashMap::new();
+    for e in 0..query_epochs + drain_epochs {
+        if e < query_epochs {
+            let t = fleet.now();
+            let truth_now = fleet.system.truth.clone();
+            for a in gen.step(t, epoch) {
+                let gid = fleet.arrival_gid(&a);
+                let ticket = fleet.submit_arrival(&a);
+                if a.arrival.kind == presto_sim::QueryKind::Now {
+                    truth_at_submit.insert(ticket, truth_now[gid as usize]);
+                }
+                submitted += 1;
+                per_proxy_submitted[a.group.min(cfg.proxies - 1)] += 1;
+            }
+        }
+        fleet.step_epoch();
+        for c in fleet.take_completed() {
+            completed += 1;
+            latencies.record((c.completed_at - c.submitted_at).as_secs_f64());
+            // Drop the oracle entry on every terminal (failed NOW
+            // queries included) so the map tracks only open tickets.
+            let submit_truth = truth_at_submit.remove(&c.ticket);
+            let ok = c.answer.source() != presto_proxy::AnswerSource::Failed;
+            if ok {
+                answered_ok += 1;
+                per_proxy_ok[c.entry] += 1;
+                if c.forwarded {
+                    forwarded_ok += 1;
+                }
+                // Stale-confidence probe on NOW answers: an answer
+                // claiming sigma within the tolerance must sit near
+                // the truth at submission (generous slack for the
+                // sampling gap between the serving sample and the
+                // submission reading — the metric hunts
+                // confidently-wrong answers, which err at the signal
+                // scale).
+                if let (PipelineQuery::Now { tolerance, .. }, PipelineAnswer::Scalar(ans)) =
+                    (&c.query, &c.answer)
+                {
+                    if let Some(truth) = submit_truth {
+                        let err = (ans.value - truth).abs();
+                        if ans.sigma <= *tolerance && err > tolerance + 0.5 {
+                            stale_confident += 1;
+                        }
+                    }
+                }
+            } else {
+                failed += 1;
+            }
+        }
+    }
+
+    let rates: Vec<f64> = (0..cfg.proxies)
+        .map(|p| {
+            if per_proxy_submitted[p] == 0 {
+                1.0
+            } else {
+                per_proxy_ok[p] as f64 / per_proxy_submitted[p] as f64
+            }
+        })
+        .collect();
+    // Fairness compares *surviving* entry proxies: a crashed proxy's
+    // users lose their connection in both arms identically (honest
+    // failures no router policy can serve), so including it would
+    // only mask the hot-vs-cold imbalance shedding addresses.
+    let crashed = cfg.crash_hours.map(|_| cfg.proxies - 1);
+    let fairness = {
+        let surviving = rates
+            .iter()
+            .enumerate()
+            .filter(|&(p, _)| Some(p) != crashed)
+            .map(|(_, &r)| r);
+        let (mut lo, mut hi) = (f64::INFINITY, 0.0f64);
+        for r in surviving {
+            lo = lo.min(r);
+            hi = hi.max(r);
+        }
+        if hi > 0.0 {
+            lo / hi
+        } else {
+            1.0
+        }
+    };
+    let leaks = fleet.leaks();
+    let ps = fleet.system.pipeline_stats();
+    FleetArmReport {
+        submitted,
+        completed,
+        answered_ok,
+        failed,
+        shed: fleet.router.stats().shed,
+        completed_fast: ps.completed_fast,
+        completed_pull: ps.completed_pull,
+        rpcs_issued: ps.rpcs_issued,
+        forwarded_ok,
+        throughput_qph: answered_ok as f64 / phase_hours,
+        p50_s: latencies.median(),
+        p99_s: latencies.quantile(0.99),
+        per_proxy_answer_rate: rates,
+        fairness,
+        stale_confident,
+        rehomed: fleet.rehomed_sensors(),
+        mesh_dropped: fleet.mesh.stats().dropped,
+        leaked_router: leaks.router_open as u64,
+        leaked_pipeline: leaks.pipeline_pending as u64,
+        leaked_rpcs: leaks.rpcs_in_flight as u64,
+        leaked_mesh: leaks.mesh_in_flight as u64,
+    }
+}
+
+/// Runs both arms.
+pub fn fleet_scenario(cfg: &FleetScenarioConfig) -> FleetScenarioReport {
+    let shed_on = run_arm(cfg, true);
+    let shed_off = run_arm(cfg, false);
+    let throughput_gain = if shed_off.throughput_qph > 0.0 {
+        shed_on.throughput_qph / shed_off.throughput_qph
+    } else {
+        f64::INFINITY
+    };
+    let p99_gain = if shed_on.p99_s > 0.0 {
+        shed_off.p99_s / shed_on.p99_s
+    } else {
+        f64::INFINITY
+    };
+    FleetScenarioReport {
+        configured_loss: cfg.loss,
+        zipf_s: cfg.zipf_s,
+        shed_on,
+        shed_off,
+        throughput_gain,
+        p99_gain,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_shedding_beats_no_shedding_under_skew() {
+        let r = fleet_scenario(&FleetScenarioConfig::quick());
+        for (label, arm) in [("on", &r.shed_on), ("off", &r.shed_off)] {
+            assert!(arm.submitted > 200, "workload too small ({label}): {arm:?}");
+            assert_eq!(
+                arm.completed, arm.submitted,
+                "every query must terminate ({label}): {arm:?}"
+            );
+            assert_eq!(arm.stale_confident, 0, "stale-confident answers ({label}): {arm:?}");
+            assert_eq!(arm.leaked_router, 0, "({label}) {arm:?}");
+            assert_eq!(arm.leaked_pipeline, 0, "({label}) {arm:?}");
+            assert_eq!(arm.leaked_rpcs, 0, "({label}) {arm:?}");
+            assert_eq!(arm.leaked_mesh, 0, "({label}) {arm:?}");
+            assert!(arm.rehomed >= 2, "crash must re-home sensors ({label}): {arm:?}");
+        }
+        assert!(r.shed_on.shed > 0, "hot proxy never shed: {:?}", r.shed_on);
+        assert!(
+            r.shed_on.forwarded_ok > 0,
+            "no shed query answered: {:?}",
+            r.shed_on
+        );
+        assert_eq!(r.shed_off.shed, 0);
+        assert!(
+            r.throughput_gain > 1.0,
+            "shedding must raise answered throughput: {r:?}"
+        );
+        assert!(r.p99_gain > 1.0, "shedding must cut p99: {r:?}");
+        assert!(
+            r.shed_on.fairness > r.shed_off.fairness,
+            "shedding must improve per-proxy fairness: on {} off {}",
+            r.shed_on.fairness,
+            r.shed_off.fairness
+        );
+    }
+}

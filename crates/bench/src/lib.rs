@@ -10,6 +10,7 @@
 pub mod experiments;
 pub mod failure;
 pub mod figure2;
+pub mod fleet;
 pub mod query_pipeline;
 pub mod table1;
 

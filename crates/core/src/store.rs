@@ -111,11 +111,16 @@ impl<'a> UnifiedStore<'a> {
         &mut presto_reliability::DownlinkChannel,
     ) {
         let (p, s) = system.locate(sensor);
-        let unreachable = system.faults().is_unreachable(sensor as usize, t);
+        // The serving proxy follows the assignment (an adopter after a
+        // re-home); the node and its channel stay with the physical
+        // cluster.
+        let serving = system.assignment()[sensor as usize];
+        let unreachable = system.faults().is_unreachable(sensor as usize, t)
+            || system.faults().proxy_down(serving, t);
         let (proxies, nodes, downlinks) = system.split_for_query();
         let chan = &mut downlinks[p][s];
         chan.set_link_up(!unreachable);
-        (&mut proxies[p], &mut nodes[p][s], chan)
+        (&mut proxies[serving], &mut nodes[p][s], chan)
     }
 
     /// Widens an answer's confidence bound by the sensor's health. A

@@ -148,6 +148,13 @@ pub struct PrestoSystem {
     /// Whether each sensor was crashed at the last fault-gate pass
     /// (crash-onset edge detection).
     was_down: Vec<bool>,
+    /// Current serving proxy per sensor (flat global ids). Starts at
+    /// the physical placement ([`PrestoSystem::locate`]) and changes
+    /// when the deployment tier re-homes a sensor after its proxy dies.
+    assignment: Vec<usize>,
+    /// Whether each proxy was down at the last fault-gate pass
+    /// (crash-onset edge detection: RAM-resident query state dies).
+    proxy_was_down: Vec<bool>,
     epoch_index: u64,
     last_train_check: SimTime,
     last_beacon: SimTime,
@@ -275,6 +282,8 @@ impl PrestoSystem {
             shared_loss,
             event_was_active: vec![false; total],
             was_down: vec![false; total],
+            assignment: (0..total).map(|gid| gid / config.sensors_per_proxy).collect(),
+            proxy_was_down: vec![false; config.proxies],
             epoch_index: 0,
             last_train_check: SimTime::ZERO,
             last_beacon: SimTime::ZERO,
@@ -315,13 +324,48 @@ impl PrestoSystem {
         SimTime::ZERO + self.config.lab.epoch * self.epoch_index
     }
 
-    /// Advances the whole system by one sampling epoch.
+    /// Advances the whole system by one sampling epoch (the core pass
+    /// plus the default pipeline pump). Deployment-tier drivers that
+    /// pump the pipelines themselves (the fleet router, with shedding
+    /// and cross-proxy channels) call [`PrestoSystem::step_epoch_core`]
+    /// and then their own pump instead.
     pub fn step_epoch(&mut self) {
+        let t = self.step_epoch_core();
+        self.pump_pipelines(t);
+    }
+
+    /// Advances everything except the query-pipeline pump by one epoch:
+    /// fault gates, sampling, heartbeats, fabric retransmission and
+    /// delivery, liveness, recovery, training, and clock beacons.
+    /// Returns the epoch's start time — the instant a following pump
+    /// pass should use.
+    pub fn step_epoch_core(&mut self) -> SimTime {
         let t = self.now();
         self.epoch_index += 1;
         // Everything offered this epoch that survives the channel is
         // consumed by the end of it (fabric delays are sub-epoch).
         let epoch_end = self.now();
+
+        // 0. Proxy-tier fault gates: a proxy entering a blackout loses
+        // its RAM-resident query state — pending pipeline queries,
+        // uncollected answers, reply cache, per-sensor caches and model
+        // replicas, and the pending-RPC tables of every channel it was
+        // driving. Its sensors keep sampling into their archives; they
+        // become reachable again when the deployment tier re-homes them
+        // or the proxy reboots.
+        for p in 0..self.config.proxies {
+            let down = self.config.faults.proxy_down(p, t);
+            if down && !self.proxy_was_down[p] {
+                self.proxies[p].crash_reset();
+                for gid in 0..self.total_sensors() {
+                    if self.assignment[gid] == p {
+                        let (hp, hs) = self.locate(gid as u16);
+                        self.downlinks[hp][hs].reset_proxy_state();
+                    }
+                }
+            }
+            self.proxy_was_down[p] = down;
+        }
 
         // 1. Fault gates: detect crash edges and set each sensor's
         // channel state — uplink fabric *and* downlink channel — for
@@ -353,7 +397,12 @@ impl PrestoSystem {
                 self.fabric.clear_pending(gid);
             }
             self.was_down[gid] = down;
-            let reachable = !self.config.faults.is_unreachable(gid, t);
+            // A sensor whose *serving proxy* is down has no working
+            // head-end: its uplinks die in the channel (surfacing later
+            // as gaps to repair) until the proxy reboots or the sensor
+            // re-homes to a survivor.
+            let reachable = !self.config.faults.is_unreachable(gid, t)
+                && !self.config.faults.proxy_down(self.assignment[gid], t);
             self.fabric.set_link_up(gid, reachable);
             self.downlinks[p][s].set_link_up(reachable);
             // Downlink maintenance: refills the retransmission budget.
@@ -437,7 +486,18 @@ impl PrestoSystem {
         // the proxies, and register seal notifications in the range
         // index.
         for (gid, delivery) in self.fabric.poll(epoch_end) {
-            let (p, _) = self.locate(gid as u16);
+            // Deliveries land at the sensor's *serving* proxy — after a
+            // re-home that is the adopter, not the physical cluster
+            // head the sensor started under.
+            let p = self.assignment[gid];
+            if self.config.faults.proxy_down(p, t) {
+                // Straggler that was already in flight when the proxy
+                // died: nobody is listening. Dropping it *before* the
+                // gap tracker sees its sequence number keeps the span
+                // repairable — the eventual successor detects the jump
+                // and replays it from the archive.
+                continue;
+            }
             let prior_covered = self.gaps.covered_until(gid);
             match self
                 .gaps
@@ -471,32 +531,29 @@ impl PrestoSystem {
         }
         self.attempt_recoveries(t);
 
-        // 7. Asynchronous query pipeline pump: every proxy issues or
-        // retransmits downlink pulls for all of its outstanding queries
-        // (fairness-budgeted across its sensors), matches arriving
-        // replies back to pending queries, and completes them — one
-        // proxy overlaps many in-flight pulls across epochs.
-        for p in 0..self.config.proxies {
-            let base = (p * self.config.sensors_per_proxy) as u16;
-            self.proxies[p].pump_queries(t, base, &mut self.nodes[p], &mut self.downlinks[p]);
-        }
-
-        // Periodic model training checks. (The time-range index is
-        // maintained by seal notifications and recovery rebuilds, so no
-        // periodic refresh happens here.)
+        // Periodic model training checks, routed by assignment so an
+        // adopter trains and pushes for its re-homed sensors. Down
+        // proxies train nothing. (The time-range index is maintained by
+        // seal notifications and recovery rebuilds, so no periodic
+        // refresh happens here.)
         if t - self.last_train_check >= self.config.train_check_every {
             self.last_train_check = t;
-            for p in 0..self.config.proxies {
-                for s in 0..self.config.sensors_per_proxy {
-                    let gid = (p * self.config.sensors_per_proxy + s) as u16;
-                    if self.config.faults.is_unreachable(gid as usize, t) {
-                        continue;
-                    }
-                    let node = &mut self.nodes[p][s];
-                    let chan = &mut self.downlinks[p][s];
-                    self.proxies[p].maybe_train_and_push(t, gid, node, chan);
+            for gid in 0..self.total_sensors() {
+                let sp = self.assignment[gid];
+                if self.config.faults.is_unreachable(gid, t)
+                    || self.config.faults.proxy_down(sp, t)
+                {
+                    continue;
                 }
-                self.proxies[p].refresh_spatial_model();
+                let (hp, hs) = self.locate(gid as u16);
+                let node = &mut self.nodes[hp][hs];
+                let chan = &mut self.downlinks[hp][hs];
+                self.proxies[sp].maybe_train_and_push(t, gid as u16, node, chan);
+            }
+            for p in 0..self.config.proxies {
+                if !self.config.faults.proxy_down(p, t) {
+                    self.proxies[p].refresh_spatial_model();
+                }
             }
         }
 
@@ -511,6 +568,60 @@ impl PrestoSystem {
                 self.correctors[gid].observe_beacon(local, t);
             }
         }
+        t
+    }
+
+    /// The default asynchronous query-pipeline pump: every *up* proxy
+    /// issues or retransmits downlink pulls for all of its outstanding
+    /// queries (fairness-budgeted across the sensors it currently
+    /// serves, per the assignment), matches arriving replies back to
+    /// pending queries, and completes them — one proxy overlaps many
+    /// in-flight pulls across epochs. Deployment-tier drivers replace
+    /// this with their own pump (shedding, cross-proxy channels).
+    pub fn pump_pipelines(&mut self, t: SimTime) {
+        for p in 0..self.config.proxies {
+            if self.config.faults.proxy_down(p, t) {
+                continue;
+            }
+            let assignment = &self.assignment;
+            let mut view: Vec<presto_proxy::PumpSensor<'_>> = self
+                .nodes
+                .iter_mut()
+                .flatten()
+                .zip(self.downlinks.iter_mut().flatten())
+                .enumerate()
+                .filter(|&(gid, _)| assignment[gid] == p)
+                .map(|(gid, (node, chan))| presto_proxy::PumpSensor {
+                    gid: gid as u16,
+                    node,
+                    chan,
+                })
+                .collect();
+            self.proxies[p].pump_queries_view(t, &mut view);
+        }
+    }
+
+    /// Current serving proxy per sensor (flat global ids).
+    pub fn assignment(&self) -> &[usize] {
+        &self.assignment
+    }
+
+    /// Re-homes a sensor to a new serving proxy: registers it there,
+    /// clears the proxy-side half of its downlink channel (the previous
+    /// driver's pending-RPC table means nothing to the new one), and
+    /// routes its future uplinks, pulls, training, and recovery replays
+    /// to the adopter. Cache and replica warm-up is the caller's job —
+    /// the deployment tier drives an archive-backed recovery replay
+    /// over the outage span, the same warm-up path gap repair uses.
+    pub fn rehome_sensor(&mut self, gid: usize, proxy: usize) {
+        assert!(proxy < self.config.proxies, "no such proxy");
+        if self.assignment[gid] == proxy {
+            return;
+        }
+        self.assignment[gid] = proxy;
+        self.proxies[proxy].register_sensor(gid as u16);
+        let (hp, hs) = self.locate(gid as u16);
+        self.downlinks[hp][hs].reset_proxy_state();
     }
 
     /// Attempts every queued recovery replay: reachable sensors get a
@@ -525,7 +636,10 @@ impl PrestoSystem {
         }
         let mut repaired = false;
         for r in pending {
-            if self.config.faults.is_unreachable(r.sensor, t) {
+            let sp = self.assignment[r.sensor];
+            if self.config.faults.is_unreachable(r.sensor, t)
+                || self.config.faults.proxy_down(sp, t)
+            {
                 self.gaps.request_recovery(r.sensor, r.from, r.to, r.detected_at);
                 continue;
             }
@@ -534,7 +648,7 @@ impl PrestoSystem {
             let tolerance = self.config.reliability.recovery_tolerance;
             let node = &mut self.nodes[p][s];
             let chan = &mut self.downlinks[p][s];
-            match self.proxies[p].recover_span(t, r.sensor as u16, from, to, tolerance, node, chan)
+            match self.proxies[sp].recover_span(t, r.sensor as u16, from, to, tolerance, node, chan)
             {
                 Some(samples) => {
                     self.gaps.complete(&r, samples as u64, t);
@@ -568,7 +682,10 @@ impl PrestoSystem {
     /// the system's current time. Returns `(proxy index, ticket)` — the
     /// completion surfaces under that ticket in
     /// [`PrestoSystem::take_completed_queries`] — or `None` for query
-    /// classes the pipeline does not serve (deployment-wide Events).
+    /// classes the pipeline does not serve (deployment-wide Events) and
+    /// for sensors whose serving proxy is down (a dead process accepts
+    /// no submissions; enqueuing into its pipeline object would park a
+    /// query nothing ever pumps or expires).
     pub fn submit_query(&mut self, q: crate::store::StoreQuery) -> Option<(usize, u64)> {
         let t = self.now();
         let pq = match q {
@@ -599,7 +716,10 @@ impl PrestoSystem {
             },
             crate::store::StoreQuery::Events { .. } => return None,
         };
-        let (p, _) = self.locate(pq.sensor());
+        let p = self.assignment[pq.sensor() as usize];
+        if self.config.faults.proxy_down(p, t) {
+            return None;
+        }
         let ticket = self.proxies[p].submit_query(t, pq);
         Some((p, ticket))
     }
@@ -1147,12 +1267,20 @@ mod tests {
                 );
             }
         }
-        assert_eq!(sys.pipeline_pending_total(), 12);
+        // A window a recovery replay happened to densify can complete
+        // at submit from cache; everything else needs a pull.
+        let immediate: Vec<_> = sys.take_completed_queries();
+        assert_eq!(sys.pipeline_pending_total() + immediate.len(), 12);
+        assert!(
+            sys.pipeline_pending_total() >= 8,
+            "most tight-tolerance queries must need pulls"
+        );
+        let fast_tickets: Vec<u64> = immediate.iter().map(|(_, c)| c.id).collect();
         // Pump across epochs until every query terminates (bounded by
         // the pipeline deadline).
         let deadline = sys.config().proxy.pipeline.deadline;
         let epochs = deadline.div_duration(sys.config().lab.epoch) + 2;
-        let mut done = Vec::new();
+        let mut done = immediate;
         for _ in 0..epochs {
             sys.step_epoch();
             done.extend(sys.take_completed_queries());
@@ -1171,6 +1299,9 @@ mod tests {
             "loss must force overlapping in-flight pulls: {ps:?}"
         );
         for (_, c) in &done {
+            if fast_tickets.contains(&c.id) {
+                continue;
+            }
             match &c.answer {
                 presto_proxy::PipelineAnswer::Series(a) => {
                     assert!(
@@ -1206,6 +1337,72 @@ mod tests {
         assert_eq!(after.completed_fast - before.completed_fast, 6);
         assert_eq!(after.rpcs_issued, before.rpcs_issued, "no radio work");
         assert_eq!(sys.pipeline_pending_total(), 0);
+    }
+
+    #[test]
+    fn proxy_blackout_gates_its_sensors_and_rehoming_restores_service() {
+        use crate::store::{StoreQuery, UnifiedStore};
+        let mut cfg = small();
+        cfg.reliability = tight_reliability();
+        // Proxy 1 dies at hour 6 and never reboots.
+        cfg.faults =
+            presto_sim::FaultPlan::none().with_proxy_crash(1, SimTime::from_hours(6), SimTime::from_hours(1000));
+        let mut sys = PrestoSystem::new(cfg);
+        sys.run(SimDuration::from_hours(6));
+        // Runs are epoch-quantized: step across the crash boundary so
+        // the consumption baseline is taken with the proxy down.
+        while !sys.faults().proxy_down(1, sys.now()) {
+            sys.step_epoch();
+        }
+        sys.step_epoch();
+        let uplinks_at_crash = sys.proxies[1].stats().uplinks;
+        assert!(uplinks_at_crash > 0);
+
+        // An hour into the blackout: proxy 1 consumed nothing more, its
+        // sensors' fabric links are gated, and a query towards one of
+        // its sensors fails honestly.
+        sys.run(SimDuration::from_hours(1));
+        assert_eq!(
+            sys.proxies[1].stats().uplinks,
+            uplinks_at_crash,
+            "a down proxy must consume nothing"
+        );
+        assert!(
+            sys.proxies[1].cache(4).is_none_or(|c| c.is_empty()),
+            "crash wiped the caches"
+        );
+        let r = UnifiedStore::new(&mut sys).query(StoreQuery::Now {
+            sensor: 4,
+            tolerance: 0.05,
+        });
+        assert_eq!(r.source, presto_proxy::AnswerSource::Failed);
+        assert!(r.sigma.is_infinite());
+
+        // Re-home proxy 1's sensors to proxy 0; service resumes there.
+        for gid in 3..6usize {
+            sys.rehome_sensor(gid, 0);
+        }
+        assert_eq!(sys.assignment()[4], 0);
+        sys.run(SimDuration::from_hours(2));
+        // The adopter heard the re-homed sensors (uplinks flow again) …
+        assert!(
+            sys.health(4) == Health::Live,
+            "re-homed sensor must report in at the adopter: {:?}",
+            sys.health(4)
+        );
+        // … and answers queries for them.
+        let r = UnifiedStore::new(&mut sys).query(StoreQuery::Now {
+            sensor: 4,
+            tolerance: 1.5,
+        });
+        assert_ne!(r.source, presto_proxy::AnswerSource::Failed, "{r:?}");
+        // The gap over the blackout was repaired from the archive into
+        // the adopter's cache.
+        let rs = sys.recovery_stats();
+        assert!(rs.recoveries >= 1, "no recovery replay after re-home: {rs:?}");
+        // Leak probes: nothing outstanding anywhere.
+        assert_eq!(sys.pipeline_pending_total(), 0);
+        assert_eq!(sys.async_in_flight_total(), 0);
     }
 
     #[test]

@@ -1,0 +1,699 @@
+//! The assembled deployment tier: a [`PrestoSystem`] fronted by the
+//! fleet router, the proxy-liveness view, and the inter-link mesh.
+//!
+//! [`FleetDeployment::step_epoch`] replaces the system's default
+//! pipeline pump with a fleet-aware one: each live proxy pumps a view
+//! over the sensors it currently serves — its own cluster, clusters
+//! adopted after a peer's death, and **cross-proxy downlink channels**
+//! it opened to serve shed queries for sensors it does not own. The
+//! cross-proxy channels are real [`DownlinkChannel`]s (same loss,
+//! retry-budget, and dedup machinery as the owner's) drawing sequence
+//! numbers from a per-proxy namespace so the sensor's duplicate filter
+//! keeps working with two proxies talking to it at once.
+
+use std::collections::HashMap;
+
+use presto_core::{PrestoSystem, SystemConfig};
+use presto_net::{LinkModel, LossProcess};
+use presto_proxy::{PipelineQuery, PumpSensor};
+use presto_reliability::{DownlinkChannel, Health};
+use presto_sensor::SensorNode;
+use presto_sim::{FaultPlan, FleetArrival, QueryKind, SimDuration, SimTime};
+
+use crate::interlink::{FleetMsg, InterLinkConfig, InterLinkMesh};
+use crate::membership::{FleetMembership, FleetMembershipConfig};
+use crate::router::{FleetCompletion, FleetRouter, FleetRouterConfig, ProxyPressure, RouteAction};
+
+/// Deployment-tier parameters.
+#[derive(Clone, Debug, Default)]
+pub struct FleetConfig {
+    /// The underlying three-tier system.
+    pub system: SystemConfig,
+    /// Router / admission-control parameters.
+    pub router: FleetRouterConfig,
+    /// Proxy-liveness parameters.
+    pub membership: FleetMembershipConfig,
+    /// Proxy↔proxy mesh parameters.
+    pub interlink: InterLinkConfig,
+}
+
+/// Leak probes over every fleet-tier table (all zero once submitted
+/// traffic has terminated and retries drained).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetLeaks {
+    /// Router tickets awaiting a terminal.
+    pub router_open: usize,
+    /// Pending pipeline queries across proxies.
+    pub pipeline_pending: usize,
+    /// Outstanding async RPCs across home *and* cross-proxy channels.
+    pub rpcs_in_flight: usize,
+    /// Mesh messages still retransmitting.
+    pub mesh_in_flight: usize,
+}
+
+impl FleetLeaks {
+    /// True when every table is empty.
+    pub fn is_clean(&self) -> bool {
+        self.router_open == 0
+            && self.pipeline_pending == 0
+            && self.rpcs_in_flight == 0
+            && self.mesh_in_flight == 0
+    }
+}
+
+/// A running fleet.
+pub struct FleetDeployment {
+    /// The underlying system (public: experiments read stats and warm
+    /// it up directly).
+    pub system: PrestoSystem,
+    /// The router (public for stats).
+    pub router: FleetRouter,
+    membership: FleetMembership,
+    /// The proxy↔proxy mesh (public for stats).
+    pub mesh: InterLinkMesh,
+    /// Cross-proxy downlink channels for shed queries, keyed
+    /// `(driving proxy, sensor)`.
+    foreign: HashMap<(usize, u16), DownlinkChannel>,
+    rng: presto_sim::SimRng,
+    /// Sensors re-homed across proxy deaths.
+    rehomed: u64,
+    /// Per-proxy down state at the last epoch (crash-onset edges).
+    proxy_was_down: Vec<bool>,
+    /// Per-proxy retry-budget depletion, refreshed once per epoch: the
+    /// only pressure component that needs a full channel scan (queue
+    /// depth and saturation are O(1) live reads).
+    depletions: Vec<f64>,
+    /// Monotonic sequence-namespace allocator for cross-proxy
+    /// channels: every channel *incarnation* gets a fresh block, so a
+    /// channel rebuilt after its driver crashed can never replay a
+    /// sequence number the sensor's dedup cache still remembers.
+    next_foreign_seq_base: u64,
+}
+
+impl FleetDeployment {
+    /// Builds the fleet over a fresh system.
+    pub fn new(config: FleetConfig) -> Self {
+        let proxies = config.system.proxies;
+        let seed = config.system.seed;
+        let system = PrestoSystem::new(config.system);
+        let mut fleet = FleetDeployment {
+            system,
+            router: FleetRouter::new(config.router),
+            membership: FleetMembership::new(config.membership, proxies),
+            mesh: InterLinkMesh::new(config.interlink, proxies),
+            foreign: HashMap::new(),
+            rng: presto_sim::SimRng::new(seed ^ 0xF1EE7),
+            rehomed: 0,
+            proxy_was_down: vec![false; proxies],
+            depletions: vec![0.0; proxies],
+            next_foreign_seq_base: 1 << 48,
+        };
+        fleet.refresh_depletions();
+        fleet
+    }
+
+    /// Current simulation time.
+    pub fn now(&self) -> SimTime {
+        self.system.now()
+    }
+
+    /// The proxy-liveness view.
+    pub fn membership(&self) -> &FleetMembership {
+        &self.membership
+    }
+
+    /// Sensors re-homed across proxy deaths so far.
+    pub fn rehomed_sensors(&self) -> u64 {
+        self.rehomed
+    }
+
+    /// Cross-proxy channels currently open.
+    pub fn foreign_channels(&self) -> usize {
+        self.foreign.len()
+    }
+
+    /// Leak probes over every fleet-tier table.
+    pub fn leaks(&self) -> FleetLeaks {
+        FleetLeaks {
+            router_open: self.router.open_tickets(),
+            pipeline_pending: self.system.pipeline_pending_total(),
+            rpcs_in_flight: self.system.async_in_flight_total()
+                + self.foreign.values().map(|c| c.async_in_flight()).sum::<usize>(),
+            mesh_in_flight: self.mesh.in_flight(),
+        }
+    }
+
+    /// One proxy's admission-control reading: live pipeline depth and
+    /// attempt-budget saturation, plus the per-epoch cached worst
+    /// retry-budget depletion across the downlink channels it drives.
+    pub fn pressure(&self, p: usize) -> ProxyPressure {
+        let pl = self.system.proxies[p].pipeline();
+        let budget = pl.config().epoch_attempt_budget.max(1) as f64;
+        ProxyPressure {
+            pending: pl.pending_queries(),
+            saturation: (pl.last_pump_attempts() as f64 / budget).min(1.0),
+            depletion: self.depletions[p],
+            live: self.membership.health(p) == Health::Live,
+        }
+    }
+
+    /// Recomputes every proxy's retry-budget depletion (one scan over
+    /// the fleet's channels; the buckets only move on pump/tick, so
+    /// once per epoch is exact enough for admission control).
+    fn refresh_depletions(&mut self) {
+        let cap = self
+            .system
+            .config()
+            .reliability
+            .downlink
+            .retry_budget_j
+            .max(1e-9);
+        let mut min_frac = vec![1.0f64; self.system.config().proxies];
+        for gid in 0..self.system.total_sensors() {
+            let p = self.system.assignment()[gid];
+            let (hp, hs) = self.system.locate(gid as u16);
+            min_frac[p] = min_frac[p].min(self.system.downlinks[hp][hs].budget_remaining_j() / cap);
+        }
+        for ((fp, _), chan) in self.foreign.iter() {
+            min_frac[*fp] = min_frac[*fp].min(chan.budget_remaining_j() / cap);
+        }
+        self.depletions = min_frac
+            .into_iter()
+            .map(|f| (1.0 - f).clamp(0.0, 1.0))
+            .collect();
+    }
+
+    /// The global sensor id a workload arrival targets (the one
+    /// mapping from `(group, slot)` to the sensor space — drivers that
+    /// need a truth oracle for an arrival read it from here).
+    pub fn arrival_gid(&self, a: &FleetArrival) -> u16 {
+        let spp = self.system.config().sensors_per_proxy;
+        let entry = a.group.min(self.system.config().proxies - 1);
+        (entry * spp + a.arrival.sensor_slot.min(spp - 1)) as u16
+    }
+
+    /// Submits a workload arrival: maps `(group, slot)` to a global
+    /// sensor and the arrival kind to a pipeline query, entering at the
+    /// group's proxy. Returns the fleet ticket.
+    pub fn submit_arrival(&mut self, a: &FleetArrival) -> u64 {
+        let entry = a.group.min(self.system.config().proxies - 1);
+        let gid = self.arrival_gid(a);
+        let query = match a.arrival.kind {
+            QueryKind::Now => PipelineQuery::Now {
+                sensor: gid,
+                tolerance: a.arrival.tolerance,
+            },
+            QueryKind::Past => PipelineQuery::Past {
+                sensor: gid,
+                from: a.arrival.from,
+                to: a.arrival.to,
+                tolerance: a.arrival.tolerance,
+            },
+            QueryKind::Aggregate => PipelineQuery::Aggregate {
+                sensor: gid,
+                from: a.arrival.from,
+                to: a.arrival.to,
+                op: presto_sensor::AggregateOp::Mean,
+            },
+        };
+        self.submit(entry, query, a.arrival.tolerance)
+    }
+
+    /// Submits a query entering at `entry`. The router assigns its
+    /// deadline (latency classes), reads every proxy's pressure, and
+    /// either admits it into the serving proxy's pipeline or sheds it
+    /// over the mesh.
+    pub fn submit(&mut self, entry: usize, query: PipelineQuery, tolerance: f64) -> u64 {
+        let t = self.system.now();
+        // A physically-down entry proxy has no process to accept the
+        // submission — the user's connection fails on the spot, long
+        // before the lease-based death declaration. Record the honest
+        // failure (submitting into a dead proxy's pipeline object would
+        // park queries nothing will ever pump: a leak).
+        if self.system.faults().proxy_down(entry, t) {
+            return self.router.fail_unreachable(t, entry, query);
+        }
+        let gid = query.sensor() as usize;
+        let serving = self.system.assignment()[gid];
+        let proxies = self.system.config().proxies;
+        let pressures: Vec<ProxyPressure> = (0..proxies).map(|p| self.pressure(p)).collect();
+        // Shed gating via the time-range index: a window archived
+        // nowhere is not worth a mesh round trip.
+        let range_archived = match query {
+            PipelineQuery::Past { from, to, .. } | PipelineQuery::Aggregate { from, to, .. } => {
+                let slack = SimDuration::from_secs(60);
+                !self.system.route_range(from - slack, to + slack).0.is_empty()
+            }
+            PipelineQuery::Now { .. } => true,
+        };
+        let (ticket, deadline, action) =
+            self.router
+                .route(t, entry, serving, query, tolerance, &pressures, range_archived);
+        match action {
+            RouteAction::Local { proxy } => {
+                // The router may keep a query at its entry proxy even
+                // when another proxy owns the sensor (shedding back to
+                // a cool entry): provision exactly as an adoption
+                // would, or the pump would have no channel for it.
+                if self.system.assignment()[gid] != proxy {
+                    self.system.proxies[proxy].register_sensor(query.sensor());
+                    self.ensure_foreign_channel(proxy, query.sensor());
+                }
+                let pt = self.system.proxies[proxy].submit_query_with_deadline(
+                    t,
+                    query,
+                    Some(deadline - t),
+                );
+                self.router.bind(ticket, proxy, pt);
+            }
+            RouteAction::Forward { proxy } => {
+                self.mesh.send(
+                    entry,
+                    proxy,
+                    FleetMsg::Forward {
+                        ticket,
+                        query,
+                        deadline,
+                        submitted_at: t,
+                    },
+                );
+            }
+        }
+        ticket
+    }
+
+    /// Drains fleet-level terminals recorded since the last call.
+    pub fn take_completed(&mut self) -> Vec<FleetCompletion> {
+        self.router.take_completed()
+    }
+
+    /// Advances the fleet one epoch: the system core pass, proxy-lease
+    /// maintenance (with failover on a death declaration), mesh
+    /// traffic, cross-proxy channel upkeep, the fleet pump, completion
+    /// collection, and the router's honest-expiry sweep.
+    pub fn step_epoch(&mut self) {
+        let t = self.system.step_epoch_core();
+        let proxies = self.system.config().proxies;
+        let faults = self.system.faults().clone();
+        let up: Vec<bool> = (0..proxies).map(|p| !faults.proxy_down(p, t)).collect();
+        for (p, &u) in up.iter().enumerate() {
+            self.mesh.set_up(p, u);
+            // Crash onset: the proxy's cross-proxy channels are its
+            // RAM — pending-RPC tables and all — and die with it (the
+            // system tier wipes the home channels it was driving; these
+            // are the fleet tier's to wipe). A later adoption rebuilds
+            // them fresh.
+            if !u && !self.proxy_was_down[p] {
+                self.foreign.retain(|&(fp, _), _| fp != p);
+            }
+            self.proxy_was_down[p] = !u;
+        }
+
+        // 1. Proxy leases; a death declaration triggers failover.
+        for dead in self.membership.step(t, &up) {
+            self.handle_failover(t, dead);
+        }
+
+        // 2. Mesh traffic: adopt forwards, consume returned answers.
+        for (dst, _src, msg) in self.mesh.step(t) {
+            match msg {
+                FleetMsg::Forward {
+                    ticket,
+                    query,
+                    deadline,
+                    ..
+                } => {
+                    if t >= deadline {
+                        // Arrived too late to run; the router's expiry
+                        // sweep fails the ticket honestly.
+                        continue;
+                    }
+                    let gid = query.sensor();
+                    self.system.proxies[dst].register_sensor(gid);
+                    if self.system.assignment()[gid as usize] != dst {
+                        self.ensure_foreign_channel(dst, gid);
+                    }
+                    let pt = self.system.proxies[dst].submit_query_with_deadline(
+                        t,
+                        query,
+                        Some(deadline - t),
+                    );
+                    self.router.bind(ticket, dst, pt);
+                }
+                FleetMsg::Completion { ticket, answer } => {
+                    self.router.on_completion_msg(t, ticket, answer);
+                }
+            }
+        }
+
+        // 3. Cross-proxy channel upkeep: fault gates + budget refill.
+        for ((fp, gid), chan) in self.foreign.iter_mut() {
+            chan.set_link_up(up[*fp] && !faults.is_unreachable(*gid as usize, t));
+            chan.tick(t);
+        }
+
+        // 4. Fleet pump: each live proxy serves its current view.
+        self.pump_fleet(t, &faults);
+
+        // 5. Collect pipeline completions; answers produced away from
+        // their entry proxy ride the mesh home.
+        for p in 0..proxies {
+            if !up[p] {
+                continue;
+            }
+            for c in self.system.proxies[p].take_completed_queries() {
+                if let Some((ticket, entry)) = self.router.on_pipeline_completion(t, p, &c) {
+                    if up[entry] && entry != p {
+                        self.mesh.send(p, entry, FleetMsg::Completion {
+                            ticket,
+                            answer: c.answer,
+                        });
+                    }
+                    // A dead entry proxy has no one to deliver to: the
+                    // router already failed (or will expire) the ticket.
+                }
+            }
+        }
+
+        // 6. Honest expiry: whatever the mesh dropped terminates here.
+        self.router.expire(t);
+
+        // 7. Refresh the cached budget-depletion readings for the
+        // coming epoch's submissions.
+        self.refresh_depletions();
+    }
+
+    /// Opens (once) the cross-proxy downlink channel `driver` uses to
+    /// pull `sensor`, with a sequence namespace disjoint from the
+    /// owner's (home sequences count up from zero, far below the
+    /// foreign base) *and* from every earlier incarnation of any
+    /// cross-proxy channel, so the sensor-side duplicate filter stays
+    /// sound with multiple proxies — and rebuilt channels — talking to
+    /// one sensor.
+    fn ensure_foreign_channel(&mut self, driver: usize, sensor: u16) {
+        if self.foreign.contains_key(&(driver, sensor)) {
+            return;
+        }
+        let mut dl_cfg = self.system.config().reliability.downlink.clone();
+        dl_cfg.seed ^= (driver as u64 + 1)
+            .rotate_left(19)
+            .wrapping_mul(0x9E37_79B9)
+            .wrapping_add(sensor as u64);
+        let loss = self.system.config().loss;
+        let first_hop = if loss > 0.0 {
+            LinkModel::new(
+                LossProcess::Bernoulli(loss),
+                self.rng.split(&format!("fleet-hop-{driver}-{sensor}")),
+            )
+        } else {
+            LinkModel::perfect()
+        };
+        let mut chan = DownlinkChannel::new(dl_cfg, first_hop);
+        chan.set_seq_namespace(self.next_foreign_seq_base);
+        self.next_foreign_seq_base += 1 << 24;
+        self.foreign.insert((driver, sensor), chan);
+    }
+
+    /// Pumps every live proxy's pipeline over its current sensor view:
+    /// home/adopted sensors through their own channels, plus this
+    /// proxy's cross-proxy channels for shed work.
+    ///
+    /// The borrow scaffolds are rebuilt per proxy on purpose: one
+    /// sensor legitimately appears in TWO views per epoch — its
+    /// owner's (home channel) and a shed-target's (cross-proxy
+    /// channel) — so the node needs a fresh `&mut` per pumping proxy.
+    /// Building every view in one pass would hand each node to exactly
+    /// one proxy and silently starve shed queries whenever the owner
+    /// is alive (i.e. always, under shedding).
+    fn pump_fleet(&mut self, t: SimTime, faults: &FaultPlan) {
+        let proxies = self.system.config().proxies;
+        let assignment = self.system.assignment().to_vec();
+        for p in 0..proxies {
+            if faults.proxy_down(p, t) {
+                continue;
+            }
+            let mut node_refs: Vec<Option<&mut SensorNode>> =
+                self.system.nodes.iter_mut().flatten().map(Some).collect();
+            let mut chan_refs: Vec<Option<&mut DownlinkChannel>> =
+                self.system.downlinks.iter_mut().flatten().map(Some).collect();
+            let mut view: Vec<PumpSensor<'_>> = Vec::new();
+            for (gid, &owner) in assignment.iter().enumerate() {
+                if owner == p {
+                    view.push(PumpSensor {
+                        gid: gid as u16,
+                        node: node_refs[gid].take().expect("each sensor taken once"),
+                        chan: chan_refs[gid].take().expect("each channel taken once"),
+                    });
+                }
+            }
+            for ((fp, gid), chan) in self.foreign.iter_mut() {
+                if *fp == p {
+                    if let Some(node) = node_refs[*gid as usize].take() {
+                        view.push(PumpSensor {
+                            gid: *gid,
+                            node,
+                            chan,
+                        });
+                    }
+                }
+            }
+            self.system.proxies[p].pump_queries_view(t, &mut view);
+        }
+    }
+
+    /// Failover for a proxy the membership view declared Dead: its
+    /// sensors re-home to the least-loaded Live survivors (cache warmed
+    /// by an archive-backed recovery replay over the silent span — the
+    /// same warm-up path gap repair uses), and its outstanding fleet
+    /// queries resume at the adopters or fail honestly.
+    fn handle_failover(&mut self, t: SimTime, dead: usize) {
+        let proxies = self.system.config().proxies;
+        let candidates: Vec<usize> = (0..proxies)
+            .filter(|&p| p != dead && self.membership.health(p) == Health::Live)
+            .collect();
+        if !candidates.is_empty() {
+            for gid in 0..self.system.total_sensors() {
+                if self.system.assignment()[gid] != dead {
+                    continue;
+                }
+                let adopter = *candidates
+                    .iter()
+                    .min_by_key(|&&p| {
+                        self.system.assignment().iter().filter(|&&a| a == p).count()
+                    })
+                    .expect("non-empty candidates");
+                self.system.rehome_sensor(gid, adopter);
+                self.rehomed += 1;
+                // Warm the adopter: replay the span the fleet stopped
+                // hearing (the gap tracker knows the last contiguous
+                // instant) from the sensor's flash archive.
+                let covered = self.system.gaps.covered_until(gid);
+                self.system.gaps.request_recovery(gid, covered, t, t);
+            }
+        }
+        // The dead proxy's cross-proxy channels die with its RAM, and
+        // survivors' channels onto sensors they now *own* are
+        // redundant.
+        let assignment = self.system.assignment().to_vec();
+        self.foreign
+            .retain(|&(fp, gid), _| fp != dead && assignment[gid as usize] != fp);
+
+        // Resume the dead proxy's outstanding fleet queries at the new
+        // owners (or fail honestly when no deadline remains — the
+        // router's expiry sweep handles those).
+        for (ticket, query, deadline, entry) in self.router.on_proxy_dead(t, dead) {
+            let gid = query.sensor() as usize;
+            let serving = self.system.assignment()[gid];
+            if serving == dead
+                || self.system.faults().proxy_down(serving, t)
+                || self.system.faults().proxy_down(entry, t)
+            {
+                continue;
+            }
+            self.router.mark_rerouted(ticket, serving);
+            if serving == entry {
+                let pt = self.system.proxies[serving].submit_query_with_deadline(
+                    t,
+                    query,
+                    Some(deadline - t),
+                );
+                self.router.bind(ticket, serving, pt);
+            } else {
+                self.mesh.send(
+                    entry,
+                    serving,
+                    FleetMsg::Forward {
+                        ticket,
+                        query,
+                        deadline,
+                        submitted_at: t,
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_proxy::AnswerSource;
+    use presto_sim::SimDuration;
+
+    /// A small fleet with clean inter-links and fast proxy leases.
+    fn small_fleet(proxies: usize, faults: FaultPlan) -> FleetDeployment {
+        let mut cfg = FleetConfig {
+            system: SystemConfig {
+                proxies,
+                sensors_per_proxy: 2,
+                faults,
+                ..SystemConfig::default()
+            },
+            ..FleetConfig::default()
+        };
+        cfg.interlink.link_chain = presto_net::GilbertElliott {
+            p_gb: 0.0,
+            p_bg: 1.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        cfg.interlink.shared_chain = None;
+        cfg.membership.heartbeat_loss = presto_net::GilbertElliott {
+            p_gb: 0.0,
+            p_bg: 1.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        FleetDeployment::new(cfg)
+    }
+
+    fn run_epochs(fleet: &mut FleetDeployment, epochs: u64) -> Vec<FleetCompletion> {
+        let mut out = Vec::new();
+        for _ in 0..epochs {
+            fleet.step_epoch();
+            out.extend(fleet.take_completed());
+        }
+        out
+    }
+
+    #[test]
+    fn local_queries_complete_through_the_fleet() {
+        let mut fleet = small_fleet(2, FaultPlan::none());
+        for _ in 0..(86_400 / 31) {
+            fleet.step_epoch();
+        }
+        let t = fleet.now();
+        let ticket = fleet.submit(
+            0,
+            PipelineQuery::Past {
+                sensor: 0,
+                from: t - SimDuration::from_hours(3),
+                to: t - SimDuration::from_hours(2),
+                tolerance: 0.05,
+            },
+            0.05,
+        );
+        let done = run_epochs(&mut fleet, 30);
+        let c = done
+            .iter()
+            .find(|c| c.ticket == ticket)
+            .expect("query must terminate");
+        assert!(!c.forwarded);
+        assert_ne!(c.answer.source(), AnswerSource::Failed);
+        assert!(fleet.leaks().is_clean(), "{:?}", fleet.leaks());
+    }
+
+    #[test]
+    fn hot_proxy_sheds_to_peers_and_answers_stay_real() {
+        let mut fleet = small_fleet(3, FaultPlan::none());
+        for _ in 0..(86_400 / 31) {
+            fleet.step_epoch();
+        }
+        let t = fleet.now();
+        // Flood proxy 0 with tight-tolerance PAST queries over distinct
+        // windows (no coalescing): pressure builds, later submissions
+        // shed.
+        let mut tickets = Vec::new();
+        for k in 0..40u64 {
+            let from = t - SimDuration::from_hours(12) + SimDuration::from_mins(10) * k;
+            tickets.push(fleet.submit(
+                0,
+                PipelineQuery::Past {
+                    sensor: (k % 2) as u16,
+                    from,
+                    to: from + SimDuration::from_mins(9),
+                    tolerance: 0.05,
+                },
+                0.05,
+            ));
+        }
+        assert!(fleet.router.stats().shed > 0, "hot proxy never shed");
+        let done = run_epochs(&mut fleet, 60);
+        assert_eq!(done.len(), tickets.len(), "every ticket terminates");
+        let forwarded_ok = done
+            .iter()
+            .filter(|c| c.forwarded && c.answer.source() == AnswerSource::Pulled)
+            .count();
+        assert!(forwarded_ok > 0, "no shed query completed with a real answer");
+        assert!(fleet.foreign_channels() > 0, "no cross-proxy channel opened");
+        assert!(fleet.leaks().is_clean(), "{:?}", fleet.leaks());
+    }
+
+    #[test]
+    fn proxy_death_rehomes_sensors_and_resumes_queries() {
+        // Proxy 1 dies at hour 4 and never returns.
+        let faults = FaultPlan::none().with_proxy_crash(
+            1,
+            SimTime::from_hours(4),
+            SimTime::from_hours(10_000),
+        );
+        let mut fleet = small_fleet(3, faults);
+        let epoch = SimDuration::from_secs(31);
+        let crash_epochs = SimDuration::from_hours(4).div_duration(epoch) + 1;
+        for _ in 0..crash_epochs {
+            fleet.step_epoch();
+        }
+        // Submit a query served by proxy 1 just before death is
+        // *declared* (physical crash already happened).
+        let t = fleet.now();
+        let ticket = fleet.submit(
+            1,
+            PipelineQuery::Past {
+                sensor: 2,
+                from: t - SimDuration::from_hours(2),
+                to: t - SimDuration::from_hours(1),
+                tolerance: 0.05,
+            },
+            0.05,
+        );
+        let _ = ticket;
+        // Run past the dead threshold + recovery.
+        let done = run_epochs(&mut fleet, 60);
+        assert!(fleet.rehomed_sensors() >= 2, "sensors never re-homed");
+        assert_ne!(fleet.system.assignment()[2], 1);
+        assert_ne!(fleet.system.assignment()[3], 1);
+        // The pre-death ticket terminated (entry died with the proxy:
+        // honest failure is the correct outcome here).
+        assert_eq!(done.len(), 1);
+        // Post-failover: queries for the dead proxy's sensors enter at
+        // a survivor and complete with real answers.
+        let t2 = fleet.now();
+        let t2_ticket = fleet.submit(
+            0,
+            PipelineQuery::Past {
+                sensor: 2,
+                from: t2 - SimDuration::from_hours(2),
+                to: t2 - SimDuration::from_hours(1),
+                tolerance: 0.05,
+            },
+            0.05,
+        );
+        let done2 = run_epochs(&mut fleet, 40);
+        let c = done2
+            .iter()
+            .find(|c| c.ticket == t2_ticket)
+            .expect("post-failover query must terminate");
+        assert_ne!(c.answer.source(), AnswerSource::Failed, "{c:?}");
+        assert!(fleet.leaks().is_clean(), "{:?}", fleet.leaks());
+    }
+}

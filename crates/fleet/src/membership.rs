@@ -1,0 +1,202 @@
+//! Proxy-tier liveness: the heartbeat-lease model, one tier up.
+//!
+//! The sensor tier already grades every sensor Live/Suspect/Dead from
+//! heartbeat leases ([`presto_reliability::LivenessMonitor`]); the
+//! fleet reuses the same monitor over *proxies*. Every epoch each
+//! physically-alive proxy offers a lease-renewal beacon over its own
+//! lossy per-proxy path (configured separately from the forwarding
+//! mesh — beacons are tiny and may ride a different route than bulk
+//! forwards); the membership view hears whatever survives. A proxy silent past the
+//! dead threshold is declared Dead — the trigger for sensor re-homing
+//! and query resumption — and honestly so: the view cannot tell a dead
+//! proxy from a long partition, exactly the ambiguity the lease
+//! timeout resolves by policy.
+
+use presto_net::{GilbertElliott, LinkModel, LossProcess};
+use presto_reliability::{Health, LivenessConfig, LivenessMonitor};
+use presto_sim::{SimRng, SimTime};
+
+/// Membership parameters.
+#[derive(Clone, Debug)]
+pub struct FleetMembershipConfig {
+    /// Proxy lease: silence past `lease` makes a proxy Suspect, past
+    /// `dead_after` Dead (re-homing fires on Dead).
+    pub liveness: LivenessConfig,
+    /// Loss on the heartbeat paths (bursty; proxies share backhaul).
+    pub heartbeat_loss: GilbertElliott,
+    /// RNG seed for the heartbeat loss streams.
+    pub seed: u64,
+}
+
+impl Default for FleetMembershipConfig {
+    fn default() -> Self {
+        FleetMembershipConfig {
+            liveness: LivenessConfig {
+                lease: presto_sim::SimDuration::from_mins(3),
+                dead_after: presto_sim::SimDuration::from_mins(8),
+            },
+            heartbeat_loss: GilbertElliott {
+                p_gb: 0.01,
+                p_bg: 0.3,
+                loss_good: 0.05,
+                loss_bad: 0.7,
+            },
+            seed: 0xBEA7,
+        }
+    }
+}
+
+/// Membership counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct MembershipStats {
+    /// Heartbeats offered by live proxies.
+    pub heartbeats_offered: u64,
+    /// Heartbeats that survived the lossy path.
+    pub heartbeats_heard: u64,
+    /// Proxy death declarations (lease + dead threshold expired).
+    pub deaths_declared: u64,
+    /// Proxies heard again after a declaration (reboot or partition
+    /// healing).
+    pub rejoins: u64,
+}
+
+/// The fleet's proxy-liveness view.
+pub struct FleetMembership {
+    monitor: LivenessMonitor,
+    links: Vec<LinkModel>,
+    /// Proxies already declared dead (edge detection for re-homing).
+    declared_dead: Vec<bool>,
+    stats: MembershipStats,
+}
+
+impl FleetMembership {
+    /// Creates the view over `proxies` proxies, all initially Live.
+    pub fn new(config: FleetMembershipConfig, proxies: usize) -> Self {
+        let rng = SimRng::new(config.seed);
+        FleetMembership {
+            monitor: LivenessMonitor::new(config.liveness, proxies),
+            links: (0..proxies)
+                .map(|p| {
+                    LinkModel::new(
+                        LossProcess::Gilbert(config.heartbeat_loss),
+                        rng.split(&format!("hb-{p}")),
+                    )
+                })
+                .collect(),
+            declared_dead: vec![false; proxies],
+            stats: MembershipStats::default(),
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> MembershipStats {
+        self.stats
+    }
+
+    /// Last graded health of a proxy.
+    pub fn health(&self, proxy: usize) -> Health {
+        self.monitor.health(proxy)
+    }
+
+    /// One epoch of lease maintenance: every physically-up proxy (per
+    /// `up`) beacons over its lossy path; leases re-grade; returns the
+    /// proxies *newly* declared Dead this epoch — the re-homing edge.
+    pub fn step(&mut self, t: SimTime, up: &[bool]) -> Vec<usize> {
+        let mut newly_dead = Vec::new();
+        for (p, &proxy_up) in up.iter().enumerate().take(self.links.len()) {
+            if proxy_up {
+                self.stats.heartbeats_offered += 1;
+                if self.links[p].deliver() {
+                    self.stats.heartbeats_heard += 1;
+                    if self.monitor.heard(p, t) && self.declared_dead[p] {
+                        self.declared_dead[p] = false;
+                        self.stats.rejoins += 1;
+                    }
+                }
+            }
+            if self.monitor.check(p, t) == Health::Dead && !self.declared_dead[p] {
+                self.declared_dead[p] = true;
+                self.stats.deaths_declared += 1;
+                newly_dead.push(p);
+            }
+        }
+        newly_dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use presto_sim::SimDuration;
+
+    fn clean_config() -> FleetMembershipConfig {
+        FleetMembershipConfig {
+            heartbeat_loss: GilbertElliott {
+                p_gb: 0.0,
+                p_bg: 1.0,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            ..FleetMembershipConfig::default()
+        }
+    }
+
+    #[test]
+    fn dead_proxy_is_declared_once_within_the_threshold() {
+        let cfg = clean_config();
+        let dead_after = cfg.liveness.dead_after;
+        let mut m = FleetMembership::new(cfg, 3);
+        let epoch = SimDuration::from_secs(31);
+        let mut up = vec![true, true, true];
+        let mut declared_at = None;
+        for e in 0..40u64 {
+            let t = SimTime::ZERO + epoch * e;
+            if t >= SimTime::from_mins(2) {
+                up[1] = false; // proxy 1 dies two minutes in
+            }
+            let dead = m.step(t, &up);
+            if !dead.is_empty() {
+                assert_eq!(dead, vec![1]);
+                assert!(declared_at.is_none(), "declared exactly once");
+                declared_at = Some(t);
+            }
+        }
+        let declared = declared_at.expect("death must be declared");
+        assert!(
+            declared <= SimTime::from_mins(2) + dead_after + epoch,
+            "detection must be bounded by the dead threshold: {declared:?}"
+        );
+        assert_eq!(m.health(1), Health::Dead);
+        assert_eq!(m.health(0), Health::Live);
+    }
+
+    #[test]
+    fn rebooted_proxy_rejoins() {
+        let mut m = FleetMembership::new(clean_config(), 2);
+        let epoch = SimDuration::from_secs(31);
+        let mut up = vec![true, true];
+        let mut died = false;
+        for e in 0..60u64 {
+            let t = SimTime::ZERO + epoch * e;
+            up[1] = !(SimTime::from_mins(2)..SimTime::from_mins(15)).contains(&t);
+            died |= !m.step(t, &up).is_empty();
+        }
+        assert!(died);
+        assert_eq!(m.health(1), Health::Live, "rejoined after reboot");
+        assert_eq!(m.stats().rejoins, 1);
+    }
+
+    #[test]
+    fn lossy_heartbeats_do_not_flap_a_live_proxy() {
+        // Default bursty loss: a live proxy's lease survives (the lease
+        // spans several beacon epochs).
+        let mut m = FleetMembership::new(FleetMembershipConfig::default(), 2);
+        let epoch = SimDuration::from_secs(31);
+        let up = vec![true, true];
+        for e in 0..600u64 {
+            let dead = m.step(SimTime::ZERO + epoch * e, &up);
+            assert!(dead.is_empty(), "live proxy declared dead at epoch {e}");
+        }
+        assert!(m.stats().heartbeats_heard > m.stats().heartbeats_offered / 2);
+    }
+}

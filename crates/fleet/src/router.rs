@@ -1,0 +1,707 @@
+//! The fleet router: admission control, shedding, and honest
+//! termination for cross-proxy query traffic.
+//!
+//! Every user query enters the fleet at its **entry proxy** (where the
+//! user is attached) and is *served* by whichever proxy currently owns
+//! the work — normally the same proxy, a peer when the entry proxy is
+//! hot enough to shed, an adopter after a failover. The router is a
+//! pure state machine: the deployment feeds it per-proxy pressure
+//! readings and pipeline completions, and it decides routing, tracks
+//! one ticket per query, and guarantees exactly one terminal outcome —
+//! a real answer, or an honest `Failed` (sigma ∞) by the query's
+//! deadline plus a small collection grace. Late answers (a completion
+//! crossing the mesh after the deadline fired) are dropped, never
+//! double-reported.
+//!
+//! Shedding policy: a proxy is **hot** when its pressure score —
+//! outstanding pipeline queries, plus weighted attempt-budget
+//! saturation and downlink retry-budget depletion — exceeds the shed
+//! threshold. Only archive-range queries (PAST, aggregate) shed: their
+//! answers come from the sensor's flash archive, identical no matter
+//! which proxy pulls them. NOW queries stay home, where the cache,
+//! model replica, and freshness semantics live. A query sheds to the
+//! least-pressured Live peer, and only when that peer is cooler by a
+//! margin and enough deadline remains to pay the mesh round trip —
+//! the deadline-versus-retry-budget trade from query–sensor matching.
+
+use std::collections::HashMap;
+
+use presto_proxy::{
+    Answer, AnswerSource, CompletedQuery, PastAnswer, PipelineAnswer, PipelineQuery, QueryClass,
+    QuerySensorMatcher,
+};
+use presto_sim::{SimDuration, SimTime};
+
+/// Router parameters.
+#[derive(Clone, Debug)]
+pub struct FleetRouterConfig {
+    /// Master switch: off reproduces the pre-fleet behavior (every
+    /// query served where it enters), for A/B experiments.
+    pub shed_enabled: bool,
+    /// Pressure score above which a proxy sheds range queries.
+    pub shed_threshold: f64,
+    /// How much cooler (score units) a peer must be to receive a shed.
+    pub shed_margin: f64,
+    /// Latency classes for per-query deadlines (query–sensor
+    /// matching); empty falls back to `default_deadline` for every
+    /// query.
+    pub latency_classes: Vec<QueryClass>,
+    /// Deadline when no latency class is registered.
+    pub default_deadline: SimDuration,
+    /// Minimum remaining deadline for a forward to be worth the mesh
+    /// round trip; queries with less stay home.
+    pub forward_slack: SimDuration,
+    /// Collection grace past the deadline before the router fails a
+    /// ticket itself (covers pipeline completion + mesh return time).
+    pub expiry_grace: SimDuration,
+}
+
+impl Default for FleetRouterConfig {
+    fn default() -> Self {
+        FleetRouterConfig {
+            shed_enabled: true,
+            shed_threshold: 12.0,
+            shed_margin: 4.0,
+            latency_classes: Vec::new(),
+            default_deadline: SimDuration::from_mins(10),
+            forward_slack: SimDuration::from_mins(2),
+            expiry_grace: SimDuration::from_mins(3),
+        }
+    }
+}
+
+/// One proxy's admission-control reading, computed by the deployment
+/// each submission from live pipeline state.
+#[derive(Clone, Copy, Debug)]
+pub struct ProxyPressure {
+    /// Outstanding pipeline queries.
+    pub pending: usize,
+    /// Fraction of the per-epoch attempt budget the last pump spent
+    /// (1.0 = saturated).
+    pub saturation: f64,
+    /// Downlink retry-budget depletion across the channels the proxy
+    /// drives (0 = full buckets, 1 = dry).
+    pub depletion: f64,
+    /// Membership grade is Live.
+    pub live: bool,
+}
+
+impl ProxyPressure {
+    /// Scalar pressure score. Pending queries dominate; saturation and
+    /// budget depletion break ties and catch a proxy whose queue is
+    /// short only because everything is stuck in retransmission.
+    pub fn score(&self) -> f64 {
+        self.pending as f64 + 8.0 * self.saturation + 4.0 * self.depletion
+    }
+}
+
+/// Where the router sent a query.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RouteAction {
+    /// Submit into this proxy's pipeline directly (it is the entry
+    /// proxy).
+    Local {
+        /// The serving proxy.
+        proxy: usize,
+    },
+    /// Forward over the mesh to this proxy (shed, or re-homed owner).
+    Forward {
+        /// The serving proxy.
+        proxy: usize,
+    },
+}
+
+/// A routed query's terminal record.
+#[derive(Clone, Debug)]
+pub struct FleetCompletion {
+    /// The fleet ticket.
+    pub ticket: u64,
+    /// The query as submitted.
+    pub query: PipelineQuery,
+    /// Entry proxy (where the user attached).
+    pub entry: usize,
+    /// Proxy that produced the terminal answer (== entry for router
+    /// expiry failures).
+    pub served_by: usize,
+    /// True when the query crossed the mesh (shed or failover resume).
+    pub forwarded: bool,
+    /// The answer.
+    pub answer: PipelineAnswer,
+    /// Submission time.
+    pub submitted_at: SimTime,
+    /// Terminal time at the router.
+    pub completed_at: SimTime,
+}
+
+/// Router counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct FleetRouterStats {
+    /// Queries routed.
+    pub submitted: u64,
+    /// Queries shed from a hot entry proxy to a peer.
+    pub shed: u64,
+    /// Forwards issued because the serving proxy differed from entry
+    /// (re-homed sensors, failover resumes).
+    pub rerouted: u64,
+    /// Terminals answered by the entry proxy's own pipeline.
+    pub completed_local: u64,
+    /// Terminals whose answer crossed the mesh back.
+    pub completed_remote: u64,
+    /// Tickets the router failed honestly at deadline + grace.
+    pub failed_deadline: u64,
+    /// Tickets failed because their entry proxy died (no one left to
+    /// deliver the answer to).
+    pub failed_entry_dead: u64,
+    /// Outstanding queries re-submitted to an adopter after their
+    /// serving proxy died.
+    pub resumed: u64,
+    /// Late completions dropped after a terminal was already recorded.
+    pub late_dropped: u64,
+}
+
+#[derive(Clone, Debug)]
+struct Ticket {
+    query: PipelineQuery,
+    entry: usize,
+    serving: usize,
+    forwarded: bool,
+    submitted_at: SimTime,
+    deadline: SimTime,
+}
+
+/// The fleet router.
+pub struct FleetRouter {
+    config: FleetRouterConfig,
+    matcher: QuerySensorMatcher,
+    next_ticket: u64,
+    open: HashMap<u64, Ticket>,
+    /// (serving proxy, its pipeline ticket) → fleet ticket.
+    by_proxy_ticket: HashMap<(usize, u64), u64>,
+    completed: Vec<FleetCompletion>,
+    stats: FleetRouterStats,
+}
+
+impl FleetRouter {
+    /// Creates a router.
+    pub fn new(config: FleetRouterConfig) -> Self {
+        let mut matcher = QuerySensorMatcher::new();
+        for class in &config.latency_classes {
+            matcher.register(*class);
+        }
+        FleetRouter {
+            matcher,
+            next_ticket: 1,
+            open: HashMap::new(),
+            by_proxy_ticket: HashMap::new(),
+            completed: Vec::new(),
+            stats: FleetRouterStats::default(),
+            config,
+        }
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> FleetRouterStats {
+        self.stats
+    }
+
+    /// Tickets awaiting a terminal (leak probe: zero once every
+    /// submitted query completed or expired).
+    pub fn open_tickets(&self) -> usize {
+        self.open.len()
+    }
+
+    /// The per-query deadline for a tolerance, from the latency
+    /// classes (falls back to the configured default).
+    pub fn deadline_for(&self, tolerance: f64) -> SimDuration {
+        self.matcher
+            .deadline_for(tolerance)
+            .unwrap_or(self.config.default_deadline)
+    }
+
+    /// Opens and immediately fails a ticket whose entry proxy is
+    /// unreachable at submission (the user's connection has nowhere to
+    /// land — real deployments refuse the connection; the fleet
+    /// records the honest failure so workload accounting stays exact).
+    pub fn fail_unreachable(&mut self, t: SimTime, entry: usize, query: PipelineQuery) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.stats.submitted += 1;
+        self.stats.failed_entry_dead += 1;
+        self.completed.push(FleetCompletion {
+            ticket,
+            query,
+            entry,
+            served_by: entry,
+            forwarded: false,
+            answer: Self::failed_answer(&query),
+            submitted_at: t,
+            completed_at: t,
+        });
+        ticket
+    }
+
+    /// Routes one query: opens a ticket and decides where it runs.
+    /// `pressures[p]` is proxy `p`'s current reading; `serving` is the
+    /// sensor's current owner per the assignment; `range_archived`
+    /// gates shedding on the time-range index saying *some* proxy
+    /// holds data overlapping the window (a range nobody archived is
+    /// not worth a mesh round trip). Returns `(ticket, deadline,
+    /// action)`; the caller performs the submit or mesh send and then
+    /// calls [`FleetRouter::bind`] when a pipeline ticket exists.
+    #[allow(clippy::too_many_arguments)]
+    pub fn route(
+        &mut self,
+        t: SimTime,
+        entry: usize,
+        serving: usize,
+        query: PipelineQuery,
+        tolerance: f64,
+        pressures: &[ProxyPressure],
+        range_archived: bool,
+    ) -> (u64, SimTime, RouteAction) {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.stats.submitted += 1;
+        let deadline = t + self.deadline_for(tolerance);
+
+        let sheddable = matches!(
+            query,
+            PipelineQuery::Past { .. } | PipelineQuery::Aggregate { .. }
+        );
+        let mut target = serving;
+        let mut shed = false;
+        if self.config.shed_enabled
+            && sheddable
+            && range_archived
+            && deadline - t > self.config.forward_slack
+            && pressures
+                .get(serving)
+                .is_some_and(|p| p.score() >= self.config.shed_threshold)
+        {
+            let coolest = pressures
+                .iter()
+                .enumerate()
+                .filter(|&(p, r)| p != serving && r.live)
+                .min_by(|a, b| {
+                    a.1.score()
+                        .partial_cmp(&b.1.score())
+                        .expect("scores are finite")
+                });
+            if let Some((peer, reading)) = coolest {
+                if reading.score() + self.config.shed_margin <= pressures[serving].score() {
+                    target = peer;
+                    shed = true;
+                    self.stats.shed += 1;
+                }
+            }
+        }
+
+        let forwarded = target != entry;
+        if forwarded && !shed {
+            self.stats.rerouted += 1;
+        }
+        self.open.insert(
+            ticket,
+            Ticket {
+                query,
+                entry,
+                serving: target,
+                forwarded,
+                submitted_at: t,
+                deadline,
+            },
+        );
+        let action = if forwarded {
+            RouteAction::Forward { proxy: target }
+        } else {
+            RouteAction::Local { proxy: target }
+        };
+        (ticket, deadline, action)
+    }
+
+    /// Records the pipeline ticket a fleet ticket runs under at its
+    /// serving proxy (on local submission, or when a Forward is
+    /// adopted).
+    pub fn bind(&mut self, ticket: u64, proxy: usize, proxy_ticket: u64) {
+        if let Some(tk) = self.open.get_mut(&ticket) {
+            tk.serving = proxy;
+            self.by_proxy_ticket.insert((proxy, proxy_ticket), ticket);
+        }
+    }
+
+    /// Feeds one pipeline completion from `proxy`. When the completion
+    /// belongs to a fleet ticket served where it entered, the terminal
+    /// is recorded here and `None` returns; when the answer must cross
+    /// the mesh home, the `(ticket, entry)` pair returns and the
+    /// caller sends a [`crate::FleetMsg::Completion`].
+    pub fn on_pipeline_completion(
+        &mut self,
+        t: SimTime,
+        proxy: usize,
+        completion: &CompletedQuery,
+    ) -> Option<(u64, usize)> {
+        let Some(ticket) = self.by_proxy_ticket.remove(&(proxy, completion.id)) else {
+            // No binding: the router already expired the ticket (and
+            // dropped its binding), or the proxy's pipeline was reset
+            // since. Either way this answer has no one waiting.
+            self.stats.late_dropped += 1;
+            return None;
+        };
+        let Some(tk) = self.open.get(&ticket) else {
+            // The router already expired this ticket (late completion).
+            self.stats.late_dropped += 1;
+            return None;
+        };
+        if tk.entry == proxy {
+            self.terminal(t, ticket, proxy, completion.answer.clone());
+            None
+        } else {
+            Some((ticket, tk.entry))
+        }
+    }
+
+    /// Feeds a Completion message that arrived back at the entry proxy.
+    pub fn on_completion_msg(&mut self, t: SimTime, ticket: u64, answer: PipelineAnswer) {
+        if !self.open.contains_key(&ticket) {
+            self.stats.late_dropped += 1;
+            return;
+        }
+        let serving = self.open[&ticket].serving;
+        self.terminal(t, ticket, serving, answer);
+    }
+
+    fn terminal(&mut self, t: SimTime, ticket: u64, served_by: usize, answer: PipelineAnswer) {
+        let tk = self.open.remove(&ticket).expect("checked by callers");
+        if tk.forwarded {
+            self.stats.completed_remote += 1;
+        } else {
+            self.stats.completed_local += 1;
+        }
+        self.completed.push(FleetCompletion {
+            ticket,
+            query: tk.query,
+            entry: tk.entry,
+            served_by,
+            forwarded: tk.forwarded,
+            answer,
+            submitted_at: tk.submitted_at,
+            completed_at: t,
+        });
+    }
+
+    /// The honest failure answer for a query (mirrors the pipeline's:
+    /// sigma ∞ scalars, empty Failed series).
+    fn failed_answer(query: &PipelineQuery) -> PipelineAnswer {
+        match query {
+            PipelineQuery::Now { .. } | PipelineQuery::Aggregate { .. } => {
+                PipelineAnswer::Scalar(Answer {
+                    value: f64::NAN,
+                    sigma: f64::INFINITY,
+                    source: AnswerSource::Failed,
+                    latency: SimDuration::ZERO,
+                })
+            }
+            PipelineQuery::Past { .. } => PipelineAnswer::Series(PastAnswer {
+                samples: Vec::new(),
+                source: AnswerSource::Failed,
+                latency: SimDuration::ZERO,
+            }),
+        }
+    }
+
+    /// Fails every ticket past its deadline plus the collection grace:
+    /// queries whose forward the mesh dropped, whose completion died on
+    /// the way home, or whose serving proxy silently vanished all
+    /// terminate honestly here.
+    pub fn expire(&mut self, t: SimTime) {
+        let grace = self.config.expiry_grace;
+        let overdue: Vec<u64> = self
+            .open
+            .iter()
+            .filter(|(_, tk)| t >= tk.deadline + grace)
+            .map(|(&id, _)| id)
+            .collect();
+        for ticket in overdue {
+            let tk = self.open.remove(&ticket).expect("just listed");
+            self.by_proxy_ticket.retain(|_, &mut v| v != ticket);
+            self.stats.failed_deadline += 1;
+            self.completed.push(FleetCompletion {
+                ticket,
+                query: tk.query,
+                entry: tk.entry,
+                served_by: tk.entry,
+                forwarded: tk.forwarded,
+                answer: Self::failed_answer(&tk.query),
+                submitted_at: tk.submitted_at,
+                completed_at: t,
+            });
+        }
+    }
+
+    /// Handles a proxy death declaration: tickets whose *entry* died
+    /// fail honestly (no one is attached to receive the answer);
+    /// tickets whose *serving* proxy died with deadline remaining are
+    /// returned for resumption at the sensor's new owner — the caller
+    /// re-submits or re-forwards and then [`FleetRouter::bind`]s. The
+    /// dead proxy's pipeline-ticket bindings are dropped either way
+    /// (its pipeline RAM is gone).
+    pub fn on_proxy_dead(
+        &mut self,
+        t: SimTime,
+        dead: usize,
+    ) -> Vec<(u64, PipelineQuery, SimTime, usize)> {
+        self.by_proxy_ticket.retain(|&(p, _), _| p != dead);
+        let affected: Vec<u64> = self
+            .open
+            .iter()
+            .filter(|(_, tk)| tk.entry == dead || tk.serving == dead)
+            .map(|(&id, _)| id)
+            .collect();
+        let mut resume = Vec::new();
+        for ticket in affected {
+            let tk = self.open.get(&ticket).expect("just listed").clone();
+            if tk.entry == dead {
+                self.open.remove(&ticket);
+                self.stats.failed_entry_dead += 1;
+                self.completed.push(FleetCompletion {
+                    ticket,
+                    query: tk.query,
+                    entry: tk.entry,
+                    served_by: tk.entry,
+                    forwarded: tk.forwarded,
+                    answer: Self::failed_answer(&tk.query),
+                    submitted_at: tk.submitted_at,
+                    completed_at: t,
+                });
+            } else if tk.deadline > t {
+                // `resumed` is counted when the caller actually
+                // re-routes ([`FleetRouter::mark_rerouted`]) — a ticket
+                // with no adopter available expires instead.
+                resume.push((ticket, tk.query, tk.deadline, tk.entry));
+            }
+            // Serving died with no deadline left: expire() fails it.
+        }
+        resume
+    }
+
+    /// Marks a resumed ticket as re-forwarded to a new serving proxy
+    /// (mesh path; [`FleetRouter::bind`] fires on adoption).
+    pub fn mark_rerouted(&mut self, ticket: u64, proxy: usize) {
+        if let Some(tk) = self.open.get_mut(&ticket) {
+            tk.serving = proxy;
+            tk.forwarded = true;
+            self.stats.resumed += 1;
+        }
+    }
+
+    /// Drains terminals recorded since the last call.
+    pub fn take_completed(&mut self) -> Vec<FleetCompletion> {
+        std::mem::take(&mut self.completed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn past(sensor: u16) -> PipelineQuery {
+        PipelineQuery::Past {
+            sensor,
+            from: SimTime::from_hours(1),
+            to: SimTime::from_hours(2),
+            tolerance: 0.2,
+        }
+    }
+
+    fn cool() -> ProxyPressure {
+        ProxyPressure {
+            pending: 0,
+            saturation: 0.0,
+            depletion: 0.0,
+            live: true,
+        }
+    }
+
+    fn hot(pending: usize) -> ProxyPressure {
+        ProxyPressure {
+            pending,
+            saturation: 1.0,
+            depletion: 0.5,
+            live: true,
+        }
+    }
+
+    #[test]
+    fn cool_proxy_serves_locally() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        let (ticket, _, action) =
+            r.route(SimTime::ZERO, 0, 0, past(1), 0.2, &[cool(), cool()], true);
+        assert_eq!(action, RouteAction::Local { proxy: 0 });
+        assert_eq!(r.open_tickets(), 1);
+        r.bind(ticket, 0, 77);
+        let done = CompletedQuery {
+            id: 77,
+            query: past(1),
+            answer: FleetRouter::failed_answer(&past(1)),
+            submitted_at: SimTime::ZERO,
+            completed_at: SimTime::from_secs(31),
+        };
+        assert!(r.on_pipeline_completion(SimTime::from_secs(31), 0, &done).is_none());
+        assert_eq!(r.take_completed().len(), 1);
+        assert_eq!(r.open_tickets(), 0);
+        assert_eq!(r.stats().completed_local, 1);
+    }
+
+    #[test]
+    fn hot_proxy_sheds_range_queries_to_the_coolest_live_peer() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        let pressures = [hot(20), hot(9), cool()];
+        let (_, _, action) = r.route(SimTime::ZERO, 0, 0, past(1), 0.2, &pressures, true);
+        assert_eq!(action, RouteAction::Forward { proxy: 2 });
+        assert_eq!(r.stats().shed, 1);
+        // NOW queries never shed.
+        let now_q = PipelineQuery::Now {
+            sensor: 1,
+            tolerance: 0.2,
+        };
+        let (_, _, action) = r.route(SimTime::ZERO, 0, 0, now_q, 0.2, &pressures, true);
+        assert_eq!(action, RouteAction::Local { proxy: 0 });
+        // Nor does anything shed when the range is archived nowhere.
+        let (_, _, action) = r.route(SimTime::ZERO, 0, 0, past(1), 0.2, &pressures, false);
+        assert_eq!(action, RouteAction::Local { proxy: 0 });
+        assert_eq!(r.stats().shed, 1);
+    }
+
+    #[test]
+    fn dead_peers_and_thin_margins_block_shedding() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        // Only peer is not Live: stay home.
+        let dead_peer = ProxyPressure {
+            live: false,
+            ..cool()
+        };
+        let (_, _, action) = r.route(SimTime::ZERO, 0, 0, past(1), 0.2, &[hot(20), dead_peer], true);
+        assert_eq!(action, RouteAction::Local { proxy: 0 });
+        // Peer barely cooler than the margin: stay home.
+        let (_, _, action) =
+            r.route(SimTime::ZERO, 0, 0, past(1), 0.2, &[hot(20), hot(19)], true);
+        assert_eq!(action, RouteAction::Local { proxy: 0 });
+    }
+
+    #[test]
+    fn expiry_fails_honestly_and_drops_late_completions() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        let (ticket, deadline, _) =
+            r.route(SimTime::ZERO, 0, 0, past(1), 0.2, &[cool()], true);
+        r.bind(ticket, 0, 5);
+        let grace = FleetRouterConfig::default().expiry_grace;
+        r.expire(deadline + grace);
+        let done = r.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].answer.source(), AnswerSource::Failed);
+        match &done[0].answer {
+            PipelineAnswer::Series(a) => assert!(a.samples.is_empty()),
+            PipelineAnswer::Scalar(a) => assert!(a.sigma.is_infinite()),
+        }
+        assert_eq!(r.open_tickets(), 0);
+        // The pipeline's own completion arrives later: dropped.
+        let late = CompletedQuery {
+            id: 5,
+            query: past(1),
+            answer: FleetRouter::failed_answer(&past(1)),
+            submitted_at: SimTime::ZERO,
+            completed_at: deadline + grace + SimDuration::from_secs(31),
+        };
+        assert!(r
+            .on_pipeline_completion(deadline + grace + SimDuration::from_secs(31), 0, &late)
+            .is_none());
+        assert_eq!(r.stats().late_dropped, 1);
+        assert_eq!(r.take_completed().len(), 0, "no double terminal");
+    }
+
+    #[test]
+    fn remote_completion_round_trip() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        let (ticket, _, action) =
+            r.route(SimTime::ZERO, 0, 0, past(1), 0.2, &[hot(20), cool()], true);
+        assert_eq!(action, RouteAction::Forward { proxy: 1 });
+        r.bind(ticket, 1, 3);
+        // The adopter completes: the answer must cross home.
+        let done = CompletedQuery {
+            id: 3,
+            query: past(1),
+            answer: FleetRouter::failed_answer(&past(1)),
+            submitted_at: SimTime::ZERO,
+            completed_at: SimTime::from_secs(62),
+        };
+        let back = r.on_pipeline_completion(SimTime::from_secs(62), 1, &done);
+        assert_eq!(back, Some((ticket, 0)));
+        assert_eq!(r.open_tickets(), 1, "terminal waits for the mesh return");
+        r.on_completion_msg(SimTime::from_secs(93), ticket, done.answer.clone());
+        let out = r.take_completed();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].forwarded);
+        assert_eq!(out[0].served_by, 1);
+        assert_eq!(r.stats().completed_remote, 1);
+    }
+
+    #[test]
+    fn proxy_death_fails_entry_tickets_and_resumes_serving_tickets() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        // Ticket A: entered and served at 1 (will die with it).
+        let (a, _, _) = r.route(SimTime::ZERO, 1, 1, past(3), 0.2, &[cool(), cool()], true);
+        r.bind(a, 1, 10);
+        // Ticket B: entered at 0, shed to 1 (resumes elsewhere).
+        let (b, _, action) =
+            r.route(SimTime::ZERO, 0, 0, past(1), 0.2, &[hot(20), cool()], true);
+        assert_eq!(action, RouteAction::Forward { proxy: 1 });
+        r.bind(b, 1, 11);
+        let resume = r.on_proxy_dead(SimTime::from_secs(31), 1);
+        assert_eq!(resume.len(), 1);
+        assert_eq!(resume[0].0, b);
+        assert_eq!(r.stats().failed_entry_dead, 1);
+        assert_eq!(r.stats().resumed, 0, "counted only when actually re-routed");
+        let done = r.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].ticket, a);
+        assert_eq!(done[0].answer.source(), AnswerSource::Failed);
+        // B re-binds at its adopter and completes normally.
+        r.mark_rerouted(b, 0);
+        assert_eq!(r.stats().resumed, 1);
+        r.bind(b, 0, 12);
+        let done2 = CompletedQuery {
+            id: 12,
+            query: past(1),
+            answer: FleetRouter::failed_answer(&past(1)),
+            submitted_at: SimTime::ZERO,
+            completed_at: SimTime::from_secs(93),
+        };
+        assert!(r.on_pipeline_completion(SimTime::from_secs(93), 0, &done2).is_none());
+        assert_eq!(r.take_completed().len(), 1);
+        assert_eq!(r.open_tickets(), 0);
+    }
+
+    #[test]
+    fn latency_classes_assign_per_query_deadlines() {
+        let cfg = FleetRouterConfig {
+            latency_classes: vec![
+                QueryClass {
+                    rate_per_hour: 10.0,
+                    latency_bound: SimDuration::from_mins(2),
+                    tolerance: 0.1,
+                },
+                QueryClass {
+                    rate_per_hour: 10.0,
+                    latency_bound: SimDuration::from_mins(20),
+                    tolerance: 1.0,
+                },
+            ],
+            ..FleetRouterConfig::default()
+        };
+        let r = FleetRouter::new(cfg);
+        assert_eq!(r.deadline_for(0.1), SimDuration::from_mins(2));
+        assert_eq!(r.deadline_for(0.9), SimDuration::from_mins(20));
+        let bare = FleetRouter::new(FleetRouterConfig::default());
+        assert_eq!(bare.deadline_for(0.1), SimDuration::from_mins(10));
+    }
+}

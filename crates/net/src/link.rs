@@ -18,6 +18,15 @@
 //!   state itself advances on the driver's clock via
 //!   [`SharedLossState::advance`], not per frame, so no link
 //!   double-advances the chain.
+//! * [`LossProcess::Mixed`] — the composition of an independent
+//!   per-link Gilbert–Elliott chain with a shared [`SharedLossState`]
+//!   chain, modeling a *partially*-shared path: part of the route is
+//!   private to the link (its own fades), part is common to every link
+//!   holding a clone of the shared handle (the congested backhaul near
+//!   a proxy, or the proxy↔proxy mesh segment). A frame survives only
+//!   if both components deliver it, so the long-run loss is
+//!   `1 − (1 − p_link)(1 − p_shared)` and bursts arrive from either
+//!   chain.
 //! * [`LossProcess::Scripted`] — replays a fixed delivery pattern,
 //!   cycling; the reference process for property tests that must
 //!   exercise exact loss traces (all-lost bursts included).
@@ -153,6 +162,16 @@ pub enum LossProcess {
     /// Gilbert–Elliott loss whose burst state is shared with every other
     /// link holding a clone of the same handle (common-path fading).
     Correlated(SharedLossState),
+    /// Partially-shared path: an independent per-link chain composed
+    /// with a shared chain. A frame must survive both — the private
+    /// chain advances per frame (like [`LossProcess::Gilbert`]), the
+    /// shared state advances on the driver's clock.
+    Mixed {
+        /// The link's private burst chain.
+        link: GilbertElliott,
+        /// The common-segment fading state.
+        shared: SharedLossState,
+    },
     /// Replays a fixed delivery pattern (`true` = deliver), cycling.
     /// Empty patterns deliver everything.
     Scripted(Arc<[bool]>),
@@ -213,6 +232,26 @@ impl LinkModel {
                 // link's own (conditionally independent given the state).
                 let p = shared.loss_prob();
                 self.rng.chance(p)
+            }
+            LossProcess::Mixed { link, shared } => {
+                // Private segment: advance this link's own chain and
+                // sample in-state, exactly as a Gilbert link would.
+                let flip = if self.in_bad_state {
+                    link.p_bg
+                } else {
+                    link.p_gb
+                };
+                if self.rng.chance(flip) {
+                    self.in_bad_state = !self.in_bad_state;
+                }
+                let p_link = if self.in_bad_state {
+                    link.loss_bad
+                } else {
+                    link.loss_good
+                };
+                // Shared segment: driver-advanced common state. The
+                // frame must survive both segments.
+                self.rng.chance(p_link) || self.rng.chance(shared.loss_prob())
             }
             LossProcess::Scripted(pattern) => {
                 if pattern.is_empty() {
@@ -419,6 +458,121 @@ mod tests {
         assert!(shared.in_bad());
         shared.force(None);
         assert!(l.deliver(), "released path follows the (good) chain");
+    }
+
+    #[test]
+    fn mixed_loses_when_either_segment_fades() {
+        // Private chain never goes bad; only the shared segment can
+        // kill a frame.
+        let quiet = GilbertElliott {
+            p_gb: 0.0,
+            p_bg: 1.0,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let shared = SharedLossState::new(quiet, SimRng::new(21));
+        let mut l = LinkModel::new(
+            LossProcess::Mixed {
+                link: quiet,
+                shared: shared.clone(),
+            },
+            SimRng::new(22),
+        );
+        assert!(l.deliver(), "both segments good must deliver");
+        shared.force(Some(true));
+        assert!(!l.deliver(), "shared fade must kill the frame");
+        shared.force(None);
+        assert!(l.deliver());
+        // Conversely, a total private fade loses even on a good shared
+        // path.
+        let total = GilbertElliott {
+            p_gb: 1.0,
+            p_bg: 0.0,
+            loss_good: 1.0,
+            loss_bad: 1.0,
+        };
+        let mut m = LinkModel::new(
+            LossProcess::Mixed {
+                link: total,
+                shared: shared.clone(),
+            },
+            SimRng::new(23),
+        );
+        assert!(!m.deliver(), "private fade must kill the frame");
+    }
+
+    #[test]
+    fn mixed_long_run_composes_both_rates() {
+        // Private chain with known stationary loss, shared chain pinned
+        // good at a fixed in-state loss: observed ≈ 1-(1-pl)(1-ps).
+        let link = GilbertElliott::indoor();
+        let shared_chain = GilbertElliott {
+            p_gb: 0.0,
+            p_bg: 1.0,
+            loss_good: 0.1,
+            loss_bad: 1.0,
+        };
+        let shared = SharedLossState::new(shared_chain, SimRng::new(31));
+        let mut l = LinkModel::new(
+            LossProcess::Mixed {
+                link,
+                shared: shared.clone(),
+            },
+            SimRng::new(32),
+        );
+        for _ in 0..200_000 {
+            l.deliver();
+        }
+        let expect = 1.0 - (1.0 - link.stationary_loss()) * (1.0 - 0.1);
+        assert!(
+            (l.observed_loss() - expect).abs() < 0.01,
+            "observed {} expected {}",
+            l.observed_loss(),
+            expect
+        );
+    }
+
+    #[test]
+    fn mixed_links_share_only_the_common_segment() {
+        // Shared segment pinned bad: every mixed link loses together.
+        // Released: links diverge through their private chains.
+        let chain = GilbertElliott {
+            p_gb: 0.3,
+            p_bg: 0.3,
+            loss_good: 0.0,
+            loss_bad: 1.0,
+        };
+        let shared = SharedLossState::new(
+            GilbertElliott {
+                p_gb: 0.0,
+                p_bg: 1.0,
+                loss_good: 0.0,
+                loss_bad: 1.0,
+            },
+            SimRng::new(41),
+        );
+        let mk = |seed| {
+            LinkModel::new(
+                LossProcess::Mixed {
+                    link: chain,
+                    shared: shared.clone(),
+                },
+                SimRng::new(seed),
+            )
+        };
+        let (mut a, mut b) = (mk(42), mk(43));
+        shared.force(Some(true));
+        for _ in 0..50 {
+            assert!(!a.deliver() && !b.deliver(), "shared fade hits every link");
+        }
+        shared.force(None);
+        let mut diverged = false;
+        for _ in 0..400 {
+            if a.deliver() != b.deliver() {
+                diverged = true;
+            }
+        }
+        assert!(diverged, "private chains must make links diverge");
     }
 
     #[test]

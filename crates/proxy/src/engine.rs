@@ -189,6 +189,30 @@ impl PredictionEngine {
     pub fn extrapolation_bound(push_tolerance: f64) -> f64 {
         push_tolerance
     }
+
+    /// Decodes a context-free replica from pushed parameters — the
+    /// exact state a sensor holds right after installing a model push.
+    /// The replica-resync path replays cached history through this to
+    /// reconstruct the sensor's current replica without retraining.
+    pub fn decode_replica(kind: ModelKind, params: &[u8]) -> Option<Box<dyn Predictor>> {
+        match kind {
+            ModelKind::Seasonal => {
+                SeasonalModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+            }
+            ModelKind::Ar => {
+                ArModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+            }
+            ModelKind::SeasonalAr => {
+                SeasonalArModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+            }
+            ModelKind::LinearTrend => {
+                LinearTrendModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+            }
+            ModelKind::Markov => {
+                MarkovModel::decode_params(params).map(|m| Box::new(m) as Box<dyn Predictor>)
+            }
+        }
+    }
 }
 
 #[cfg(test)]

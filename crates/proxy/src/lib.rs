@@ -32,4 +32,6 @@ pub use pipeline::{
     CompletedQuery, PipelineAnswer, PipelineConfig, PipelineQuery, PipelineStats, PullReplyCache,
     QueryPipeline,
 };
-pub use proxy::{Answer, AnswerSource, PastAnswer, PrestoProxy, ProxyConfig, ProxyStats};
+pub use proxy::{
+    Answer, AnswerSource, PastAnswer, PrestoProxy, ProxyConfig, ProxyStats, PumpSensor,
+};

@@ -71,6 +71,29 @@ impl QuerySensorMatcher {
             .min_by(|a, b| a.partial_cmp(b).expect("tolerances are finite"))
     }
 
+    /// The deadline a query of the given tolerance earns under the
+    /// registered latency classes: the query belongs to the class whose
+    /// tolerance is nearest its own (ties to the tighter latency
+    /// bound), and inherits that class's latency bound as its pipeline
+    /// deadline. `None` when no class is registered — callers fall back
+    /// to the pipeline's default deadline. This is the per-query half
+    /// of query–sensor matching: the class's latency bound caps how
+    /// long the pump may keep retransmitting for the query, so a
+    /// latency-tolerant class spends retry budget where a tight class
+    /// fails honestly instead.
+    pub fn deadline_for(&self, tolerance: f64) -> Option<SimDuration> {
+        self.classes
+            .iter()
+            .min_by(|a, b| {
+                (a.tolerance - tolerance)
+                    .abs()
+                    .partial_cmp(&(b.tolerance - tolerance).abs())
+                    .expect("tolerances are finite")
+                    .then(a.latency_bound.cmp(&b.latency_bound))
+            })
+            .map(|c| c.latency_bound)
+    }
+
     /// Derives the sensor settings satisfying every registered class.
     ///
     /// Returns `None` when no class is registered (leave defaults).
@@ -185,6 +208,20 @@ mod tests {
             e_relaxed < e_tight / 2.0,
             "relaxed {e_relaxed} vs tight {e_tight}"
         );
+    }
+
+    #[test]
+    fn deadline_follows_the_nearest_tolerance_class() {
+        let mut m = QuerySensorMatcher::new();
+        assert!(m.deadline_for(0.5).is_none(), "no classes, no deadline");
+        m.register(class(2, 0.25)); // tight precision, tight latency
+        m.register(class(30, 1.0)); // loose precision, relaxed latency
+        assert_eq!(m.deadline_for(0.25), Some(SimDuration::from_mins(2)));
+        assert_eq!(m.deadline_for(0.05), Some(SimDuration::from_mins(2)));
+        assert_eq!(m.deadline_for(1.2), Some(SimDuration::from_mins(30)));
+        // Equidistant tolerances (0.625 sits exactly between) tie to
+        // the tighter latency bound.
+        assert_eq!(m.deadline_for(0.625), Some(SimDuration::from_mins(2)));
     }
 
     #[test]

@@ -37,7 +37,11 @@ use crate::proxy::{Answer, PastAnswer};
 /// Pipeline parameters.
 #[derive(Clone, Debug)]
 pub struct PipelineConfig {
-    /// How long a query may stay pending before it fails honestly.
+    /// Default deadline: how long a query may stay pending before it
+    /// fails honestly. A per-query deadline (from query–sensor
+    /// matching's latency classes, via
+    /// [`crate::PrestoProxy::submit_query_with_deadline`]) overrides
+    /// this for that query.
     pub deadline: SimDuration,
     /// Downlink transmission attempts (first tries plus retransmissions)
     /// the pump may issue per epoch, shared across all of the proxy's
@@ -332,6 +336,9 @@ pub struct QueryPipeline {
     pub(crate) next_ticket: u64,
     /// Rotating pump start index for cross-sensor fairness.
     pub(crate) rr_cursor: usize,
+    /// Attempts the most recent pump transmitted (pressure probe: a
+    /// pump that used its whole per-epoch budget is saturated).
+    pub(crate) last_pump_attempts: u32,
 }
 
 impl QueryPipeline {
@@ -346,7 +353,21 @@ impl QueryPipeline {
             stats: PipelineStats::default(),
             next_ticket: 1,
             rr_cursor: 0,
+            last_pump_attempts: 0,
         }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    /// Downlink transmission attempts the most recent
+    /// [`crate::PrestoProxy::pump_queries`] pass spent. Equal to the
+    /// per-epoch attempt budget when the pump is saturated — the
+    /// admission-control pressure probe the fleet router reads.
+    pub fn last_pump_attempts(&self) -> u32 {
+        self.last_pump_attempts
     }
 
     /// Counters.

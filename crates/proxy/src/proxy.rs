@@ -29,7 +29,7 @@ use crate::cache::{CacheSource, CachedEvent, CachedSample, EventCache, SensorCac
 use crate::engine::{EngineConfig, ModelSlot, PredictionEngine};
 use crate::pipeline::{
     op_key, CompletedQuery, PendingQuery, PipelineAnswer, PipelineConfig, PipelineQuery,
-    PullKey, QueryPipeline,
+    PullKey, PullReplyCache, QueryPipeline,
 };
 
 /// Proxy configuration.
@@ -149,6 +149,25 @@ pub struct ProxyStats {
     pub retunes_pushed: u64,
     /// Archive-backed recovery pulls issued.
     pub recovery_pulls: u64,
+    /// Model replicas resynchronized by replaying a repaired span
+    /// through the replica check (kept, not dropped — no retrain
+    /// needed).
+    pub replica_resyncs: u64,
+}
+
+/// One sensor's radio endpoints as seen by a pumping proxy: the node
+/// and the downlink channel this proxy drives towards it. The pump
+/// works over an arbitrary set of these — a proxy's own cluster, a
+/// cluster adopted after a peer's crash, or a peer's sensor reached
+/// through a dedicated cross-proxy channel for a shed query — so
+/// nothing in the pipeline assumes sensor ids are contiguous.
+pub struct PumpSensor<'a> {
+    /// Global sensor id.
+    pub gid: u16,
+    /// The sensor node.
+    pub node: &'a mut SensorNode,
+    /// The downlink channel this proxy drives towards it.
+    pub chan: &'a mut DownlinkChannel,
 }
 
 struct SensorSlot {
@@ -876,20 +895,47 @@ impl PrestoProxy {
         // are tracked by the gap tracker's `failed_attempts`).
         self.stats.recovery_pulls += 1;
         let (reply, _) = self.pull_inner(t, sensor, from, to, tolerance, node, chan, false);
-        if reply.is_some() {
-            // Replica-divergence fence: the repaired gap may have held
+        if let Some(samples) = &reply {
+            // Replica-divergence repair: the repaired gap may have held
             // deviation pushes the sensor's replica observed and ours
             // never saw, after which "silence means within tolerance"
-            // is false. Extrapolating from a possibly-diverged replica
-            // would be confidently wrong, so drop it — queries fall
-            // back to honest pulls until the next training pass pushes
-            // a fresh model and resynchronizes both ends.
-            if let Some(slot) = self.sensors.get_mut(&sensor) {
-                slot.model = None;
-                slot.model_installed_at = None;
-            }
+            // would be silently false. Instead of dropping the model
+            // and waiting for the next train-and-push, resynchronize it
+            // from the replayed samples themselves.
+            self.resync_replica(sensor, samples);
         }
         reply.map(|samples| samples.len())
+    }
+
+    /// Resynchronizes a sensor's model replica after a gap repair by
+    /// replaying the repaired span through the sensor's own
+    /// model-driven push rule: both replicas were in lock-step when the
+    /// gap opened, so simulating the check over the recovered samples
+    /// (observe exactly the values that deviate) reconstructs the
+    /// observations the sensor's replica made during the outage. The
+    /// reconstruction is approximate at two known edges — recovered
+    /// values carry the recovery codec tolerance, which can flip a
+    /// decision sitting exactly on the push boundary, and any deviation
+    /// delivered between gap detection and repair was observed out of
+    /// order — both bounded by the push-tolerance scale the
+    /// extrapolation sigma already advertises. The alternative (drop
+    /// the replica, answer by pull until the next training pass) costs
+    /// a retrain and a model push per gap; the resync costs one pass
+    /// over the replayed span.
+    fn resync_replica(&mut self, sensor: u16, samples: &[(SimTime, f64)]) {
+        let tolerance = self.config.push_tolerance;
+        let Some(slot) = self.sensors.get_mut(&sensor) else {
+            return;
+        };
+        let Some(m) = slot.model.as_mut() else {
+            return;
+        };
+        for &(ts, v) in samples {
+            if !m.model.predict(ts).within(v, tolerance) {
+                m.model.observe(ts, v);
+            }
+        }
+        self.stats.replica_resyncs += 1;
     }
 
     /// Issues a query-path pull; integrates the reply into the cache.
@@ -964,14 +1010,55 @@ impl PrestoProxy {
         self.pipeline.take_completed()
     }
 
+    /// Wipes the proxy's RAM-resident query state after a crash: every
+    /// pending pipeline query, every completed-but-uncollected answer,
+    /// and the shared pull-reply cache die with the process. Per-sensor
+    /// caches and model replicas die too — a rebooted or succeeding
+    /// proxy rebuilds them from pushes, pulls, and recovery replays.
+    /// Counters survive (they are measurement instrumentation, not
+    /// system state). Returns the number of queries dropped.
+    pub fn crash_reset(&mut self) -> usize {
+        let dropped = self.pipeline.pending.len() + self.pipeline.completed.len();
+        self.pipeline.pending.clear();
+        self.pipeline.completed.clear();
+        self.pipeline.reply_cache = PullReplyCache::new(self.pipeline.config.reply_cache_capacity);
+        for slot in self.sensors.values_mut() {
+            slot.cache = SensorCache::new(self.config.cache_capacity);
+            slot.model = None;
+            slot.model_installed_at = None;
+        }
+        self.events = EventCache::new(self.config.event_capacity);
+        self.events_span = None;
+        self.sealed_spans.clear();
+        self.spatial = None;
+        dropped
+    }
+
     /// Submits a query to the asynchronous pipeline. The radio-free
     /// fast paths (cache hit, model extrapolation, spatial
     /// conditioning, dense-coverage aggregation, the shared pull-reply
     /// cache) complete immediately; a precision miss enqueues a
     /// `PendingQuery` that [`PrestoProxy::pump_queries`] serves across
     /// epochs. Returns the ticket id under which the completion
-    /// surfaces in [`PrestoProxy::take_completed_queries`].
+    /// surfaces in [`PrestoProxy::take_completed_queries`]. Uses the
+    /// pipeline's default deadline.
     pub fn submit_query(&mut self, t: SimTime, query: PipelineQuery) -> u64 {
+        self.submit_query_with_deadline(t, query, None)
+    }
+
+    /// [`PrestoProxy::submit_query`] with a per-query deadline (from
+    /// query–sensor matching's latency classes — see
+    /// [`crate::QuerySensorMatcher::deadline_for`]); `None` falls back
+    /// to [`PipelineConfig::deadline`]. A tight deadline bounds how
+    /// long the pump may spend retransmitting for this query before it
+    /// fails honestly, so callers can trade deadline against retry
+    /// budget per latency class.
+    pub fn submit_query_with_deadline(
+        &mut self,
+        t: SimTime,
+        query: PipelineQuery,
+        deadline: Option<SimDuration>,
+    ) -> u64 {
         let id = self.pipeline.next_ticket;
         self.pipeline.next_ticket += 1;
         self.pipeline.stats.submitted += 1;
@@ -1046,7 +1133,7 @@ impl PrestoProxy {
                 return id;
             }
         }
-        let deadline = t + self.pipeline.config.deadline;
+        let deadline = t + deadline.unwrap_or(self.pipeline.config.deadline);
         self.pipeline.pending.push(PendingQuery {
             id,
             query,
@@ -1198,13 +1285,10 @@ impl PrestoProxy {
         }
     }
 
-    /// Drives the pipeline one epoch tick: expires overdue queries
-    /// honestly, issues RPCs for newly enqueued ones (coalescing
-    /// identical (sensor, window, tolerance) needs into one pull),
-    /// pumps every sensor's downlink channel round-robin under the
-    /// per-epoch attempt budget, and completes queries whose replies
-    /// arrived. `base_gid` maps sensor ids to slice indices: sensor `g`
-    /// lives at `nodes[g - base_gid]` / `chans[g - base_gid]`.
+    /// Drives the pipeline one epoch tick over a contiguous sensor
+    /// cluster: sensor `g` lives at `nodes[g - base_gid]` /
+    /// `chans[g - base_gid]`. Thin wrapper over
+    /// [`PrestoProxy::pump_queries_view`], the general form.
     pub fn pump_queries(
         &mut self,
         t: SimTime,
@@ -1212,6 +1296,28 @@ impl PrestoProxy {
         nodes: &mut [SensorNode],
         chans: &mut [DownlinkChannel],
     ) {
+        let mut view: Vec<PumpSensor<'_>> = nodes
+            .iter_mut()
+            .zip(chans.iter_mut())
+            .enumerate()
+            .map(|(i, (node, chan))| PumpSensor {
+                gid: base_gid + i as u16,
+                node,
+                chan,
+            })
+            .collect();
+        self.pump_queries_view(t, &mut view);
+    }
+
+    /// Drives the pipeline one epoch tick: expires overdue queries
+    /// honestly, issues RPCs for newly enqueued ones (coalescing
+    /// identical (sensor, window, tolerance) needs into one pull),
+    /// pumps every listed sensor's downlink channel round-robin under
+    /// the per-epoch attempt budget, and completes queries whose
+    /// replies arrived. `sensors` is whatever set this proxy currently
+    /// serves — pending queries whose sensor is not in the view stay
+    /// queued (and fail honestly at their deadline).
+    pub fn pump_queries_view(&mut self, t: SimTime, sensors: &mut [PumpSensor<'_>]) {
         let pending = std::mem::take(&mut self.pipeline.pending);
 
         // 1. Honest expiry: overdue queries fail now. An RPC left with
@@ -1223,12 +1329,11 @@ impl PrestoProxy {
         for q in expired {
             if let Some(qid) = q.rpc_qid {
                 if !live.iter().any(|p| p.rpc_qid == Some(qid)) {
-                    let cancelled = q
-                        .query
-                        .sensor()
-                        .checked_sub(base_gid)
-                        .and_then(|local| chans.get_mut(local as usize))
-                        .is_some_and(|ch| ch.cancel_async(qid));
+                    let gid = q.query.sensor();
+                    let cancelled = sensors
+                        .iter_mut()
+                        .find(|s| s.gid == gid)
+                        .is_some_and(|s| s.chan.cancel_async(qid));
                     if cancelled {
                         // The RPC was issued (booked in `pulls`) and
                         // produced nothing: a query-path pull failure.
@@ -1263,13 +1368,13 @@ impl PrestoProxy {
                 self.pipeline.stats.coalesced += 1;
                 continue;
             }
-            let Some(ch) = q
-                .query
-                .sensor()
-                .checked_sub(base_gid)
-                .and_then(|local| chans.get_mut(local as usize))
+            let gid = q.query.sensor();
+            let Some(ch) = sensors
+                .iter_mut()
+                .find(|s| s.gid == gid)
+                .map(|s| &mut *s.chan)
             else {
-                // No channel for this sensor in the pumped cluster; the
+                // No channel for this sensor in the pumped view; the
                 // query fails honestly at its deadline.
                 continue;
             };
@@ -1304,30 +1409,35 @@ impl PrestoProxy {
         }
 
         // Peak-concurrency high-water mark, measured after issuance.
-        let in_flight: usize = chans.iter().map(|c| c.async_in_flight()).sum();
+        let in_flight: usize = sensors.iter().map(|s| s.chan.async_in_flight()).sum();
         self.pipeline.stats.max_in_flight =
             self.pipeline.stats.max_in_flight.max(in_flight as u64);
 
         // 3. Pump every channel, rotating the start index each epoch so
         // the shared attempt budget is spread fairly across sensors.
-        let mut budget = self.pipeline.config.epoch_attempt_budget;
-        let n = chans.len().max(1);
+        let budget_start = self.pipeline.config.epoch_attempt_budget;
+        let mut budget = budget_start;
+        let n = sensors.len().max(1);
         let start = self.pipeline.rr_cursor % n;
         self.pipeline.rr_cursor = self.pipeline.rr_cursor.wrapping_add(1);
         let mut events = Vec::new();
-        for k in 0..chans.len() {
+        for k in 0..sensors.len() {
             let i = (start + k) % n;
-            if chans[i].async_in_flight() == 0 {
+            let s = &mut sensors[i];
+            if s.chan.async_in_flight() == 0 {
                 continue;
             }
-            events.extend(chans[i].pump_async(
+            events.extend(s.chan.pump_async(
                 t,
-                &mut nodes[i],
+                s.node,
                 &self.downlink,
                 &mut self.ledger,
                 &mut budget,
             ));
         }
+        // Pressure probe: a pump that spent its whole budget is
+        // saturated — more queries than this epoch could serve.
+        self.pipeline.last_pump_attempts = budget_start - budget;
 
         // 4. Match events back to pending queries.
         for ev in events {
@@ -2111,6 +2221,137 @@ mod tests {
         let done = proxy.take_completed_queries();
         assert_eq!(done.len(), 2);
         assert!(done.iter().all(|c| c.answer.source() == AnswerSource::Pulled));
+    }
+
+    #[test]
+    fn recovery_resyncs_the_replica_instead_of_dropping_it() {
+        // Two days of model-driven push: a model is trained and pushed.
+        let (mut proxy, mut node, mut chan) =
+            run_deployment(PushPolicy::ModelDriven { tolerance: 1.0 }, 2, 0.0);
+        assert!(proxy.stats().models_pushed >= 1);
+        let t = SimTime::from_days(2);
+        // Repair a span (as the gap tracker would after lost pushes).
+        let replayed = proxy.recover_span(
+            t,
+            3,
+            t - SimDuration::from_hours(2),
+            t,
+            0.05,
+            &mut node,
+            &mut chan,
+        );
+        assert!(replayed.expect("repair succeeds") > 100);
+        assert_eq!(proxy.stats().replica_resyncs, 1, "replica resynced");
+        // The model survived: a NOW query past cache freshness is still
+        // answered by extrapolation (the old fence dropped the replica
+        // and forced a pull here), and stays within the push tolerance.
+        let t2 = t + SimDuration::from_mins(5);
+        let a = proxy.answer_now(t2, 3, 1.0, &mut node, &mut chan);
+        assert_eq!(a.source, AnswerSource::Extrapolated, "model kept");
+        assert!((a.value - diurnal(t2)).abs() < 1.5, "{} vs {}", a.value, diurnal(t2));
+    }
+
+    #[test]
+    fn per_query_deadline_overrides_the_pipeline_default() {
+        // Total loss: nothing can complete, so deadlines decide.
+        let (mut proxy, mut node, mut chan) = pipeline_rig(1.0, 11);
+        let t0 = SimTime::from_secs(31 * 210);
+        let tight = proxy.submit_query_with_deadline(
+            t0,
+            past(31 * 10, 31 * 60, 0.3),
+            Some(SimDuration::from_secs(60)),
+        );
+        let loose = proxy.submit_query(t0, past(31 * 70, 31 * 120, 0.3));
+        // Two epochs (~62 s) later the tight query has failed honestly;
+        // the default-deadline query is still pending.
+        for e in 0..3u64 {
+            let t = t0 + SimDuration::from_secs(31) * e;
+            proxy.pump_queries(t, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        }
+        let done = proxy.take_completed_queries();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, tight);
+        assert_eq!(done[0].answer.source(), AnswerSource::Failed);
+        assert!(done[0].completed_at <= t0 + SimDuration::from_secs(93));
+        assert_eq!(proxy.pipeline().pending_queries(), 1);
+        // The loose query runs to the default deadline, then fails too.
+        let deadline = proxy.config().pipeline.deadline;
+        let epochs = deadline.div_duration(SimDuration::from_secs(31)) + 2;
+        for e in 0..epochs {
+            let t = t0 + SimDuration::from_secs(31) * e;
+            proxy.pump_queries(t, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        }
+        let done = proxy.take_completed_queries();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].id, loose);
+        assert_eq!(proxy.pipeline().pending_queries(), 0);
+        assert_eq!(chan.async_in_flight(), 0);
+    }
+
+    #[test]
+    fn pump_view_serves_non_contiguous_sensor_ids() {
+        // A proxy serving an arbitrary sensor set (as after adopting a
+        // crashed peer's cluster): gid 9 with no gid 0..8 anywhere.
+        let mut proxy = PrestoProxy::new(ProxyConfig {
+            past_coverage_hit: f64::INFINITY,
+            ..ProxyConfig::default()
+        });
+        proxy.register_sensor(9);
+        let mut node = SensorNode::new(
+            9,
+            SensorConfig {
+                push: PushPolicy::Silent,
+                ..SensorConfig::default()
+            },
+            LinkModel::perfect(),
+        );
+        for i in 0..200u64 {
+            node.on_sample(SimTime::from_secs(31 * i), diurnal(SimTime::from_secs(31 * i)), None);
+        }
+        let mut chan = DownlinkChannel::perfect();
+        let t = SimTime::from_secs(31 * 210);
+        proxy.submit_query(
+            t,
+            PipelineQuery::Past {
+                sensor: 9,
+                from: SimTime::from_secs(31 * 10),
+                to: SimTime::from_secs(31 * 60),
+                tolerance: 0.3,
+            },
+        );
+        let mut view = [PumpSensor {
+            gid: 9,
+            node: &mut node,
+            chan: &mut chan,
+        }];
+        proxy.pump_queries_view(t, &mut view);
+        let done = proxy.take_completed_queries();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].answer.source(), AnswerSource::Pulled);
+        assert_eq!(proxy.pipeline().last_pump_attempts, 1);
+    }
+
+    #[test]
+    fn crash_reset_wipes_query_state_and_caches() {
+        let (mut proxy, mut node, mut chan) = pipeline_rig(0.0, 12);
+        let t = SimTime::from_secs(31 * 210);
+        proxy.submit_query(t, past(31 * 10, 31 * 60, 0.3));
+        proxy.pump_queries(t, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+        // One answer completed (uncollected), one fresh query pending.
+        proxy.submit_query(t, past(31 * 70, 31 * 120, 0.3));
+        assert_eq!(proxy.pipeline().pending_queries(), 1);
+        assert!(!proxy.cache(0).expect("registered").is_empty());
+        let dropped = proxy.crash_reset();
+        assert_eq!(dropped, 2);
+        assert_eq!(proxy.pipeline().pending_queries(), 0);
+        assert!(proxy.take_completed_queries().is_empty());
+        assert!(proxy.cache(0).expect("registered").is_empty());
+        assert!(proxy.pipeline().reply_cache().is_empty());
+        // The channel's proxy half is cleared by its own reset (the
+        // only RPC here completed before the crash, so nothing to drop).
+        assert_eq!(chan.reset_proxy_state(), 0);
+        assert_eq!(chan.async_in_flight(), 0);
+        assert_eq!(chan.outstanding_rpcs(), 0);
     }
 
     #[test]

@@ -579,6 +579,31 @@ impl DownlinkChannel {
         events
     }
 
+    /// Re-bases the channel's request sequence numbers into a disjoint
+    /// namespace. Sensor-side duplicate filtering keys on the bare
+    /// sequence number across *every* channel that talks to the sensor,
+    /// so two proxies driving independent channels towards one sensor
+    /// (a shed query served by a peer while the owner keeps pulling)
+    /// must draw their sequences from disjoint ranges or a fresh
+    /// request could be mistaken for a retransmission of another
+    /// proxy's. Only moves forward; call before first use.
+    pub fn set_seq_namespace(&mut self, base: u64) {
+        self.next_seq = self.next_seq.max(base);
+    }
+
+    /// Wipes the proxy-side half of the channel after a proxy crash:
+    /// the pending-RPC table and queued async attempts are proxy RAM
+    /// and die with it. The sensor-side association (sequence space,
+    /// dedup window) is untouched — a successor proxy resuming the
+    /// channel keeps sequencing from where the dead one stopped.
+    /// Returns how many outstanding async RPCs were dropped.
+    pub fn reset_proxy_state(&mut self) -> usize {
+        let dropped = self.async_rpcs.len();
+        self.async_rpcs.clear();
+        self.outstanding.clear();
+        dropped
+    }
+
     /// Cancels an outstanding async RPC (e.g. its last attached query
     /// expired at the pipeline tier), dropping its pending-table entry.
     /// Returns true when the RPC existed.

@@ -54,6 +54,13 @@ pub struct FaultPlan {
     crashes: Vec<CrashWindow>,
     blackouts: Vec<Blackout>,
     shared_bursts: Vec<SharedBurst>,
+    /// Proxy-tier blackouts: the *proxy* process is down in the window
+    /// (reusing [`CrashWindow`] with `node` = proxy index). A down
+    /// proxy consumes no uplinks, pumps no queries, trains nothing, and
+    /// its RAM-resident query state dies; its sensors keep archiving
+    /// and become reachable again when they re-home to a survivor or
+    /// the proxy reboots.
+    proxy_crashes: Vec<CrashWindow>,
 }
 
 impl FaultPlan {
@@ -64,7 +71,10 @@ impl FaultPlan {
 
     /// True when the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.blackouts.is_empty() && self.shared_bursts.is_empty()
+        self.crashes.is_empty()
+            && self.blackouts.is_empty()
+            && self.shared_bursts.is_empty()
+            && self.proxy_crashes.is_empty()
     }
 
     /// Adds a crash/reboot window for one node (builder style).
@@ -158,6 +168,30 @@ impl FaultPlan {
             .iter()
             .any(|c| c.node == node && since < c.up_at && c.up_at <= until)
     }
+
+    /// Adds a proxy blackout window (builder style): the proxy process
+    /// is dead in `[down_from, up_at)`.
+    pub fn with_proxy_crash(mut self, proxy: usize, down_from: SimTime, up_at: SimTime) -> Self {
+        assert!(down_from <= up_at, "proxy crash window must not be inverted");
+        self.proxy_crashes.push(CrashWindow {
+            node: proxy,
+            down_from,
+            up_at,
+        });
+        self
+    }
+
+    /// The scheduled proxy blackouts.
+    pub fn proxy_crashes(&self) -> &[CrashWindow] {
+        &self.proxy_crashes
+    }
+
+    /// True when `proxy` is down at `t`.
+    pub fn proxy_down(&self, proxy: usize, t: SimTime) -> bool {
+        self.proxy_crashes
+            .iter()
+            .any(|c| c.node == proxy && c.down_from <= t && t < c.up_at)
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +254,20 @@ mod tests {
         assert!(!p.shared_burst_active(t(60)));
         // Bursts alone make no node unreachable.
         assert!(!p.is_unreachable(0, t(55)));
+    }
+
+    #[test]
+    fn proxy_crash_windows_are_half_open_and_scoped() {
+        let p = FaultPlan::none().with_proxy_crash(1, t(100), t(200));
+        assert!(!p.is_empty());
+        assert!(!p.proxy_down(1, t(99)));
+        assert!(p.proxy_down(1, t(100)));
+        assert!(p.proxy_down(1, t(199)));
+        assert!(!p.proxy_down(1, t(200)));
+        assert!(!p.proxy_down(0, t(150)), "other proxies untouched");
+        // A proxy blackout alone makes no *sensor* unreachable (the
+        // driver derives sensor reachability from its serving proxy).
+        assert!(!p.is_unreachable(1, t(150)));
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub mod time;
 pub use energy::{EnergyCategory, EnergyLedger};
 pub use events::{EventQueue, Simulation};
 pub use faults::{Blackout, CrashWindow, FaultPlan, SharedBurst};
-pub use queries::{QueryArrival, QueryKind, QueryLoad, QueryLoadConfig};
+pub use queries::{
+    FleetArrival, FleetLoadConfig, FleetQueryLoad, QueryArrival, QueryKind, QueryLoad,
+    QueryLoadConfig,
+};
 pub use rng::SimRng;
 pub use time::{SimDuration, SimTime};

@@ -116,11 +116,21 @@ impl QueryLoad {
         self.emitted
     }
 
+    /// Per-user emission probability for one epoch (the thinned-Poisson
+    /// law shared by every generator composed over this load).
+    pub fn emit_probability(&self, epoch: SimDuration) -> f64 {
+        (self.config.queries_per_user_per_hour * epoch.as_secs_f64() / 3600.0).min(1.0)
+    }
+
+    /// Concurrent users in this load.
+    pub fn users(&self) -> usize {
+        self.config.users
+    }
+
     /// Emits this epoch's arrivals: each user flips a Bernoulli coin
     /// with the per-epoch rate (a thinned Poisson process).
     pub fn step(&mut self, t: SimTime, epoch: SimDuration) -> Vec<QueryArrival> {
-        let p_emit =
-            (self.config.queries_per_user_per_hour * epoch.as_secs_f64() / 3600.0).min(1.0);
+        let p_emit = self.emit_probability(epoch);
         let mut out = Vec::new();
         for user in 0..self.config.users {
             if !self.rng.chance(p_emit) {
@@ -130,6 +140,14 @@ impl QueryLoad {
             self.emitted += 1;
         }
         out
+    }
+
+    /// Draws one arrival for `user` at `t` (the per-query half of
+    /// [`QueryLoad::step`], exposed so deployment-tier generators can
+    /// compose their own arrival processes over the same query shapes).
+    pub fn draw_one(&mut self, user: usize, t: SimTime) -> QueryArrival {
+        self.emitted += 1;
+        self.draw(user, t)
     }
 
     fn draw(&mut self, user: usize, t: SimTime) -> QueryArrival {
@@ -202,6 +220,105 @@ impl QueryLoad {
     }
 }
 
+/// One emitted cross-proxy query: a per-proxy [`QueryArrival`] plus the
+/// deployment group (proxy) it targets. `arrival.sensor_slot` is local
+/// to the group; the deployment tier maps `(group, slot)` to a global
+/// sensor id.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FleetArrival {
+    /// Target group (proxy index) — Zipf-skewed.
+    pub group: usize,
+    /// The query, with a group-local sensor slot.
+    pub arrival: QueryArrival,
+}
+
+/// Cross-proxy workload parameters.
+#[derive(Clone, Debug)]
+pub struct FleetLoadConfig {
+    /// Per-query shape parameters (users, rates, windows, tolerances,
+    /// hot-window grid — shared across groups, so hot windows correlate
+    /// deployment-wide).
+    pub load: QueryLoadConfig,
+    /// Deployment groups (proxies).
+    pub groups: usize,
+    /// Zipf skew exponent over groups: group `g` is drawn with weight
+    /// `1/(g+1)^s`. Zero is uniform; 1–2 concentrates most queries on
+    /// group 0 (the hot proxy).
+    pub zipf_s: f64,
+}
+
+/// Zipf-skewed multi-proxy query workload: each arrival first draws its
+/// target group from a Zipf law over proxies (group 0 hottest), then a
+/// query shape from the shared [`QueryLoad`] generator — so the hot
+/// proxy sees the same *kinds* of queries as the cold ones, just many
+/// more of them, and hot PAST windows repeat across proxies (the
+/// deployment-wide dashboard pattern).
+pub struct FleetQueryLoad {
+    inner: QueryLoad,
+    /// Cumulative Zipf weights over groups, normalized to 1.
+    cumulative: Vec<f64>,
+    rng: SimRng,
+    /// Queries emitted per group.
+    per_group: Vec<u64>,
+}
+
+impl FleetQueryLoad {
+    /// Creates a load over `config.groups` groups of
+    /// `sensors_per_group` sensor slots each.
+    pub fn new(config: FleetLoadConfig, sensors_per_group: usize) -> Self {
+        let groups = config.groups.max(1);
+        let weights: Vec<f64> = (0..groups)
+            .map(|g| 1.0 / ((g + 1) as f64).powf(config.zipf_s))
+            .collect();
+        let total: f64 = weights.iter().sum();
+        let mut acc = 0.0;
+        let cumulative = weights
+            .iter()
+            .map(|w| {
+                acc += w / total;
+                acc
+            })
+            .collect();
+        let rng = SimRng::new(config.load.seed).split("fleet-groups");
+        FleetQueryLoad {
+            inner: QueryLoad::new(config.load, sensors_per_group),
+            cumulative,
+            rng,
+            per_group: vec![0; groups],
+        }
+    }
+
+    /// Total queries emitted so far.
+    pub fn emitted(&self) -> u64 {
+        self.inner.emitted()
+    }
+
+    /// Queries emitted per group so far.
+    pub fn per_group(&self) -> &[u64] {
+        &self.per_group
+    }
+
+    /// Emits this epoch's arrivals (same thinned-Poisson process as
+    /// [`QueryLoad::step`], with a Zipf group draw per arrival).
+    pub fn step(&mut self, t: SimTime, epoch: SimDuration) -> Vec<FleetArrival> {
+        let p_emit = self.inner.emit_probability(epoch);
+        let mut out = Vec::new();
+        for user in 0..self.inner.users() {
+            if !self.rng.chance(p_emit) {
+                continue;
+            }
+            let u = self.rng.uniform();
+            let group = self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1);
+            self.per_group[group] += 1;
+            out.push(FleetArrival {
+                group,
+                arrival: self.inner.draw_one(user, t),
+            });
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -265,5 +382,78 @@ mod tests {
     fn deterministic_given_seed() {
         assert_eq!(run(9), run(9));
         assert_ne!(run(9), run(10));
+    }
+
+    fn run_fleet(zipf_s: f64, seed: u64) -> (FleetQueryLoad, Vec<FleetArrival>) {
+        let mut load = FleetQueryLoad::new(
+            FleetLoadConfig {
+                load: QueryLoadConfig {
+                    seed,
+                    ..QueryLoadConfig::default()
+                },
+                groups: 4,
+                zipf_s,
+            },
+            3,
+        );
+        let mut all = Vec::new();
+        for e in 0..3_000u64 {
+            let t = SimTime::from_hours(13) + SimDuration::from_secs(31) * e;
+            all.extend(load.step(t, SimDuration::from_secs(31)));
+        }
+        (load, all)
+    }
+
+    #[test]
+    fn zipf_skew_concentrates_on_the_hot_group() {
+        let (load, all) = run_fleet(1.4, 5);
+        assert!(!all.is_empty());
+        let pg = load.per_group();
+        assert_eq!(pg.iter().sum::<u64>(), all.len() as u64);
+        assert!(
+            pg[0] > pg[3] * 3,
+            "group 0 must be hot under skew: {pg:?}"
+        );
+        // Every group still sees some traffic, with well-formed queries.
+        assert!(pg.iter().all(|&n| n > 0), "{pg:?}");
+        for q in &all {
+            assert!(q.group < 4);
+            assert!(q.arrival.sensor_slot < 3);
+            assert!(q.arrival.from <= q.arrival.to);
+        }
+    }
+
+    #[test]
+    fn zero_skew_is_roughly_uniform() {
+        let (load, _) = run_fleet(0.0, 6);
+        let pg = load.per_group();
+        let (lo, hi) = (
+            *pg.iter().min().expect("non-empty"),
+            *pg.iter().max().expect("non-empty"),
+        );
+        assert!(hi < lo * 2, "uniform draw skewed: {pg:?}");
+    }
+
+    #[test]
+    fn fleet_hot_windows_repeat_across_groups() {
+        let (_, all) = run_fleet(1.0, 7);
+        use std::collections::HashMap;
+        let mut windows: HashMap<(u64, u64), std::collections::HashSet<usize>> = HashMap::new();
+        for q in all.iter().filter(|q| q.arrival.kind == QueryKind::Past) {
+            windows
+                .entry((q.arrival.from.as_secs(), q.arrival.to.as_secs()))
+                .or_default()
+                .insert(q.group);
+        }
+        assert!(
+            windows.values().any(|groups| groups.len() >= 3),
+            "hot windows never correlated across groups"
+        );
+    }
+
+    #[test]
+    fn fleet_deterministic_given_seed() {
+        assert_eq!(run_fleet(1.2, 9).1, run_fleet(1.2, 9).1);
+        assert_ne!(run_fleet(1.2, 9).1, run_fleet(1.2, 10).1);
     }
 }

@@ -47,10 +47,12 @@
 //! | [`workloads`] | lab temperature / traffic / eldercare / queries |
 //! | [`baselines`] | direct-query, streaming, value-driven comparators |
 //! | [`core`] | the assembled three-tier system + unified store |
+//! | [`fleet`] | cross-proxy deployment tier: shedding, proxy failover, re-homing |
 
 pub use presto_archive as archive;
 pub use presto_baselines as baselines;
 pub use presto_core as core;
+pub use presto_fleet as fleet;
 pub use presto_index as index;
 pub use presto_models as models;
 pub use presto_net as net;
