@@ -1,0 +1,140 @@
+//! Split-brain partition over the fleet mesh: honesty under a
+//! healed network cut.
+//!
+//! `partition_scenario [hours]` — the full experiment (default 2 h
+//! query phase over a 16 h warmup, 3 proxies × 2 sensors, 30% downlink
+//! loss, the last proxy cut from the mesh 30 min in for 40 min, then
+//! healed). `partition_scenario --quick` runs the same fixed-seed
+//! configuration as the CI smoke and exits non-zero unless, across the
+//! cut + heal cycle: no sensor's home uplink is ever driven by two
+//! proxies in one epoch, zero stale-confident answers appear, every
+//! real answer carries an explicit serve-time age, the minority proxy
+//! fences and is later re-admitted through a quorum-confirmed rebirth,
+//! the partitioned arm keeps at least half the no-partition arm's
+//! answered throughput, and every leak probe reads zero after drain.
+
+use presto_bench::experiments::render_json;
+use presto_bench::partition::{partition_scenario, PartitionScenarioConfig};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let quick = arg.as_deref() == Some("--quick");
+    let cfg = if quick {
+        PartitionScenarioConfig::quick()
+    } else {
+        PartitionScenarioConfig {
+            query_hours: arg.and_then(|a| a.parse().ok()).unwrap_or(2),
+            ..PartitionScenarioConfig::default()
+        }
+    };
+    let r = partition_scenario(&cfg);
+    print!(
+        "{}",
+        render_json(
+            &format!(
+                "partition scenario — {} proxies × {} sensors, {:.0}% loss, \
+                 proxy {} cut {}–{} min into the phase",
+                cfg.proxies,
+                cfg.sensors_per_proxy,
+                cfg.loss * 100.0,
+                r.minority,
+                cfg.cut_minutes.0,
+                cfg.cut_minutes.0 + cfg.cut_minutes.1
+            ),
+            &r
+        )
+    );
+    let mut failures = Vec::new();
+    for (label, arm) in [
+        ("with-partition", &r.with_partition),
+        ("no-partition", &r.without_partition),
+    ] {
+        if arm.completed != arm.submitted {
+            failures.push(format!(
+                "{label}: {} of {} queries never terminated",
+                arm.submitted - arm.completed,
+                arm.submitted
+            ));
+        }
+        if arm.double_served_epochs > 0 {
+            failures.push(format!(
+                "{label}: {} epochs with a double-served or mis-owned uplink",
+                arm.double_served_epochs
+            ));
+        }
+        if arm.stale_confident > 0 {
+            failures.push(format!(
+                "{label}: {} stale-confident answers",
+                arm.stale_confident
+            ));
+        }
+        if arm.answer_age_missing > 0 {
+            failures.push(format!(
+                "{label}: {} real answers missing answer_age",
+                arm.answer_age_missing
+            ));
+        }
+        let leaks =
+            arm.leaked_router + arm.leaked_pipeline + arm.leaked_rpcs + arm.leaked_mesh;
+        if leaks > 0 {
+            failures.push(format!(
+                "{label}: leaked entries after drain (router {}, pipeline {}, rpcs {}, mesh {})",
+                arm.leaked_router, arm.leaked_pipeline, arm.leaked_rpcs, arm.leaked_mesh
+            ));
+        }
+    }
+    let w = &r.with_partition;
+    if w.fenced_epochs == 0 {
+        failures.push("minority proxy never fenced during the cut".into());
+    }
+    if w.deaths_declared != 1 {
+        failures.push(format!(
+            "expected exactly one quorum death declaration, saw {}",
+            w.deaths_declared
+        ));
+    }
+    if w.rejoins != 1 {
+        failures.push(format!(
+            "heal did not re-admit the minority (rejoins {})",
+            w.rejoins
+        ));
+    }
+    if w.rehomed < cfg.sensors_per_proxy as u64 {
+        failures.push(format!(
+            "declaration re-homed only {} sensors",
+            w.rehomed
+        ));
+    }
+    if r.without_partition.fenced_epochs > 0 || r.without_partition.deaths_declared > 0 {
+        failures.push("clean arm fenced or declared a proxy".into());
+    }
+    if r.throughput_ratio < 0.5 {
+        failures.push(format!(
+            "split brain cost more than half the throughput: {:.1} vs {:.1} q/h ({:.2}×)",
+            w.throughput_qph, r.without_partition.throughput_qph, r.throughput_ratio
+        ));
+    }
+    if !failures.is_empty() {
+        eprintln!(
+            "partition-scenario {} FAILED:",
+            if quick { "smoke" } else { "run" }
+        );
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        std::process::exit(1);
+    }
+    eprintln!(
+        "partition-scenario {} OK — {} queries, fenced {} epochs, {} fenced refusals, \
+         {} re-homed, rejoined, {:.1} vs {:.1} q/h ({:.2}×), age p50 {:.0} s",
+        if quick { "smoke" } else { "run" },
+        w.submitted,
+        w.fenced_epochs,
+        w.failed_fenced,
+        w.rehomed,
+        w.throughput_qph,
+        r.without_partition.throughput_qph,
+        r.throughput_ratio,
+        w.answer_age_p50_s
+    );
+}

@@ -11,6 +11,7 @@ pub mod experiments;
 pub mod failure;
 pub mod figure2;
 pub mod fleet;
+pub mod partition;
 pub mod query_pipeline;
 pub mod table1;
 

@@ -1,0 +1,393 @@
+//! The partition-scenario experiment: split-brain fault injection over
+//! the fleet, with and without the partition, on one seed.
+//!
+//! Mid-phase, the mesh links around one proxy are cut (its downlinks
+//! stay up — the sensors keep talking to it) and later healed. The
+//! quorum membership must fence the minority proxy (it stops accepting
+//! queries and stops driving radio), the majority must declare it dead
+//! once the threshold passes and re-home its sensors, and the heal
+//! must re-admit it through a quorum-confirmed rebirth plus an
+//! archive-backed re-sync — all without ever serving a sensor's home
+//! uplink from two proxies in one epoch, without a single
+//! stale-confident answer, and with an explicit `answer_age` stamped
+//! on every real answer. The no-partition arm on the same seed bounds
+//! the throughput cost: a split brain may slow the fleet, never
+//! corrupt it.
+
+use presto_core::SystemConfig;
+use presto_fleet::{FleetConfig, FleetDeployment};
+use presto_net::LossProcess;
+use presto_proxy::{PipelineAnswer, PipelineQuery, QueryClass};
+use presto_sim::metrics::Summary;
+use presto_sim::{
+    FaultPlan, FleetLoadConfig, FleetQueryLoad, QueryLoadConfig, SimDuration, SimTime,
+};
+use serde::Serialize;
+
+/// Scenario parameters.
+#[derive(Clone, Debug)]
+pub struct PartitionScenarioConfig {
+    /// Warmup (archive + model build) before the query phase, hours.
+    pub warmup_hours: u64,
+    /// Query-phase length, hours.
+    pub query_hours: u64,
+    /// Master seed.
+    pub seed: u64,
+    /// Proxies in the fleet.
+    pub proxies: usize,
+    /// Sensors per proxy.
+    pub sensors_per_proxy: usize,
+    /// Downlink loss (Bernoulli, request and reply paths).
+    pub loss: f64,
+    /// Concurrent users.
+    pub users: usize,
+    /// Mean queries per user per hour.
+    pub queries_per_user_per_hour: f64,
+    /// Zipf skew over proxies (proxy 0 hottest).
+    pub zipf_s: f64,
+    /// Query tolerance.
+    pub tolerance: f64,
+    /// Partition window, minutes into the query phase: the last proxy
+    /// is cut from the mesh over `[start, start + len)`.
+    pub cut_minutes: (u64, u64),
+}
+
+impl Default for PartitionScenarioConfig {
+    fn default() -> Self {
+        PartitionScenarioConfig {
+            warmup_hours: 16,
+            query_hours: 2,
+            seed: 2005,
+            proxies: 3,
+            sensors_per_proxy: 2,
+            loss: 0.3,
+            users: 28,
+            queries_per_user_per_hour: 100.0,
+            zipf_s: 1.6,
+            tolerance: 0.05,
+            cut_minutes: (30, 40),
+        }
+    }
+}
+
+impl PartitionScenarioConfig {
+    /// The small fixed-seed configuration the CI smoke runs.
+    pub fn quick() -> Self {
+        PartitionScenarioConfig::default()
+    }
+}
+
+/// One arm's (partition injected or not) measurements.
+#[derive(Clone, Debug, Serialize)]
+pub struct PartitionArmReport {
+    /// Queries submitted.
+    pub submitted: u64,
+    /// Terminals observed (every submitted query must terminate).
+    pub completed: u64,
+    /// Terminals with a real (non-Failed) answer.
+    pub answered_ok: u64,
+    /// Honest failures.
+    pub failed: u64,
+    /// Admissions refused because the entry or serving proxy was
+    /// fenced (minority side of the split).
+    pub failed_fenced: u64,
+    /// Epochs in which the minority proxy was fenced.
+    pub fenced_epochs: u64,
+    /// Epochs in which any sensor's home uplink was driven by two
+    /// proxies, by a non-owner, or by a fenced/declared-dead proxy
+    /// (must be zero — the single-owner invariant).
+    pub double_served_epochs: u64,
+    /// Quorum death declarations.
+    pub deaths_declared: u64,
+    /// Quorum-confirmed rebirths (the heal re-admitting the minority).
+    pub rejoins: u64,
+    /// Sensors re-homed off the declared proxy.
+    pub rehomed: u64,
+    /// Answers claiming tight sigma while far from the live truth
+    /// (must be zero).
+    pub stale_confident: u64,
+    /// Real answers missing the explicit `answer_age` stamp (must be
+    /// zero).
+    pub answer_age_missing: u64,
+    /// Median age of real answers at serve time, seconds.
+    pub answer_age_p50_s: f64,
+    /// Answered-query throughput over the phase, queries/hour.
+    pub throughput_qph: f64,
+    /// Terminal-latency p99, seconds (failures included).
+    pub p99_s: f64,
+    /// Leak probes after the drain window (all must be zero).
+    pub leaked_router: u64,
+    /// Leaked pending pipeline queries.
+    pub leaked_pipeline: u64,
+    /// Leaked pending-RPC entries.
+    pub leaked_rpcs: u64,
+    /// Leaked in-flight mesh messages.
+    pub leaked_mesh: u64,
+}
+
+/// Scenario result: both arms plus the headline comparison.
+#[derive(Clone, Debug, Serialize)]
+pub struct PartitionScenarioReport {
+    /// Configured downlink loss.
+    pub configured_loss: f64,
+    /// The partitioned proxy.
+    pub minority: usize,
+    /// Partition injected.
+    pub with_partition: PartitionArmReport,
+    /// Same seed, no partition.
+    pub without_partition: PartitionArmReport,
+    /// `with.throughput / without.throughput` — the availability cost
+    /// of the split brain (bounded below by the CI smoke).
+    pub throughput_ratio: f64,
+}
+
+fn fleet(cfg: &PartitionScenarioConfig, partition: bool) -> FleetDeployment {
+    let minority = cfg.proxies - 1;
+    let mut sys_cfg = SystemConfig {
+        proxies: cfg.proxies,
+        sensors_per_proxy: cfg.sensors_per_proxy,
+        seed: cfg.seed,
+        lab: presto_workloads::LabParams {
+            events_per_day: 0.0,
+            jitter_sigma: 0.08,
+            heavy_prob: 0.0,
+            field_sigma: 0.05,
+            ..presto_workloads::LabParams::default()
+        },
+        ..SystemConfig::default()
+    };
+    if cfg.loss > 0.0 {
+        sys_cfg.reliability.downlink.request_loss = LossProcess::Bernoulli(cfg.loss);
+        sys_cfg.reliability.downlink.reply_loss = LossProcess::Bernoulli(cfg.loss);
+    }
+    sys_cfg.proxy.pipeline.epoch_attempt_budget = 8;
+    sys_cfg.proxy.cache_capacity = 700;
+    if partition {
+        let (start_m, len_m) = cfg.cut_minutes;
+        let from = SimTime::from_hours(cfg.warmup_hours) + SimDuration::from_mins(start_m);
+        let to = from + SimDuration::from_mins(len_m);
+        sys_cfg.faults = FaultPlan::none().with_mesh_partition(vec![minority], from, to);
+    }
+    let mut fc = FleetConfig {
+        system: sys_cfg,
+        ..FleetConfig::default()
+    };
+    fc.router.latency_classes = vec![
+        QueryClass {
+            rate_per_hour: cfg.users as f64 * cfg.queries_per_user_per_hour,
+            latency_bound: SimDuration::from_mins(10),
+            tolerance: cfg.tolerance,
+        },
+        QueryClass {
+            rate_per_hour: 10.0,
+            latency_bound: SimDuration::from_mins(4),
+            tolerance: 1.5,
+        },
+    ];
+    FleetDeployment::new(fc)
+}
+
+fn load(cfg: &PartitionScenarioConfig) -> FleetQueryLoad {
+    FleetQueryLoad::new(
+        FleetLoadConfig {
+            load: QueryLoadConfig {
+                users: cfg.users,
+                queries_per_user_per_hour: cfg.queries_per_user_per_hour,
+                window_min: SimDuration::from_mins(10),
+                window_max: SimDuration::from_mins(30),
+                max_age: SimDuration::from_hours(cfg.warmup_hours.saturating_sub(8).max(2)),
+                hot_fraction: 0.1,
+                tolerances: vec![cfg.tolerance],
+                seed: cfg.seed ^ 0xF1_EE7,
+                ..QueryLoadConfig::default()
+            },
+            groups: cfg.proxies,
+            zipf_s: cfg.zipf_s,
+        },
+        cfg.sensors_per_proxy,
+    )
+}
+
+fn run_arm(cfg: &PartitionScenarioConfig, partition: bool) -> PartitionArmReport {
+    let minority = cfg.proxies - 1;
+    let epoch = SystemConfig::default().lab.epoch;
+    let warmup_epochs = SimDuration::from_hours(cfg.warmup_hours).div_duration(epoch);
+    let query_epochs = SimDuration::from_hours(cfg.query_hours).div_duration(epoch);
+    let drain_epochs = SimDuration::from_mins(14).div_duration(epoch) + 4;
+    let phase_hours = (query_epochs + drain_epochs) as f64 * epoch.as_secs_f64() / 3600.0;
+
+    let mut fleet = fleet(cfg, partition);
+    for _ in 0..warmup_epochs {
+        fleet.step_epoch();
+    }
+    let mut gen = load(cfg);
+    let mut submitted = 0u64;
+    let mut latencies = Summary::new();
+    let mut ages = Summary::new();
+    let mut answered_ok = 0u64;
+    let mut failed = 0u64;
+    let mut completed = 0u64;
+    let mut stale_confident = 0u64;
+    let mut answer_age_missing = 0u64;
+    let mut fenced_epochs = 0u64;
+    let mut double_served_epochs = 0u64;
+
+    let mut truth_at_submit: std::collections::HashMap<u64, f64> =
+        std::collections::HashMap::new();
+    for e in 0..query_epochs + drain_epochs {
+        if e < query_epochs {
+            let t = fleet.now();
+            let truth_now = fleet.system.truth.clone();
+            for a in gen.step(t, epoch) {
+                let gid = fleet.arrival_gid(&a);
+                let ticket = fleet.submit_arrival(&a);
+                if a.arrival.kind == presto_sim::QueryKind::Now {
+                    truth_at_submit.insert(ticket, truth_now[gid as usize]);
+                }
+                submitted += 1;
+            }
+        }
+        fleet.step_epoch();
+        if fleet.is_fenced(minority) {
+            fenced_epochs += 1;
+        }
+        // Single-owner audit: one home driver per sensor, always the
+        // current owner, never a fenced or declared-dead proxy.
+        {
+            let assignment = fleet.system.assignment();
+            let mut home_seen = vec![false; assignment.len()];
+            let mut violated = false;
+            for &(p, gid, via_foreign) in fleet.pump_log() {
+                if fleet.is_fenced(p) || fleet.membership().is_declared_dead(p) {
+                    violated = true;
+                }
+                if !via_foreign {
+                    if assignment[gid as usize] != p || home_seen[gid as usize] {
+                        violated = true;
+                    }
+                    home_seen[gid as usize] = true;
+                }
+            }
+            if violated {
+                double_served_epochs += 1;
+            }
+        }
+        for c in fleet.take_completed() {
+            completed += 1;
+            latencies.record((c.completed_at - c.submitted_at).as_secs_f64());
+            let submit_truth = truth_at_submit.remove(&c.ticket);
+            let ok = c.answer.source() != presto_proxy::AnswerSource::Failed;
+            if ok {
+                answered_ok += 1;
+                match c.answer_age {
+                    Some(age) => ages.record(age.as_secs_f64()),
+                    // Aggregates over empty ranges honestly carry no
+                    // age; anything else must be stamped.
+                    None => {
+                        let empty_aggregate = matches!(
+                            (&c.query, &c.answer),
+                            (PipelineQuery::Aggregate { .. }, PipelineAnswer::Scalar(a))
+                                if a.sigma.is_infinite()
+                        );
+                        if !empty_aggregate {
+                            answer_age_missing += 1;
+                        }
+                    }
+                }
+                if let (PipelineQuery::Now { tolerance, .. }, PipelineAnswer::Scalar(ans)) =
+                    (&c.query, &c.answer)
+                {
+                    if let Some(truth) = submit_truth {
+                        let err = (ans.value - truth).abs();
+                        if ans.sigma <= *tolerance && err > tolerance + 0.5 {
+                            stale_confident += 1;
+                        }
+                    }
+                }
+            } else {
+                failed += 1;
+            }
+        }
+    }
+
+    let leaks = fleet.leaks();
+    let ms = fleet.membership().stats();
+    PartitionArmReport {
+        submitted,
+        completed,
+        answered_ok,
+        failed,
+        failed_fenced: fleet.router.stats().failed_fenced,
+        fenced_epochs,
+        double_served_epochs,
+        deaths_declared: ms.deaths_declared,
+        rejoins: ms.rejoins,
+        rehomed: fleet.rehomed_sensors(),
+        stale_confident,
+        answer_age_missing,
+        answer_age_p50_s: ages.median(),
+        throughput_qph: answered_ok as f64 / phase_hours,
+        p99_s: latencies.quantile(0.99),
+        leaked_router: leaks.router_open as u64,
+        leaked_pipeline: leaks.pipeline_pending as u64,
+        leaked_rpcs: leaks.rpcs_in_flight as u64,
+        leaked_mesh: leaks.mesh_in_flight as u64,
+    }
+}
+
+/// Runs both arms on one seed.
+pub fn partition_scenario(cfg: &PartitionScenarioConfig) -> PartitionScenarioReport {
+    let with_partition = run_arm(cfg, true);
+    let without_partition = run_arm(cfg, false);
+    let throughput_ratio = if without_partition.throughput_qph > 0.0 {
+        with_partition.throughput_qph / without_partition.throughput_qph
+    } else {
+        f64::INFINITY
+    };
+    PartitionScenarioReport {
+        configured_loss: cfg.loss,
+        minority: cfg.proxies - 1,
+        with_partition,
+        without_partition,
+        throughput_ratio,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_split_brain_stays_honest_and_heals() {
+        let r = partition_scenario(&PartitionScenarioConfig::quick());
+        for (label, arm) in [
+            ("with", &r.with_partition),
+            ("without", &r.without_partition),
+        ] {
+            assert!(arm.submitted > 200, "workload too small ({label}): {arm:?}");
+            assert_eq!(
+                arm.completed, arm.submitted,
+                "every query must terminate ({label}): {arm:?}"
+            );
+            assert_eq!(arm.double_served_epochs, 0, "({label}) {arm:?}");
+            assert_eq!(arm.stale_confident, 0, "({label}) {arm:?}");
+            assert_eq!(arm.answer_age_missing, 0, "({label}) {arm:?}");
+            assert_eq!(arm.leaked_router, 0, "({label}) {arm:?}");
+            assert_eq!(arm.leaked_pipeline, 0, "({label}) {arm:?}");
+            assert_eq!(arm.leaked_rpcs, 0, "({label}) {arm:?}");
+            assert_eq!(arm.leaked_mesh, 0, "({label}) {arm:?}");
+        }
+        let w = &r.with_partition;
+        assert!(w.fenced_epochs > 0, "minority never fenced: {w:?}");
+        assert!(w.failed_fenced > 0, "no admission was fenced: {w:?}");
+        assert_eq!(w.deaths_declared, 1, "{w:?}");
+        assert_eq!(w.rejoins, 1, "heal must re-admit the minority: {w:?}");
+        assert!(w.rehomed >= 2, "sensors never re-homed: {w:?}");
+        assert_eq!(r.without_partition.fenced_epochs, 0);
+        assert_eq!(r.without_partition.deaths_declared, 0);
+        assert!(
+            r.throughput_ratio >= 0.5,
+            "split brain cost more than half the throughput: {r:?}"
+        );
+    }
+}

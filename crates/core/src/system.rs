@@ -624,6 +624,30 @@ impl PrestoSystem {
         self.downlinks[hp][hs].reset_proxy_state();
     }
 
+    /// Queues an archive-backed recovery replay for every sensor
+    /// `proxy` currently serves, from each sensor's last covered
+    /// instant up to `t`. The deployment tier calls this when a fenced
+    /// proxy rejoins the quorum after a mesh partition heals: its
+    /// caches and replicas silently aged while it was cut off (uplinks
+    /// kept landing, but nothing cross-checked them), so it re-syncs
+    /// through the same archive replay path gap repair uses. Returns
+    /// the number of replays queued.
+    pub fn resync_proxy(&mut self, proxy: usize, t: SimTime) -> usize {
+        let mut queued = 0;
+        for gid in 0..self.total_sensors() {
+            if self.assignment[gid] != proxy {
+                continue;
+            }
+            let covered = self.gaps.covered_until(gid);
+            if covered >= t {
+                continue;
+            }
+            self.gaps.request_recovery(gid, covered, t, t);
+            queued += 1;
+        }
+        queued
+    }
+
     /// Attempts every queued recovery replay: reachable sensors get a
     /// padded archive pull over the missed span; unreachable ones stay
     /// queued for the next epoch. A completed repair rebuilds the

@@ -79,6 +79,15 @@ pub struct FleetDeployment {
     rehomed: u64,
     /// Per-proxy down state at the last epoch (crash-onset edges).
     proxy_was_down: Vec<bool>,
+    /// Per-proxy fencing state: up but outside the membership quorum
+    /// (the minority side of a mesh partition). A fenced proxy accepts
+    /// no new queries, adopts no forwards, and drives no radio — its
+    /// pipeline only expires honestly — until quorum returns.
+    fenced: Vec<bool>,
+    /// Who pumped which sensor this epoch, `(proxy, gid,
+    /// via_foreign_channel)` — the uplink-ownership audit trail the
+    /// partition property tests assert over. Cleared every epoch.
+    pump_log: Vec<(usize, u16, bool)>,
     /// Per-proxy retry-budget depletion, refreshed once per epoch: the
     /// only pressure component that needs a full channel scan (queue
     /// depth and saturation are O(1) live reads).
@@ -105,6 +114,8 @@ impl FleetDeployment {
             rng: presto_sim::SimRng::new(seed ^ 0xF1EE7),
             rehomed: 0,
             proxy_was_down: vec![false; proxies],
+            fenced: vec![false; proxies],
+            pump_log: Vec::new(),
             depletions: vec![0.0; proxies],
             next_foreign_seq_base: 1 << 48,
         };
@@ -130,6 +141,18 @@ impl FleetDeployment {
     /// Cross-proxy channels currently open.
     pub fn foreign_channels(&self) -> usize {
         self.foreign.len()
+    }
+
+    /// Whether `proxy` is fenced: up, but outside the membership
+    /// quorum (minority side of a mesh partition).
+    pub fn is_fenced(&self, proxy: usize) -> bool {
+        self.fenced[proxy]
+    }
+
+    /// The last epoch's pump audit trail: `(proxy, gid, via foreign
+    /// channel)` for every sensor a proxy drove radio toward.
+    pub fn pump_log(&self) -> &[(usize, u16, bool)] {
+        &self.pump_log
     }
 
     /// Leak probes over every fleet-tier table.
@@ -235,8 +258,27 @@ impl FleetDeployment {
         }
         let gid = query.sensor() as usize;
         let serving = self.system.assignment()[gid];
+        // A fenced proxy (up, but cut off from the quorum) must not
+        // accept new work: on the minority side it cannot prove its
+        // answer agrees with the fleet, so the admission fails honestly
+        // instead of serving a confidently-stale result.
+        if self.fenced[entry] || self.fenced[serving] {
+            return self.router.fail_fenced(t, entry, query);
+        }
         let proxies = self.system.config().proxies;
-        let pressures: Vec<ProxyPressure> = (0..proxies).map(|p| self.pressure(p)).collect();
+        let mut pressures: Vec<ProxyPressure> = (0..proxies).map(|p| self.pressure(p)).collect();
+        // Shed targeting respects the *entry proxy's own* mesh view on
+        // top of the quorum grade: a peer the entry cannot reach over
+        // the mesh (an asymmetric cut) is no shed target even if the
+        // rest of the fleet vouches for it, and a fenced peer is never
+        // one.
+        for (p, reading) in pressures.iter_mut().enumerate() {
+            if p != entry
+                && (self.fenced[p] || self.membership.view(entry, p) != Health::Live)
+            {
+                reading.live = false;
+            }
+        }
         // Shed gating via the time-range index: a window archived
         // nowhere is not worth a mesh round trip.
         let range_archived = match query {
@@ -309,13 +351,62 @@ impl FleetDeployment {
             self.proxy_was_down[p] = !u;
         }
 
-        // 1. Proxy leases; a death declaration triggers failover.
+        // 1. Split-brain fault gates: sever exactly the proxy↔proxy
+        // links the fault plan cuts this instant (downlinks stay up —
+        // that asymmetry is the whole point of the scenario).
+        for a in 0..proxies {
+            for b in (a + 1)..proxies {
+                self.mesh.set_link_cut(a, b, faults.mesh_link_cut(a, b, t));
+            }
+        }
+
+        // 2. Heartbeat fan-out: every live proxy beacons to every peer
+        // as an unreliable mesh datagram (the next beacon supersedes a
+        // lost one; retransmitting a stale liveness claim would be
+        // worse than silence).
+        for (p, &p_up) in up.iter().enumerate() {
+            if !p_up {
+                continue;
+            }
+            for q in 0..proxies {
+                if q != p {
+                    self.mesh
+                        .send_datagram(p, q, FleetMsg::Heartbeat { sent_at: t });
+                    self.membership.record_offered(1);
+                }
+            }
+        }
+
+        // 3. Mesh delivery: heartbeats renew leases immediately;
+        // forwards and completions wait until fencing is settled below.
+        let mut deferred = Vec::new();
+        for (dst, src, msg) in self.mesh.step(t) {
+            match msg {
+                FleetMsg::Heartbeat { sent_at } => {
+                    self.membership.heard(dst, src, sent_at);
+                }
+                other => deferred.push((dst, other)),
+            }
+        }
+
+        // 4. Quorum membership: declarations trigger failover, and the
+        // fencing state refreshes. A proxy crossing the fenced→unfenced
+        // edge (partition healed, quorum regained) re-syncs through an
+        // archive-backed replay — its caches silently aged while cut
+        // off.
         for dead in self.membership.step(t, &up) {
             self.handle_failover(t, dead);
         }
+        for (p, &p_up) in up.iter().enumerate() {
+            let now_fenced = p_up && !self.membership.in_quorum(p);
+            if self.fenced[p] && !now_fenced && p_up {
+                self.system.resync_proxy(p, t);
+            }
+            self.fenced[p] = now_fenced;
+        }
 
-        // 2. Mesh traffic: adopt forwards, consume returned answers.
-        for (dst, _src, msg) in self.mesh.step(t) {
+        // 5. Deferred mesh traffic: adopt forwards, consume answers.
+        for (dst, msg) in deferred {
             match msg {
                 FleetMsg::Forward {
                     ticket,
@@ -323,9 +414,10 @@ impl FleetDeployment {
                     deadline,
                     ..
                 } => {
-                    if t >= deadline {
-                        // Arrived too late to run; the router's expiry
-                        // sweep fails the ticket honestly.
+                    if t >= deadline || self.fenced[dst] {
+                        // Too late to run, or the adopter lost quorum
+                        // while the forward was in flight; the router's
+                        // expiry sweep fails the ticket honestly.
                         continue;
                     }
                     let gid = query.sensor();
@@ -343,19 +435,22 @@ impl FleetDeployment {
                 FleetMsg::Completion { ticket, answer } => {
                     self.router.on_completion_msg(t, ticket, answer);
                 }
+                FleetMsg::Heartbeat { .. } => unreachable!("consumed above"),
             }
         }
 
-        // 3. Cross-proxy channel upkeep: fault gates + budget refill.
+        // 6. Cross-proxy channel upkeep: fault gates + budget refill.
         for ((fp, gid), chan) in self.foreign.iter_mut() {
             chan.set_link_up(up[*fp] && !faults.is_unreachable(*gid as usize, t));
             chan.tick(t);
         }
 
-        // 4. Fleet pump: each live proxy serves its current view.
+        // 7. Fleet pump: each live, unfenced proxy serves its current
+        // view; fenced proxies pump empty (honest expiry still runs,
+        // no radio).
         self.pump_fleet(t, &faults);
 
-        // 5. Collect pipeline completions; answers produced away from
+        // 8. Collect pipeline completions; answers produced away from
         // their entry proxy ride the mesh home.
         for p in 0..proxies {
             if !up[p] {
@@ -375,12 +470,15 @@ impl FleetDeployment {
             }
         }
 
-        // 6. Honest expiry: whatever the mesh dropped terminates here.
+        // 9. Honest expiry: whatever the mesh dropped terminates here.
         self.router.expire(t);
 
-        // 7. Refresh the cached budget-depletion readings for the
-        // coming epoch's submissions.
+        // 10. Refresh the cached budget-depletion readings and feed the
+        // epoch-level pressure smoothing for the coming epoch's
+        // submissions.
         self.refresh_depletions();
+        let pressures: Vec<ProxyPressure> = (0..proxies).map(|p| self.pressure(p)).collect();
+        self.router.observe_pressures(t, &pressures);
     }
 
     /// Opens (once) the cross-proxy downlink channel `driver` uses to
@@ -428,8 +526,17 @@ impl FleetDeployment {
     fn pump_fleet(&mut self, t: SimTime, faults: &FaultPlan) {
         let proxies = self.system.config().proxies;
         let assignment = self.system.assignment().to_vec();
+        self.pump_log.clear();
         for p in 0..proxies {
             if faults.proxy_down(p, t) {
+                continue;
+            }
+            if self.fenced[p] {
+                // A fenced proxy owns nothing it can prove: it drives
+                // no radio toward any sensor, but still pumps an empty
+                // view so its pipeline's honest-expiry sweep runs.
+                let mut empty: Vec<PumpSensor<'_>> = Vec::new();
+                self.system.proxies[p].pump_queries_view(t, &mut empty);
                 continue;
             }
             let mut node_refs: Vec<Option<&mut SensorNode>> =
@@ -444,6 +551,7 @@ impl FleetDeployment {
                         node: node_refs[gid].take().expect("each sensor taken once"),
                         chan: chan_refs[gid].take().expect("each channel taken once"),
                     });
+                    self.pump_log.push((p, gid as u16, false));
                 }
             }
             for ((fp, gid), chan) in self.foreign.iter_mut() {
@@ -454,6 +562,7 @@ impl FleetDeployment {
                             node,
                             chan,
                         });
+                        self.pump_log.push((p, *gid, true));
                     }
                 }
             }
@@ -558,12 +667,6 @@ mod tests {
             loss_bad: 1.0,
         };
         cfg.interlink.shared_chain = None;
-        cfg.membership.heartbeat_loss = presto_net::GilbertElliott {
-            p_gb: 0.0,
-            p_bg: 1.0,
-            loss_good: 0.0,
-            loss_bad: 1.0,
-        };
         FleetDeployment::new(cfg)
     }
 

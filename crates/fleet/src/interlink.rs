@@ -44,6 +44,15 @@ pub enum FleetMsg {
         /// The answer, verbatim from the adopter's pipeline.
         answer: PipelineAnswer,
     },
+    /// A membership heartbeat lease renewal. Heartbeats are datagrams
+    /// ([`InterLinkMesh::send_datagram`]): one attempt, no ack, no
+    /// retransmission — the next epoch's beacon supersedes a lost one,
+    /// and retransmitting stale liveness claims would only delay
+    /// suspicion.
+    Heartbeat {
+        /// When the sender emitted it.
+        sent_at: SimTime,
+    },
 }
 
 /// Mesh parameters.
@@ -117,6 +126,9 @@ struct PendingMsg {
     seq: u64,
     msg: FleetMsg,
     attempts: u32,
+    /// Reliable messages ack and retransmit; datagrams get exactly one
+    /// attempt and are forgotten (heartbeats).
+    reliable: bool,
 }
 
 /// The sequenced, lossy proxy↔proxy mesh.
@@ -188,6 +200,20 @@ impl InterLinkMesh {
     ///
     /// [`step`]: InterLinkMesh::step
     pub fn send(&mut self, src: usize, dst: usize, msg: FleetMsg) {
+        self.enqueue(src, dst, msg, true);
+    }
+
+    /// Offers an unreliable datagram from `src` to `dst`: the next
+    /// [`step`] makes exactly one delivery attempt — no ack, no
+    /// retransmission, the message is forgotten either way. Used for
+    /// heartbeats, whose next beacon supersedes a lost one.
+    ///
+    /// [`step`]: InterLinkMesh::step
+    pub fn send_datagram(&mut self, src: usize, dst: usize, msg: FleetMsg) {
+        self.enqueue(src, dst, msg, false);
+    }
+
+    fn enqueue(&mut self, src: usize, dst: usize, msg: FleetMsg, reliable: bool) {
         assert!(src < self.proxies && dst < self.proxies && src != dst);
         let seq = self.next_seq.entry((src, dst)).or_insert(0);
         let s = *seq;
@@ -199,7 +225,18 @@ impl InterLinkMesh {
             seq: s,
             msg,
             attempts: 0,
+            reliable,
         });
+    }
+
+    /// Sets or heals the physical cut between proxies `a` and `b`
+    /// (both directions): while cut, every frame — forwards, acks and
+    /// heartbeats — dies on the wire. Reliable messages burn their
+    /// retransmissions into the cut and are dropped honestly; the
+    /// sender's deadline machinery fails their tickets.
+    pub fn set_link_cut(&mut self, a: usize, b: usize, cut: bool) {
+        self.link(a, b).set_blocked(cut);
+        self.link(b, a).set_blocked(cut);
     }
 
     fn link(&mut self, src: usize, dst: usize) -> &mut LinkModel {
@@ -258,7 +295,12 @@ impl InterLinkMesh {
             let wire_ok = self.link(src, dst).deliver();
             if !wire_ok || !self.up[src] || !self.up[dst] {
                 self.stats.lost += 1;
-                i += 1;
+                if self.pending[i].reliable {
+                    i += 1;
+                } else {
+                    // A lost datagram is simply gone.
+                    self.pending.remove(i);
+                }
                 continue;
             }
             // Delivered: receiver dedups, then acks over the reverse
@@ -268,11 +310,16 @@ impl InterLinkMesh {
             if !first_copy {
                 self.stats.duplicates += 1;
             }
-            let ack_ok = self.link(dst, src).deliver();
             if first_copy {
                 self.stats.delivered += 1;
                 out.push((dst, src, self.pending[i].msg.clone()));
             }
+            if !self.pending[i].reliable {
+                // Datagrams are fire-and-forget: no ack leg at all.
+                self.pending.remove(i);
+                continue;
+            }
+            let ack_ok = self.link(dst, src).deliver();
             if ack_ok {
                 self.pending.remove(i);
             } else {
@@ -304,6 +351,7 @@ mod tests {
     fn ticket_of(msg: &FleetMsg) -> u64 {
         match msg {
             FleetMsg::Forward { ticket, .. } | FleetMsg::Completion { ticket, .. } => *ticket,
+            FleetMsg::Heartbeat { .. } => panic!("heartbeat has no ticket"),
         }
     }
 
@@ -416,6 +464,57 @@ mod tests {
         // Nothing pending, stepping again emits nothing.
         assert!(mesh.step(SimTime::from_secs(31)).is_empty());
         assert_eq!(mesh.stats().duplicates, 0);
+    }
+
+    #[test]
+    fn datagrams_get_one_attempt_and_never_linger() {
+        // Total loss: a reliable message would retransmit; a datagram
+        // dies on its single attempt and leaves nothing in flight.
+        let cfg = InterLinkConfig {
+            link_chain: GilbertElliott {
+                p_gb: 1.0,
+                p_bg: 0.0,
+                loss_good: 1.0,
+                loss_bad: 1.0,
+            },
+            shared_chain: None,
+            ..InterLinkConfig::default()
+        };
+        let mut mesh = InterLinkMesh::new(cfg, 2);
+        mesh.send_datagram(0, 1, FleetMsg::Heartbeat { sent_at: SimTime::ZERO });
+        assert!(mesh.step(SimTime::ZERO).is_empty());
+        assert_eq!(mesh.in_flight(), 0, "lost datagram must not retry");
+        assert_eq!(mesh.stats().retransmits, 0);
+        assert_eq!(mesh.stats().dropped, 0, "datagram loss is not a drop");
+
+        // Clean mesh: delivered in one step, still nothing in flight
+        // (no ack leg to wait on).
+        let mut mesh = InterLinkMesh::new(perfect_config(), 2);
+        mesh.send_datagram(1, 0, FleetMsg::Heartbeat { sent_at: SimTime::ZERO });
+        let got = mesh.step(SimTime::ZERO);
+        assert_eq!(got.len(), 1);
+        assert!(matches!(got[0].2, FleetMsg::Heartbeat { .. }));
+        assert_eq!((got[0].0, got[0].1), (0, 1));
+        assert_eq!(mesh.in_flight(), 0);
+    }
+
+    #[test]
+    fn link_cut_severs_both_directions_until_healed() {
+        let mut mesh = InterLinkMesh::new(perfect_config(), 3);
+        mesh.set_link_cut(0, 2, true);
+        mesh.send(0, 2, fwd(1));
+        mesh.send(2, 0, fwd(2));
+        mesh.send(0, 1, fwd(3));
+        let got = mesh.step(SimTime::ZERO);
+        assert_eq!(got.len(), 1, "only the uncut pair delivers");
+        assert_eq!(ticket_of(&got[0].2), 3);
+        assert_eq!(mesh.in_flight(), 2, "cut messages keep retrying");
+        mesh.set_link_cut(0, 2, false);
+        let got = mesh.step(SimTime::from_secs(31));
+        let mut tickets: Vec<u64> = got.iter().map(|(_, _, m)| ticket_of(m)).collect();
+        tickets.sort_unstable();
+        assert_eq!(tickets, vec![1, 2], "healed link delivers the retries");
+        assert_eq!(mesh.in_flight(), 0);
     }
 
     #[test]

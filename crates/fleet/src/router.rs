@@ -23,6 +23,17 @@
 //! least-pressured Live peer, and only when that peer is cooler by a
 //! margin and enough deadline remains to pay the mesh round trip —
 //! the deadline-versus-retry-budget trade from query–sensor matching.
+//!
+//! Hot is a *latched episode*, not an instantaneous comparison. The
+//! deployment feeds an epoch-level pressure reading into
+//! [`FleetRouter::observe_pressures`], which smooths each proxy's score
+//! with an EWMA; a proxy leaves the hot state only when the smoothed
+//! score falls a hysteresis margin below the shed threshold, and may
+//! start a *new* episode only after a refractory window since the last
+//! one began. A raw intra-epoch burst can still open an episode at
+//! routing time (queues build faster than epochs tick), but a proxy
+//! oscillating around the threshold cannot flap the shedding decision
+//! every submission.
 
 use std::collections::HashMap;
 
@@ -54,6 +65,15 @@ pub struct FleetRouterConfig {
     /// Collection grace past the deadline before the router fails a
     /// ticket itself (covers pipeline completion + mesh return time).
     pub expiry_grace: SimDuration,
+    /// EWMA weight for the epoch-level pressure smoothing (1.0 =
+    /// no smoothing, track the raw score exactly).
+    pub ewma_alpha: f64,
+    /// Hysteresis: a hot proxy cools only when its smoothed score
+    /// drops this far *below* the shed threshold.
+    pub shed_exit_margin: f64,
+    /// Refractory window: minimum spacing between the starts of two
+    /// shed episodes on the same proxy (anti-flap).
+    pub shed_episode_window: SimDuration,
 }
 
 impl Default for FleetRouterConfig {
@@ -66,6 +86,9 @@ impl Default for FleetRouterConfig {
             default_deadline: SimDuration::from_mins(10),
             forward_slack: SimDuration::from_mins(2),
             expiry_grace: SimDuration::from_mins(3),
+            ewma_alpha: 0.4,
+            shed_exit_margin: 3.0,
+            shed_episode_window: SimDuration::from_mins(2),
         }
     }
 }
@@ -131,6 +154,11 @@ pub struct FleetCompletion {
     pub submitted_at: SimTime,
     /// Terminal time at the router.
     pub completed_at: SimTime,
+    /// How stale the answer's underlying data is at the terminal:
+    /// `completed_at` minus the freshest data instant the answer
+    /// reflects. `None` for failures and empty aggregates — an honest
+    /// "no data" rather than a fabricated age.
+    pub answer_age: Option<SimDuration>,
 }
 
 /// Router counters.
@@ -157,6 +185,11 @@ pub struct FleetRouterStats {
     pub resumed: u64,
     /// Late completions dropped after a terminal was already recorded.
     pub late_dropped: u64,
+    /// Shed episodes opened (a proxy newly latched hot).
+    pub shed_episodes: u64,
+    /// Tickets failed because their entry or serving proxy was fenced
+    /// (up but outside the membership quorum).
+    pub failed_fenced: u64,
 }
 
 #[derive(Clone, Debug)]
@@ -178,6 +211,12 @@ pub struct FleetRouter {
     /// (serving proxy, its pipeline ticket) → fleet ticket.
     by_proxy_ticket: HashMap<(usize, u64), u64>,
     completed: Vec<FleetCompletion>,
+    /// EWMA-smoothed pressure score per proxy (grown on demand).
+    smoothed: Vec<f64>,
+    /// Latched shed state per proxy.
+    hot: Vec<bool>,
+    /// When each proxy's most recent shed episode opened.
+    last_episode: Vec<Option<SimTime>>,
     stats: FleetRouterStats,
 }
 
@@ -194,9 +233,64 @@ impl FleetRouter {
             open: HashMap::new(),
             by_proxy_ticket: HashMap::new(),
             completed: Vec::new(),
+            smoothed: Vec::new(),
+            hot: Vec::new(),
+            last_episode: Vec::new(),
             stats: FleetRouterStats::default(),
             config,
         }
+    }
+
+    fn ensure_proxy(&mut self, proxy: usize) {
+        if self.smoothed.len() <= proxy {
+            self.smoothed.resize(proxy + 1, 0.0);
+            self.hot.resize(proxy + 1, false);
+            self.last_episode.resize(proxy + 1, None);
+        }
+    }
+
+    /// Opens a shed episode for `proxy` if it is not already hot, its
+    /// score clears the threshold, and the refractory window since the
+    /// last episode has passed.
+    fn try_enter_hot(&mut self, t: SimTime, proxy: usize, score: f64) {
+        self.ensure_proxy(proxy);
+        if self.hot[proxy] || score < self.config.shed_threshold {
+            return;
+        }
+        if let Some(opened) = self.last_episode[proxy] {
+            if t < opened + self.config.shed_episode_window {
+                return;
+            }
+        }
+        self.hot[proxy] = true;
+        self.last_episode[proxy] = Some(t);
+        self.stats.shed_episodes += 1;
+    }
+
+    /// Feeds one epoch's pressure readings: updates every proxy's EWMA,
+    /// cools proxies whose smoothed score fell below the exit band
+    /// (threshold minus hysteresis margin), and opens episodes for
+    /// proxies whose *smoothed* score clears the threshold. Call once
+    /// per epoch from the deployment.
+    pub fn observe_pressures(&mut self, t: SimTime, pressures: &[ProxyPressure]) {
+        self.ensure_proxy(pressures.len().saturating_sub(1));
+        let alpha = self.config.ewma_alpha;
+        for (p, reading) in pressures.iter().enumerate() {
+            let s = alpha * reading.score() + (1.0 - alpha) * self.smoothed[p];
+            self.smoothed[p] = s;
+            if self.hot[p] {
+                if s <= self.config.shed_threshold - self.config.shed_exit_margin {
+                    self.hot[p] = false;
+                }
+            } else {
+                self.try_enter_hot(t, p, s);
+            }
+        }
+    }
+
+    /// Whether `proxy` is currently inside a shed episode.
+    pub fn is_hot(&self, proxy: usize) -> bool {
+        self.hot.get(proxy).copied().unwrap_or(false)
     }
 
     /// Counters.
@@ -236,6 +330,32 @@ impl FleetRouter {
             answer: Self::failed_answer(&query),
             submitted_at: t,
             completed_at: t,
+            answer_age: None,
+        });
+        ticket
+    }
+
+    /// Opens and immediately fails a ticket whose entry or serving
+    /// proxy is fenced — up, but on the minority side of a mesh
+    /// partition. A fenced proxy must not accept new work it could
+    /// answer divergently from the quorum side, so the fleet refuses
+    /// honestly at admission instead of leaking a ticket into a
+    /// pipeline nobody trusts.
+    pub fn fail_fenced(&mut self, t: SimTime, entry: usize, query: PipelineQuery) -> u64 {
+        let ticket = self.next_ticket;
+        self.next_ticket += 1;
+        self.stats.submitted += 1;
+        self.stats.failed_fenced += 1;
+        self.completed.push(FleetCompletion {
+            ticket,
+            query,
+            entry,
+            served_by: entry,
+            forwarded: false,
+            answer: Self::failed_answer(&query),
+            submitted_at: t,
+            completed_at: t,
+            answer_age: None,
         });
         ticket
     }
@@ -274,9 +394,21 @@ impl FleetRouter {
             && sheddable
             && range_archived
             && deadline - t > self.config.forward_slack
-            && pressures
-                .get(serving)
-                .is_some_and(|p| p.score() >= self.config.shed_threshold)
+        {
+            // A raw intra-epoch burst may open an episode right here —
+            // queues can outrun the epoch-level smoothing — but the
+            // *decision* reads the latched state, so a score jittering
+            // around the threshold cannot flap it per submission.
+            if let Some(reading) = pressures.get(serving) {
+                self.try_enter_hot(t, serving, reading.score());
+            }
+        }
+        if self.config.shed_enabled
+            && sheddable
+            && range_archived
+            && deadline - t > self.config.forward_slack
+            && self.is_hot(serving)
+            && serving < pressures.len()
         {
             let coolest = pressures
                 .iter()
@@ -377,6 +509,7 @@ impl FleetRouter {
         } else {
             self.stats.completed_local += 1;
         }
+        let answer_age = answer.age_at(t);
         self.completed.push(FleetCompletion {
             ticket,
             query: tk.query,
@@ -386,6 +519,7 @@ impl FleetRouter {
             answer,
             submitted_at: tk.submitted_at,
             completed_at: t,
+            answer_age,
         });
     }
 
@@ -399,6 +533,7 @@ impl FleetRouter {
                     sigma: f64::INFINITY,
                     source: AnswerSource::Failed,
                     latency: SimDuration::ZERO,
+                    data_through: None,
                 })
             }
             PipelineQuery::Past { .. } => PipelineAnswer::Series(PastAnswer {
@@ -434,6 +569,7 @@ impl FleetRouter {
                 answer: Self::failed_answer(&tk.query),
                 submitted_at: tk.submitted_at,
                 completed_at: t,
+                answer_age: None,
             });
         }
     }
@@ -472,6 +608,7 @@ impl FleetRouter {
                     answer: Self::failed_answer(&tk.query),
                     submitted_at: tk.submitted_at,
                     completed_at: t,
+                    answer_age: None,
                 });
             } else if tk.deadline > t {
                 // `resumed` is counted when the caller actually
@@ -679,6 +816,95 @@ mod tests {
         assert!(r.on_pipeline_completion(SimTime::from_secs(93), 0, &done2).is_none());
         assert_eq!(r.take_completed().len(), 1);
         assert_eq!(r.open_tickets(), 0);
+    }
+
+    fn pressure(pending: usize) -> ProxyPressure {
+        ProxyPressure {
+            pending,
+            saturation: 0.0,
+            depletion: 0.0,
+            live: true,
+        }
+    }
+
+    #[test]
+    fn oscillating_pressure_sheds_at_most_once_per_episode_window() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        let cfg = FleetRouterConfig::default();
+        let epoch = SimDuration::from_secs(31);
+        // Raw score flips between well above and well below the
+        // threshold every epoch — the worst flapping input.
+        let mut episode_opens = Vec::new();
+        let mut last_count = 0;
+        for e in 0..40u64 {
+            let t = SimTime::ZERO + epoch * e;
+            let raw = if e % 2 == 0 { 30 } else { 0 };
+            r.observe_pressures(t, &[pressure(raw), pressure(0)]);
+            if r.stats().shed_episodes > last_count {
+                last_count = r.stats().shed_episodes;
+                episode_opens.push(t);
+            }
+        }
+        assert!(
+            episode_opens.len() >= 2,
+            "the input must actually open episodes for the bound to mean anything"
+        );
+        for pair in episode_opens.windows(2) {
+            assert!(
+                pair[1] - pair[0] >= cfg.shed_episode_window,
+                "episodes opened {:?} apart, inside the {:?} refractory window",
+                pair[1] - pair[0],
+                cfg.shed_episode_window
+            );
+        }
+    }
+
+    #[test]
+    fn sustained_heat_latches_within_bounded_epochs_and_cools_with_hysteresis() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        let epoch = SimDuration::from_secs(31);
+        // Sustained raw 30 (alpha 0.4): smoothed hits 12 on the first
+        // observation and must latch within a couple of epochs.
+        let mut latched_at = None;
+        for e in 0..4u64 {
+            let t = SimTime::ZERO + epoch * e;
+            r.observe_pressures(t, &[pressure(30)]);
+            if latched_at.is_none() && r.is_hot(0) {
+                latched_at = Some(e);
+            }
+        }
+        assert!(
+            latched_at.is_some_and(|e| e <= 3),
+            "a genuinely hot proxy must latch within 4 epochs"
+        );
+        // Dropping just under the threshold does NOT cool it: exit
+        // needs the full hysteresis margin below the threshold.
+        let t = SimTime::ZERO + epoch * 4u64;
+        r.observe_pressures(t, &[pressure(11)]);
+        assert!(r.is_hot(0), "inside the hysteresis band the episode holds");
+        // Sustained cold eventually crosses threshold - exit_margin.
+        let mut cooled_at = None;
+        for e in 5..20u64 {
+            let t = SimTime::ZERO + epoch * e;
+            r.observe_pressures(t, &[pressure(0)]);
+            if cooled_at.is_none() && !r.is_hot(0) {
+                cooled_at = Some(e);
+            }
+        }
+        assert!(cooled_at.is_some(), "sustained cold must close the episode");
+    }
+
+    #[test]
+    fn fenced_submission_fails_honestly_with_no_age() {
+        let mut r = FleetRouter::new(FleetRouterConfig::default());
+        let t = SimTime::from_hours(1);
+        r.fail_fenced(t, 1, past(4));
+        let done = r.take_completed();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].answer.source(), AnswerSource::Failed);
+        assert_eq!(done[0].answer_age, None);
+        assert_eq!(r.stats().failed_fenced, 1);
+        assert_eq!(r.open_tickets(), 0, "fenced refusals never leak a ticket");
     }
 
     #[test]

@@ -424,7 +424,9 @@ mod tests {
         // scan) and within a small multiple of log2(n).
         let keys: Vec<u64> = (0..512).collect();
         let g = build(&keys, 5);
-        let intro = g.introducer().unwrap();
+        // Fixed introducer: `introducer()` picks an arbitrary HashMap
+        // key, whose per-process hashing would make hop counts flaky.
+        let intro = 0;
         let mut total = 0u64;
         let mut count = 0u64;
         for target in (0..512).step_by(7) {
@@ -442,7 +444,8 @@ mod tests {
         let avg_hops = |n: u64, seed: u64| {
             let keys: Vec<u64> = (0..n).collect();
             let g = build(&keys, seed);
-            let intro = g.introducer().unwrap();
+            // Fixed introducer, as above: keep hop counts deterministic.
+            let intro = 0;
             let mut total = 0u64;
             let mut cnt = 0u64;
             for target in (0..n).step_by((n / 32).max(1) as usize) {

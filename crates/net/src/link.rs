@@ -188,6 +188,13 @@ pub struct LinkModel {
     rng: SimRng,
     frames_offered: u64,
     frames_lost: u64,
+    /// Hard gate: while set, every offered frame is lost regardless of
+    /// the loss process. Drivers use it for physical severances — a cut
+    /// mesh link during a split-brain window — that are deterministic,
+    /// unlike the stochastic fading the process models. The process
+    /// state does not advance while blocked, so a healed link resumes
+    /// exactly the fading trajectory it would have had.
+    blocked: bool,
 }
 
 impl LinkModel {
@@ -200,7 +207,18 @@ impl LinkModel {
             rng,
             frames_offered: 0,
             frames_lost: 0,
+            blocked: false,
         }
+    }
+
+    /// Sets the hard gate: a blocked link loses every offered frame.
+    pub fn set_blocked(&mut self, blocked: bool) {
+        self.blocked = blocked;
+    }
+
+    /// True while the hard gate is set.
+    pub fn is_blocked(&self) -> bool {
+        self.blocked
     }
 
     /// A perfect (wired) link; the RNG is unused.
@@ -211,6 +229,10 @@ impl LinkModel {
     /// Samples whether the next offered frame is delivered.
     pub fn deliver(&mut self) -> bool {
         self.frames_offered += 1;
+        if self.blocked {
+            self.frames_lost += 1;
+            return false;
+        }
         let lost = match &self.process {
             LossProcess::Perfect => false,
             LossProcess::Bernoulli(p) => self.rng.chance(*p),
@@ -377,6 +399,25 @@ mod tests {
         };
         assert_eq!(seq(3), seq(3));
         assert_ne!(seq(3), seq(4));
+    }
+
+    #[test]
+    fn blocked_link_loses_everything_and_heals_deterministically() {
+        let pattern: Arc<[bool]> = vec![true, true, false, true].into();
+        let mut gated = LinkModel::new(LossProcess::Scripted(pattern.clone()), SimRng::new(0));
+        let mut free = LinkModel::new(LossProcess::Scripted(pattern), SimRng::new(0));
+        gated.set_blocked(true);
+        assert!(gated.is_blocked());
+        for _ in 0..5 {
+            assert!(!gated.deliver(), "blocked link must lose every frame");
+        }
+        // Healing resumes the scripted trace where it would have been had
+        // the block never advanced the process.
+        gated.set_blocked(false);
+        let after_heal: Vec<bool> = (0..4).map(|_| gated.deliver()).collect();
+        let reference: Vec<bool> = (0..4).map(|_| free.deliver()).collect();
+        assert_eq!(after_heal, reference);
+        assert!(gated.observed_loss() > 0.0);
     }
 
     #[test]

@@ -132,6 +132,35 @@ impl PipelineAnswer {
             PipelineAnswer::Series(a) => a.latency,
         }
     }
+
+    /// The freshest underlying data instant this answer reflects, or
+    /// `None` when it reflects nothing (failed answers, empty ranges).
+    /// A series' provenance is its newest sample.
+    pub fn data_through(&self) -> Option<SimTime> {
+        match self {
+            PipelineAnswer::Scalar(a) => a.data_through,
+            PipelineAnswer::Series(a) => {
+                if a.source == crate::AnswerSource::Failed {
+                    None
+                } else {
+                    a.samples.last().map(|s| s.0)
+                }
+            }
+        }
+    }
+
+    /// How stale the answer is at serve time `t`: the gap between `t`
+    /// and the data instant the answer reflects. `None` when the answer
+    /// carries no data to be stale about.
+    pub fn age_at(&self, t: SimTime) -> Option<SimDuration> {
+        self.data_through().map(|dt| {
+            if t >= dt {
+                t - dt
+            } else {
+                SimDuration::ZERO
+            }
+        })
+    }
 }
 
 /// A query the pipeline has finished, successfully or honestly not.

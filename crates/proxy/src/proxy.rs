@@ -107,6 +107,14 @@ pub struct Answer {
     pub source: AnswerSource,
     /// Time from arrival to answer.
     pub latency: SimDuration,
+    /// The freshest underlying data instant this answer reflects — the
+    /// cached/pulled sample's timestamp, the prediction instant for
+    /// extrapolations (the push guarantee bounds the sensor *now*), or
+    /// the window end for aggregates. `None` for failed answers: a
+    /// sigma-∞ value has no staleness to reason about. Serve-time
+    /// `answer_age` is derived from this, so clients read staleness
+    /// directly instead of inferring it from sigma.
+    pub data_through: Option<SimTime>,
 }
 
 /// Answer to a PAST query.
@@ -548,6 +556,7 @@ impl PrestoProxy {
                     sigma: 0.0,
                     source: AnswerSource::CacheHit,
                     latency: SimDuration::from_millis(1),
+                    data_through: Some(s.t),
                 });
             }
         }
@@ -563,6 +572,9 @@ impl PrestoProxy {
                     sigma: p.sigma,
                     source: AnswerSource::Extrapolated,
                     latency: SimDuration::from_millis(2),
+                    // The push guarantee bounds the sensor's value *at
+                    // the prediction instant*: knowledge through `t`.
+                    data_through: Some(t),
                 });
             }
         }
@@ -571,6 +583,7 @@ impl PrestoProxy {
         if let Some((g, ids)) = &self.spatial {
             if let Some(target_idx) = ids.iter().position(|&i| i == sensor) {
                 let mut observed = Vec::new();
+                let mut freshest = SimTime::ZERO;
                 for (idx, &other) in ids.iter().enumerate() {
                     if other == sensor {
                         continue;
@@ -578,6 +591,7 @@ impl PrestoProxy {
                     if let Some(cs) = self.sensors[&other].cache.latest_at(t) {
                         if t - cs.t <= self.config.freshness {
                             observed.push((idx, cs.value));
+                            freshest = freshest.max(cs.t);
                         }
                     }
                 }
@@ -590,6 +604,9 @@ impl PrestoProxy {
                             sigma: p.sigma,
                             source: AnswerSource::SpatialExtrapolated,
                             latency: SimDuration::from_millis(2),
+                            // Conditioned on neighbors' samples: the
+                            // newest anchor bounds what it reflects.
+                            data_through: Some(freshest),
                         });
                     }
                 }
@@ -615,6 +632,7 @@ impl PrestoProxy {
                 sigma: f64::INFINITY,
                 source: AnswerSource::Failed,
                 latency: SimDuration::ZERO,
+                data_through: None,
             };
         }
         if let Some(a) = self.try_now_fast(t, sensor, tolerance) {
@@ -639,6 +657,7 @@ impl PrestoProxy {
                     sigma: tolerance / 2.0,
                     source: AnswerSource::Pulled,
                     latency,
+                    data_through: Some(last.0),
                 }
             }
             _ => {
@@ -654,6 +673,7 @@ impl PrestoProxy {
                     sigma,
                     source: AnswerSource::Failed,
                     latency,
+                    data_through: None,
                 }
             }
         }
@@ -796,6 +816,7 @@ impl PrestoProxy {
                 sigma: 0.0,
                 source: AnswerSource::CacheHit,
                 latency: SimDuration::from_millis(2),
+                data_through: Some(to),
             });
         }
         None
@@ -823,6 +844,7 @@ impl PrestoProxy {
                 sigma: f64::INFINITY,
                 source: AnswerSource::Failed,
                 latency: SimDuration::ZERO,
+                data_through: None,
             };
         }
         // Dense cache coverage: aggregate locally.
@@ -862,6 +884,7 @@ impl PrestoProxy {
                     sigma: if *count == 0 { f64::INFINITY } else { *sigma },
                     source: AnswerSource::Pulled,
                     latency,
+                    data_through: if *count == 0 { None } else { Some(to) },
                 };
             }
         }
@@ -871,6 +894,7 @@ impl PrestoProxy {
             sigma: f64::INFINITY,
             source: AnswerSource::Failed,
             latency,
+            data_through: None,
         }
     }
 
@@ -1218,6 +1242,7 @@ impl PrestoProxy {
                     sigma,
                     source: AnswerSource::Failed,
                     latency,
+                    data_through: None,
                 })
             }
             PipelineQuery::Past {
@@ -1245,6 +1270,7 @@ impl PrestoProxy {
                 sigma: f64::INFINITY,
                 source: AnswerSource::Failed,
                 latency,
+                data_through: None,
             }),
         }
     }
@@ -1260,11 +1286,12 @@ impl PrestoProxy {
     ) -> PipelineAnswer {
         match *query {
             PipelineQuery::Now { tolerance, .. } => match samples.last() {
-                Some(&(_, v)) => PipelineAnswer::Scalar(Answer {
+                Some(&(st, v)) => PipelineAnswer::Scalar(Answer {
                     value: v,
                     sigma: tolerance / 2.0,
                     source: AnswerSource::Pulled,
                     latency,
+                    data_through: Some(st),
                 }),
                 None => self.failed_answer(query, latency),
             },
@@ -1500,6 +1527,10 @@ impl PrestoProxy {
                             for q in served {
                                 let latency =
                                     (t - q.submitted_at) + attempt_latency + reply_air;
+                                let to = match &q.query {
+                                    PipelineQuery::Aggregate { to, .. } => Some(*to),
+                                    _ => None,
+                                };
                                 let answer = PipelineAnswer::Scalar(Answer {
                                     value: *value,
                                     // Codec/aging-derived bound; an
@@ -1511,6 +1542,7 @@ impl PrestoProxy {
                                     },
                                     source: AnswerSource::Pulled,
                                     latency,
+                                    data_through: if *count == 0 { None } else { to },
                                 });
                                 self.pipeline.stats.completed_pull += 1;
                                 self.pipeline.completed.push(CompletedQuery {

@@ -48,6 +48,39 @@ pub struct SharedBurst {
     pub to: SimTime,
 }
 
+/// One split-brain window: every proxy↔proxy mesh link crossing the
+/// `group` boundary is cut (both directions) in `[from, to)`, while
+/// sensor downlinks stay up. The cut is *asymmetric with respect to the
+/// fleet* — proxies on each side keep talking among themselves and keep
+/// serving their sensors, but heartbeats and forwards across the
+/// boundary die — which is exactly the failure a single omniscient
+/// membership observer cannot distinguish from a crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MeshPartition {
+    /// Proxies on one side of the cut (the complement is the other).
+    pub group: Vec<usize>,
+    /// First instant of the partition.
+    pub from: SimTime,
+    /// First instant after the partition heals.
+    pub to: SimTime,
+}
+
+/// One single-link mesh cut: only the `a`↔`b` proxy link is severed
+/// (both directions) in `[from, to)`. Unlike a [`MeshPartition`], no
+/// proxy loses contact with a majority, so quorum membership must keep
+/// everyone alive — the discriminating case for pairwise suspicion.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MeshLinkCut {
+    /// One endpoint proxy.
+    pub a: usize,
+    /// The other endpoint proxy.
+    pub b: usize,
+    /// First instant of the cut.
+    pub from: SimTime,
+    /// First instant after the cut heals.
+    pub to: SimTime,
+}
+
 /// A deterministic schedule of crashes and blackouts.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
@@ -61,6 +94,10 @@ pub struct FaultPlan {
     /// and become reachable again when they re-home to a survivor or
     /// the proxy reboots.
     proxy_crashes: Vec<CrashWindow>,
+    /// Split-brain windows over the proxy↔proxy mesh.
+    mesh_partitions: Vec<MeshPartition>,
+    /// Single-link mesh cuts.
+    mesh_link_cuts: Vec<MeshLinkCut>,
 }
 
 impl FaultPlan {
@@ -75,6 +112,8 @@ impl FaultPlan {
             && self.blackouts.is_empty()
             && self.shared_bursts.is_empty()
             && self.proxy_crashes.is_empty()
+            && self.mesh_partitions.is_empty()
+            && self.mesh_link_cuts.is_empty()
     }
 
     /// Adds a crash/reboot window for one node (builder style).
@@ -192,6 +231,46 @@ impl FaultPlan {
             .iter()
             .any(|c| c.node == proxy && c.down_from <= t && t < c.up_at)
     }
+
+    /// Adds a split-brain window (builder style): every mesh link
+    /// between `group` and its complement is cut in `[from, to)`.
+    pub fn with_mesh_partition(mut self, group: Vec<usize>, from: SimTime, to: SimTime) -> Self {
+        assert!(from <= to, "partition window must not be inverted");
+        self.mesh_partitions.push(MeshPartition { group, from, to });
+        self
+    }
+
+    /// Adds a single-link mesh cut (builder style): only the `a`↔`b`
+    /// proxy link is severed in `[from, to)`.
+    pub fn with_mesh_link_cut(mut self, a: usize, b: usize, from: SimTime, to: SimTime) -> Self {
+        assert!(from <= to, "link-cut window must not be inverted");
+        self.mesh_link_cuts.push(MeshLinkCut { a, b, from, to });
+        self
+    }
+
+    /// The scheduled split-brain windows.
+    pub fn mesh_partitions(&self) -> &[MeshPartition] {
+        &self.mesh_partitions
+    }
+
+    /// The scheduled single-link mesh cuts.
+    pub fn mesh_link_cuts(&self) -> &[MeshLinkCut] {
+        &self.mesh_link_cuts
+    }
+
+    /// True when the mesh link between proxies `a` and `b` is cut at
+    /// `t` — either a single-link cut names the pair, or a split-brain
+    /// window puts `a` and `b` on opposite sides of the boundary. The
+    /// cut is symmetric: `mesh_link_cut(a, b, t) == mesh_link_cut(b, a, t)`.
+    pub fn mesh_link_cut(&self, a: usize, b: usize, t: SimTime) -> bool {
+        self.mesh_partitions.iter().any(|p| {
+            p.from <= t && t < p.to && (p.group.contains(&a) != p.group.contains(&b))
+        }) || self.mesh_link_cuts.iter().any(|c| {
+            c.from <= t
+                && t < c.to
+                && ((c.a == a && c.b == b) || (c.a == b && c.b == a))
+        })
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +347,32 @@ mod tests {
         // A proxy blackout alone makes no *sensor* unreachable (the
         // driver derives sensor reachability from its serving proxy).
         assert!(!p.is_unreachable(1, t(150)));
+    }
+
+    #[test]
+    fn mesh_partition_cuts_exactly_the_boundary_links() {
+        let p = FaultPlan::none().with_mesh_partition(vec![2], t(100), t(200));
+        assert!(!p.is_empty());
+        // Boundary links are cut, symmetrically, only inside the window.
+        assert!(p.mesh_link_cut(0, 2, t(100)));
+        assert!(p.mesh_link_cut(2, 0, t(150)));
+        assert!(p.mesh_link_cut(1, 2, t(199)));
+        assert!(!p.mesh_link_cut(0, 2, t(99)));
+        assert!(!p.mesh_link_cut(0, 2, t(200)), "healed at `to`");
+        // Same-side links stay up — downlinks are untouched by design.
+        assert!(!p.mesh_link_cut(0, 1, t(150)));
+        assert!(!p.is_unreachable(2, t(150)), "partitioned proxy is alive");
+    }
+
+    #[test]
+    fn single_link_cut_severs_one_pair_only() {
+        let p = FaultPlan::none().with_mesh_link_cut(0, 2, t(10), t(20));
+        assert!(!p.is_empty());
+        assert!(p.mesh_link_cut(0, 2, t(10)));
+        assert!(p.mesh_link_cut(2, 0, t(19)), "cut is symmetric");
+        assert!(!p.mesh_link_cut(0, 2, t(20)));
+        assert!(!p.mesh_link_cut(0, 1, t(15)));
+        assert!(!p.mesh_link_cut(1, 2, t(15)));
     }
 
     #[test]
