@@ -54,6 +54,14 @@ pub struct FlashStats {
     pub bytes_read: u64,
 }
 
+presto_telemetry::observe_counters!(FlashStats {
+    programs,
+    reads,
+    erases,
+    bytes_written,
+    bytes_read,
+});
+
 /// A simulated flash device.
 #[derive(Clone, Debug)]
 pub struct FlashDevice {

@@ -193,6 +193,15 @@ pub struct ArchiveStats {
     pub pages_pruned: u64,
 }
 
+presto_telemetry::observe_counters!(ArchiveStats {
+    records_appended,
+    segments_reclaimed,
+    samples_aged,
+    page_cache_hits,
+    page_cache_misses,
+    pages_pruned,
+});
+
 /// A bounded LRU of decoded pages, keyed by absolute page index.
 ///
 /// Pages are immutable between program and block erase, so entries stay

@@ -14,6 +14,7 @@
 
 use presto_bench::experiments::render_json;
 use presto_bench::fleet::{fleet_scenario, FleetScenarioConfig};
+use presto_bench::report::{render_summary, write_bench_json, BenchJson, MetricLine};
 
 fn main() {
     let arg = std::env::args().nth(1);
@@ -41,8 +42,43 @@ fn main() {
             &r
         )
     );
+    // The shared benchmark artifact: stable grep lines on stdout plus
+    // the machine-readable BENCH_fleet.json next to the run.
+    let bench = BenchJson {
+        scenario: "fleet".into(),
+        throughput_ratio: r.throughput_ratio,
+        arms: vec![
+            r.shed_on.summarize("shed-on"),
+            r.shed_off.summarize("shed-off"),
+        ],
+        metrics: r
+            .shed_on
+            .metrics
+            .iter()
+            .map(|(k, v)| MetricLine {
+                key: k.clone(),
+                value: *v,
+            })
+            .collect(),
+    };
+    print!("{}", render_summary(&bench));
     let mut failures = Vec::new();
+    if let Err(e) = write_bench_json("BENCH_fleet.json", &bench) {
+        failures.push(format!("could not write BENCH_fleet.json: {e}"));
+    }
     for (label, arm) in [("shed-on", &r.shed_on), ("shed-off", &r.shed_off)] {
+        if arm.trace_terminals != arm.submitted || arm.trace_bad > 0 || arm.trace_orphans > 0 {
+            failures.push(format!(
+                "{label}: trace audit failed ({} terminals for {} submitted, {} malformed, {} orphans)",
+                arm.trace_terminals, arm.submitted, arm.trace_bad, arm.trace_orphans
+            ));
+        }
+        if arm.answer_age_missing > 0 {
+            failures.push(format!(
+                "{label}: {} real answers missing answer_age",
+                arm.answer_age_missing
+            ));
+        }
         if arm.completed != arm.submitted {
             failures.push(format!(
                 "{label}: {} of {} queries never terminated",

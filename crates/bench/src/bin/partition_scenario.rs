@@ -15,6 +15,7 @@
 
 use presto_bench::experiments::render_json;
 use presto_bench::partition::{partition_scenario, PartitionScenarioConfig};
+use presto_bench::report::{render_summary, write_bench_json, BenchJson, MetricLine};
 
 fn main() {
     let arg = std::env::args().nth(1);
@@ -44,11 +45,44 @@ fn main() {
             &r
         )
     );
+    let bench = BenchJson {
+        scenario: "partition".into(),
+        throughput_ratio: r.throughput_ratio,
+        arms: vec![
+            r.with_partition.summarize("with-partition"),
+            r.without_partition.summarize("no-partition"),
+        ],
+        metrics: r
+            .with_partition
+            .metrics
+            .iter()
+            .map(|(k, v)| MetricLine {
+                key: k.clone(),
+                value: *v,
+            })
+            .collect(),
+    };
+    print!("{}", render_summary(&bench));
     let mut failures = Vec::new();
+    if let Err(e) = write_bench_json("BENCH_partition.json", &bench) {
+        failures.push(format!("could not write BENCH_partition.json: {e}"));
+    }
     for (label, arm) in [
         ("with-partition", &r.with_partition),
         ("no-partition", &r.without_partition),
     ] {
+        if arm.trace_terminals != arm.submitted || arm.trace_bad > 0 || arm.trace_orphans > 0 {
+            failures.push(format!(
+                "{label}: trace audit failed ({} terminals for {} submitted, {} malformed, {} orphans)",
+                arm.trace_terminals, arm.submitted, arm.trace_bad, arm.trace_orphans
+            ));
+        }
+        if arm.recorder_chains_bad > 0 {
+            failures.push(format!(
+                "{label}: flight recorder lost or malformed {} failed-query cause chains",
+                arm.recorder_chains_bad
+            ));
+        }
         if arm.completed != arm.submitted {
             failures.push(format!(
                 "{label}: {} of {} queries never terminated",

@@ -11,6 +11,7 @@
 
 use presto_bench::experiments::render_json;
 use presto_bench::query_pipeline::{query_pipeline, QueryPipelineConfig};
+use presto_bench::report::{render_summary, write_bench_json, ArmSummary, BenchJson};
 
 fn main() {
     let arg = std::env::args().nth(1);
@@ -38,7 +39,40 @@ fn main() {
             &r
         )
     );
+    let bench = BenchJson {
+        scenario: "query_pipeline".into(),
+        throughput_ratio: r.speedup,
+        arms: vec![
+            ArmSummary {
+                arm: "pipeline".into(),
+                submitted: r.submitted,
+                answered_ok: r.answered_ok,
+                failed: r.failed,
+                queries_per_sec: r.pipeline_throughput_qph / 3600.0,
+                latency_p50_s: r.pipeline_latency.p50_s,
+                latency_p90_s: r.pipeline_latency.p95_s,
+                latency_p99_s: r.pipeline_latency.p99_s,
+                ..ArmSummary::default()
+            },
+            ArmSummary {
+                arm: "serialized-baseline".into(),
+                submitted: r.submitted,
+                answered_ok: r.baseline_ok,
+                failed: r.baseline_served - r.baseline_ok,
+                queries_per_sec: r.baseline_throughput_qph / 3600.0,
+                latency_p50_s: r.baseline_latency.p50_s,
+                latency_p90_s: r.baseline_latency.p95_s,
+                latency_p99_s: r.baseline_latency.p99_s,
+                ..ArmSummary::default()
+            },
+        ],
+        metrics: Vec::new(),
+    };
+    print!("{}", render_summary(&bench));
     let mut failures = Vec::new();
+    if let Err(e) = write_bench_json("BENCH_query_pipeline.json", &bench) {
+        failures.push(format!("could not write BENCH_query_pipeline.json: {e}"));
+    }
     if r.completed != r.submitted {
         failures.push(format!(
             "{} of {} queries never terminated",

@@ -139,6 +139,56 @@ pub struct FleetArmReport {
     pub leaked_rpcs: u64,
     /// Leaked in-flight mesh messages.
     pub leaked_mesh: u64,
+    /// Terminal-latency p90, seconds.
+    pub p90_s: f64,
+    /// Real answers carrying an explicit serve-time age.
+    pub answer_age_count: u64,
+    /// Real data-carrying answers missing the age stamp (must be 0).
+    pub answer_age_missing: u64,
+    /// Answer-age p50, seconds.
+    pub answer_age_p50_s: f64,
+    /// Finished query traces collected from the router tracer.
+    pub trace_terminals: u64,
+    /// Traces with ≠1 terminal or non-monotone timestamps (must be 0).
+    pub trace_bad: u64,
+    /// Open trace logs (router + pipelines) after drain (must be 0).
+    pub trace_orphans: u64,
+    /// Downlink request retransmissions (home channels).
+    pub retransmits: u64,
+    /// Payload bytes the sensors offered to the MAC.
+    pub radio_bytes: u64,
+    /// Total sensor-tier energy, joules.
+    pub sensor_energy_j: f64,
+    /// The flattened unified-telemetry snapshot (the BENCH artifact
+    /// rows).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl FleetArmReport {
+    /// This arm's row in the shared benchmark artifact.
+    pub fn summarize(&self, arm: &str) -> crate::report::ArmSummary {
+        crate::report::ArmSummary {
+            arm: arm.to_string(),
+            submitted: self.submitted,
+            answered_ok: self.answered_ok,
+            failed: self.failed,
+            queries_per_sec: self.throughput_qph / 3600.0,
+            latency_p50_s: self.p50_s,
+            latency_p90_s: self.p90_s,
+            latency_p99_s: self.p99_s,
+            answer_age_count: self.answer_age_count,
+            answer_age_missing: self.answer_age_missing,
+            answer_age_p50_s: self.answer_age_p50_s,
+            shed: self.shed,
+            rehomed: self.rehomed,
+            retransmits: self.retransmits,
+            radio_bytes: self.radio_bytes,
+            sensor_energy_j: self.sensor_energy_j,
+            trace_terminals: self.trace_terminals,
+            trace_bad: self.trace_bad,
+            trace_orphans: self.trace_orphans,
+        }
+    }
 }
 
 /// Scenario result: both arms plus the headline comparisons.
@@ -154,6 +204,10 @@ pub struct FleetScenarioReport {
     pub shed_off: FleetArmReport,
     /// `shed_on.throughput / shed_off.throughput`.
     pub throughput_gain: f64,
+    /// The shared-artifact alias for [`FleetScenarioReport::throughput_gain`]
+    /// — every scenario report emits `throughput_ratio` under the same
+    /// key.
+    pub throughput_ratio: f64,
     /// `shed_off.p99 / shed_on.p99`.
     pub p99_gain: f64,
 }
@@ -187,6 +241,10 @@ fn fleet(cfg: &FleetScenarioConfig, shed: bool) -> FleetDeployment {
     // per epoch through it, so the Zipf-hot proxy saturates while its
     // peers idle — exactly the imbalance shedding exists to absorb.
     sys_cfg.proxy.pipeline.epoch_attempt_budget = 8;
+    // Full trace spans: the router traces by default; turning the
+    // pipeline tracer on too gets per-RPC attempt/retransmit/defer
+    // events spliced into every fleet trace for the BENCH artifact.
+    sys_cfg.proxy.pipeline.trace = true;
     // A bounded summary cache (the paper's "cache of summary
     // information"): the queryable age band below is deliberately
     // larger than this, so the workload's working set does not fit and
@@ -266,11 +324,15 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
     let mut per_proxy_submitted = vec![0u64; cfg.proxies];
     let mut per_proxy_ok = vec![0u64; cfg.proxies];
     let mut latencies = Summary::new();
+    let mut ages = Summary::new();
     let mut answered_ok = 0u64;
     let mut failed = 0u64;
     let mut forwarded_ok = 0u64;
     let mut stale_confident = 0u64;
     let mut completed = 0u64;
+    let mut answer_age_missing = 0u64;
+    let mut trace_terminals = 0u64;
+    let mut trace_bad = 0u64;
 
     // NOW queries answer "the value when you asked" (the pipeline's
     // value-identity contract anchors at submission), so the
@@ -305,6 +367,21 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
                 if c.forwarded {
                     forwarded_ok += 1;
                 }
+                match c.answer_age {
+                    Some(age) => ages.record(age.as_secs_f64()),
+                    // Aggregates over empty ranges honestly carry no
+                    // age; anything else must be stamped.
+                    None => {
+                        let empty_aggregate = matches!(
+                            (&c.query, &c.answer),
+                            (PipelineQuery::Aggregate { .. }, PipelineAnswer::Scalar(a))
+                                if a.sigma.is_infinite()
+                        );
+                        if !empty_aggregate {
+                            answer_age_missing += 1;
+                        }
+                    }
+                }
                 // Stale-confidence probe on NOW answers: an answer
                 // claiming sigma within the tolerance must sit near
                 // the truth at submission (generous slack for the
@@ -324,6 +401,14 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
                 }
             } else {
                 failed += 1;
+            }
+        }
+        // Drain finished traces each epoch (bounded FIFO) and audit
+        // well-formedness as they stream out.
+        for tr in fleet.router.tracer_mut().take_finished() {
+            trace_terminals += 1;
+            if tr.terminal_count() != 1 || !tr.is_monotone() {
+                trace_bad += 1;
             }
         }
     }
@@ -361,6 +446,11 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
     };
     let leaks = fleet.leaks();
     let ps = fleet.system.pipeline_stats();
+    let snap = fleet.telemetry_snapshot();
+    let trace_orphans = fleet.router.tracer().open_count() as u64
+        + (0..cfg.proxies)
+            .map(|p| fleet.system.proxies[p].pipeline().tracer().open_count() as u64)
+            .sum::<u64>();
     FleetArmReport {
         submitted,
         completed,
@@ -383,6 +473,17 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
         leaked_pipeline: leaks.pipeline_pending as u64,
         leaked_rpcs: leaks.rpcs_in_flight as u64,
         leaked_mesh: leaks.mesh_in_flight as u64,
+        p90_s: latencies.quantile(0.90),
+        answer_age_count: ages.count() as u64,
+        answer_age_missing,
+        answer_age_p50_s: ages.median(),
+        trace_terminals,
+        trace_bad,
+        trace_orphans,
+        retransmits: snap.get("downlink.retransmits").unwrap_or(0.0) as u64,
+        radio_bytes: snap.get("sensor.bytes_sent").unwrap_or(0.0) as u64,
+        sensor_energy_j: fleet.system.sensor_ledger_total().total(),
+        metrics: snap.flatten(),
     }
 }
 
@@ -406,6 +507,7 @@ pub fn fleet_scenario(cfg: &FleetScenarioConfig) -> FleetScenarioReport {
         shed_on,
         shed_off,
         throughput_gain,
+        throughput_ratio: throughput_gain,
         p99_gain,
     }
 }
@@ -429,6 +531,18 @@ mod tests {
             assert_eq!(arm.leaked_rpcs, 0, "({label}) {arm:?}");
             assert_eq!(arm.leaked_mesh, 0, "({label}) {arm:?}");
             assert!(arm.rehomed >= 2, "crash must re-home sensors ({label}): {arm:?}");
+            assert_eq!(
+                arm.trace_terminals, arm.submitted,
+                "every query yields exactly one finished trace ({label})"
+            );
+            assert_eq!(arm.trace_bad, 0, "malformed traces ({label})");
+            assert_eq!(arm.trace_orphans, 0, "orphan traces after drain ({label})");
+            assert_eq!(arm.answer_age_missing, 0, "unstamped answers ({label})");
+            assert!(arm.answer_age_count > 0, "no answer carried an age ({label})");
+            assert!(
+                arm.metrics.iter().any(|(k, v)| k == "pipeline.rpcs_issued" && *v > 0.0),
+                "telemetry snapshot missing pipeline counters ({label})"
+            );
         }
         assert!(r.shed_on.shed > 0, "hot proxy never shed: {:?}", r.shed_on);
         assert!(

@@ -13,6 +13,7 @@ pub mod figure2;
 pub mod fleet;
 pub mod partition;
 pub mod query_pipeline;
+pub mod report;
 pub mod table1;
 
 /// Renders a JSON value for machine-readable output next to each table.

@@ -123,6 +123,59 @@ pub struct PartitionArmReport {
     pub leaked_rpcs: u64,
     /// Leaked in-flight mesh messages.
     pub leaked_mesh: u64,
+    /// Terminal-latency p50 / p90, seconds.
+    pub p50_s: f64,
+    /// p90.
+    pub p90_s: f64,
+    /// Finished query traces collected from the router tracer.
+    pub trace_terminals: u64,
+    /// Traces with ≠1 terminal or non-monotone timestamps (must be 0).
+    pub trace_bad: u64,
+    /// Open trace logs (router + pipelines) after drain (must be 0).
+    pub trace_orphans: u64,
+    /// Failed / fenced terminals whose full cause chain the flight
+    /// recorder reproduces (begins `Submitted`, exactly one terminal,
+    /// matching cause).
+    pub recorder_chains_ok: u64,
+    /// Failed terminals the recorder lost or retained malformed (must
+    /// be 0 — the post-mortem guarantee).
+    pub recorder_chains_bad: u64,
+    /// Downlink request retransmissions (home channels).
+    pub retransmits: u64,
+    /// Payload bytes the sensors offered to the MAC.
+    pub radio_bytes: u64,
+    /// Total sensor-tier energy, joules.
+    pub sensor_energy_j: f64,
+    /// The flattened unified-telemetry snapshot (the BENCH artifact
+    /// rows).
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl PartitionArmReport {
+    /// This arm's row in the shared benchmark artifact.
+    pub fn summarize(&self, arm: &str) -> crate::report::ArmSummary {
+        crate::report::ArmSummary {
+            arm: arm.to_string(),
+            submitted: self.submitted,
+            answered_ok: self.answered_ok,
+            failed: self.failed,
+            queries_per_sec: self.throughput_qph / 3600.0,
+            latency_p50_s: self.p50_s,
+            latency_p90_s: self.p90_s,
+            latency_p99_s: self.p99_s,
+            answer_age_count: self.answered_ok - self.answer_age_missing,
+            answer_age_missing: self.answer_age_missing,
+            answer_age_p50_s: self.answer_age_p50_s,
+            shed: 0,
+            rehomed: self.rehomed,
+            retransmits: self.retransmits,
+            radio_bytes: self.radio_bytes,
+            sensor_energy_j: self.sensor_energy_j,
+            trace_terminals: self.trace_terminals,
+            trace_bad: self.trace_bad,
+            trace_orphans: self.trace_orphans,
+        }
+    }
 }
 
 /// Scenario result: both arms plus the headline comparison.
@@ -162,6 +215,10 @@ fn fleet(cfg: &PartitionScenarioConfig, partition: bool) -> FleetDeployment {
     }
     sys_cfg.proxy.pipeline.epoch_attempt_budget = 8;
     sys_cfg.proxy.cache_capacity = 700;
+    // Full trace spans: per-RPC pipeline events spliced into every
+    // fleet trace, and the flight recorder retaining each failed /
+    // fenced query's cause chain for the post-mortem checks below.
+    sys_cfg.proxy.pipeline.trace = true;
     if partition {
         let (start_m, len_m) = cfg.cut_minutes;
         let from = SimTime::from_hours(cfg.warmup_hours) + SimDuration::from_mins(start_m);
@@ -231,6 +288,9 @@ fn run_arm(cfg: &PartitionScenarioConfig, partition: bool) -> PartitionArmReport
     let mut answer_age_missing = 0u64;
     let mut fenced_epochs = 0u64;
     let mut double_served_epochs = 0u64;
+    let mut trace_terminals = 0u64;
+    let mut trace_bad = 0u64;
+    let mut failed_tickets: Vec<u64> = Vec::new();
 
     let mut truth_at_submit: std::collections::HashMap<u64, f64> =
         std::collections::HashMap::new();
@@ -306,12 +366,49 @@ fn run_arm(cfg: &PartitionScenarioConfig, partition: bool) -> PartitionArmReport
                 }
             } else {
                 failed += 1;
+                failed_tickets.push(c.ticket);
+            }
+        }
+        for tr in fleet.router.tracer_mut().take_finished() {
+            trace_terminals += 1;
+            if tr.terminal_count() != 1 || !tr.is_monotone() {
+                trace_bad += 1;
+            }
+        }
+    }
+
+    // Post-mortem guarantee: the flight recorder reproduces the full
+    // cause chain — from `Submitted` to the one terminal — for every
+    // failed or fenced query.
+    let mut recorder_chains_ok = 0u64;
+    let mut recorder_chains_bad = 0u64;
+    {
+        use presto_telemetry::SpanEvent;
+        let rec = fleet.router.tracer().recorder();
+        for &ticket in &failed_tickets {
+            let well_formed = rec.find(ticket).is_some_and(|tr| {
+                tr.events.first().map(|e| &e.event) == Some(&SpanEvent::Submitted)
+                    && tr.terminal_count() == 1
+                    && tr.is_monotone()
+                    && tr.cause().is_some_and(|c| {
+                        c != presto_telemetry::CompletionCause::Ok
+                    })
+            });
+            if well_formed {
+                recorder_chains_ok += 1;
+            } else {
+                recorder_chains_bad += 1;
             }
         }
     }
 
     let leaks = fleet.leaks();
     let ms = fleet.membership().stats();
+    let snap = fleet.telemetry_snapshot();
+    let trace_orphans = fleet.router.tracer().open_count() as u64
+        + (0..cfg.proxies)
+            .map(|p| fleet.system.proxies[p].pipeline().tracer().open_count() as u64)
+            .sum::<u64>();
     PartitionArmReport {
         submitted,
         completed,
@@ -332,6 +429,17 @@ fn run_arm(cfg: &PartitionScenarioConfig, partition: bool) -> PartitionArmReport
         leaked_pipeline: leaks.pipeline_pending as u64,
         leaked_rpcs: leaks.rpcs_in_flight as u64,
         leaked_mesh: leaks.mesh_in_flight as u64,
+        p50_s: latencies.median(),
+        p90_s: latencies.quantile(0.90),
+        trace_terminals,
+        trace_bad,
+        trace_orphans,
+        recorder_chains_ok,
+        recorder_chains_bad,
+        retransmits: snap.get("downlink.retransmits").unwrap_or(0.0) as u64,
+        radio_bytes: snap.get("sensor.bytes_sent").unwrap_or(0.0) as u64,
+        sensor_energy_j: fleet.system.sensor_ledger_total().total(),
+        metrics: snap.flatten(),
     }
 }
 
@@ -376,6 +484,17 @@ mod tests {
             assert_eq!(arm.leaked_pipeline, 0, "({label}) {arm:?}");
             assert_eq!(arm.leaked_rpcs, 0, "({label}) {arm:?}");
             assert_eq!(arm.leaked_mesh, 0, "({label}) {arm:?}");
+            assert_eq!(
+                arm.trace_terminals, arm.submitted,
+                "every query yields exactly one finished trace ({label})"
+            );
+            assert_eq!(arm.trace_bad, 0, "malformed traces ({label})");
+            assert_eq!(arm.trace_orphans, 0, "orphan traces after drain ({label})");
+            assert_eq!(
+                arm.recorder_chains_bad, 0,
+                "flight recorder must reproduce every failed query's cause chain ({label})"
+            );
+            assert_eq!(arm.recorder_chains_ok, arm.failed, "({label})");
         }
         let w = &r.with_partition;
         assert!(w.fenced_epochs > 0, "minority never fenced: {w:?}");

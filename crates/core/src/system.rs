@@ -27,6 +27,7 @@ use presto_reliability::{
 };
 use presto_sensor::{PushPolicy, SensorConfig, SensorNode};
 use presto_sim::{EnergyCategory, EnergyLedger, FaultPlan, SimDuration, SimRng, SimTime};
+use presto_telemetry::{EpochProfiler, Snapshot};
 use presto_workloads::{LabDeployment, LabParams};
 
 /// Event type code used for rare-event reports.
@@ -59,6 +60,10 @@ pub struct SystemConfig {
     pub reliability: ReliabilityConfig,
     /// Injected crash/reboot and blackout schedule.
     pub faults: FaultPlan,
+    /// Profile the epoch pump's phases (wall-clock timers and work
+    /// counts). On by default — the timers cost one `Instant` read per
+    /// phase; disabled, the profiler never touches the clock.
+    pub profile: bool,
 }
 
 impl Default for SystemConfig {
@@ -80,6 +85,7 @@ impl Default for SystemConfig {
             },
             reliability: ReliabilityConfig::default(),
             faults: FaultPlan::none(),
+            profile: true,
         }
     }
 }
@@ -161,6 +167,8 @@ pub struct PrestoSystem {
     /// Epoch start of the previous fault-gate evaluation (reboot edge
     /// detection).
     last_fault_check: SimTime,
+    /// Phase timers over the epoch pump.
+    profiler: EpochProfiler,
 }
 
 impl PrestoSystem {
@@ -288,6 +296,7 @@ impl PrestoSystem {
             last_train_check: SimTime::ZERO,
             last_beacon: SimTime::ZERO,
             last_fault_check: SimTime::ZERO,
+            profiler: EpochProfiler::new(config.profile),
             config,
         }
     }
@@ -340,6 +349,7 @@ impl PrestoSystem {
     /// Returns the epoch's start time — the instant a following pump
     /// pass should use.
     pub fn step_epoch_core(&mut self) -> SimTime {
+        let timer = self.profiler.begin();
         let t = self.now();
         self.epoch_index += 1;
         // Everything offered this epoch that survives the channel is
@@ -568,6 +578,8 @@ impl PrestoSystem {
                 self.correctors[gid].observe_beacon(local, t);
             }
         }
+        self.profiler.end("step_epoch_core", timer);
+        self.profiler.epoch();
         t
     }
 
@@ -579,6 +591,8 @@ impl PrestoSystem {
     /// in-flight pulls across epochs. Deployment-tier drivers replace
     /// this with their own pump (shedding, cross-proxy channels).
     pub fn pump_pipelines(&mut self, t: SimTime) {
+        let timer = self.profiler.begin();
+        let mut attempts = 0u64;
         for p in 0..self.config.proxies {
             if self.config.faults.proxy_down(p, t) {
                 continue;
@@ -598,7 +612,10 @@ impl PrestoSystem {
                 })
                 .collect();
             self.proxies[p].pump_queries_view(t, &mut view);
+            attempts += self.proxies[p].pipeline().last_pump_attempts() as u64;
         }
+        self.profiler.end("pump_pipelines", timer);
+        self.profiler.count("pump_pipelines", attempts);
     }
 
     /// Current serving proxy per sensor (flat global ids).
@@ -763,15 +780,7 @@ impl PrestoSystem {
     pub fn pipeline_stats(&self) -> PipelineStats {
         let mut total = PipelineStats::default();
         for p in &self.proxies {
-            let s = p.pipeline().stats();
-            total.submitted += s.submitted;
-            total.completed_fast += s.completed_fast;
-            total.completed_pull += s.completed_pull;
-            total.completed_cached += s.completed_cached;
-            total.failed += s.failed;
-            total.coalesced += s.coalesced;
-            total.rpcs_issued += s.rpcs_issued;
-            total.max_in_flight = total.max_in_flight.max(s.max_in_flight);
+            total.merge(&p.pipeline().stats());
         }
         total
     }
@@ -806,20 +815,7 @@ impl PrestoSystem {
     pub fn downlink_stats(&self) -> DownlinkStats {
         let mut total = DownlinkStats::default();
         for ch in self.downlinks.iter().flatten() {
-            let s = ch.stats();
-            total.rpcs += s.rpcs;
-            total.delivered += s.delivered;
-            total.retransmits += s.retransmits;
-            total.requests_lost += s.requests_lost;
-            total.replies_lost += s.replies_lost;
-            total.rpc_failures += s.rpc_failures;
-            total.dropped_budget += s.dropped_budget;
-            total.blocked_link_down += s.blocked_link_down;
-            total.duplicate_replies += s.duplicate_replies;
-            total.async_submitted += s.async_submitted;
-            total.async_expired += s.async_expired;
-            total.deferred_budget += s.deferred_budget;
-            total.max_in_flight = total.max_in_flight.max(s.max_in_flight);
+            total.merge(&ch.stats());
         }
         total
     }
@@ -832,6 +828,42 @@ impl PrestoSystem {
     /// Gap/recovery counters.
     pub fn recovery_stats(&self) -> RecoveryStats {
         self.gaps.stats()
+    }
+
+    /// Phase timers over the epoch pump.
+    pub fn profiler(&self) -> &EpochProfiler {
+        &self.profiler
+    }
+
+    /// Mutable profiler access: the fleet deployment times its own
+    /// phases (mesh, membership, fleet pump) into the same read-out.
+    pub fn profiler_mut(&mut self) -> &mut EpochProfiler {
+        &mut self.profiler
+    }
+
+    /// One unified metrics snapshot across every tier this system
+    /// holds. Per-proxy and per-sensor counters are *observed* into
+    /// shared sections, which sums them — the same aggregation a
+    /// multi-proxy fleet report needs, with `max`-annotated fields
+    /// (peak in-flight) taking the maximum instead.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = Snapshot::new();
+        let root = &mut snap.root;
+        for p in &self.proxies {
+            root.observe("proxy", &p.stats());
+            root.observe("pipeline", &p.pipeline().stats());
+        }
+        root.observe("downlink", &self.downlink_stats());
+        root.observe("fabric", &self.fabric.stats());
+        root.observe("liveness", &self.liveness.stats());
+        root.observe("recovery", &self.gaps.stats());
+        for n in self.nodes.iter().flatten() {
+            root.observe("sensor", &n.stats());
+            root.observe("flash", &n.archive().flash_stats());
+            root.observe("archive", &n.archive().stats());
+        }
+        root.observe("profiler", &self.profiler);
+        snap
     }
 
     /// The injected fault plan.

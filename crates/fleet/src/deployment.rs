@@ -19,6 +19,7 @@ use presto_proxy::{PipelineQuery, PumpSensor};
 use presto_reliability::{DownlinkChannel, Health};
 use presto_sensor::SensorNode;
 use presto_sim::{FaultPlan, FleetArrival, QueryKind, SimDuration, SimTime};
+use presto_telemetry::Snapshot;
 
 use crate::interlink::{FleetMsg, InterLinkConfig, InterLinkMesh};
 use crate::membership::{FleetMembership, FleetMembershipConfig};
@@ -338,6 +339,7 @@ impl FleetDeployment {
         let proxies = self.system.config().proxies;
         let faults = self.system.faults().clone();
         let up: Vec<bool> = (0..proxies).map(|p| !faults.proxy_down(p, t)).collect();
+        let mesh_timer = self.system.profiler().begin();
         for (p, &u) in up.iter().enumerate() {
             self.mesh.set_up(p, u);
             // Crash onset: the proxy's cross-proxy channels are its
@@ -388,7 +390,9 @@ impl FleetDeployment {
                 other => deferred.push((dst, other)),
             }
         }
+        self.system.profiler_mut().end("fleet_mesh", mesh_timer);
 
+        let membership_timer = self.system.profiler().begin();
         // 4. Quorum membership: declarations trigger failover, and the
         // fencing state refreshes. A proxy crossing the fenced→unfenced
         // edge (partition healed, quorum regained) re-syncs through an
@@ -404,7 +408,9 @@ impl FleetDeployment {
             }
             self.fenced[p] = now_fenced;
         }
+        self.system.profiler_mut().end("fleet_membership", membership_timer);
 
+        let deliver_timer = self.system.profiler().begin();
         // 5. Deferred mesh traffic: adopt forwards, consume answers.
         for (dst, msg) in deferred {
             match msg {
@@ -444,17 +450,36 @@ impl FleetDeployment {
             chan.set_link_up(up[*fp] && !faults.is_unreachable(*gid as usize, t));
             chan.tick(t);
         }
+        self.system.profiler_mut().end("fleet_deliver", deliver_timer);
 
         // 7. Fleet pump: each live, unfenced proxy serves its current
         // view; fenced proxies pump empty (honest expiry still runs,
         // no radio).
+        let pump_timer = self.system.profiler().begin();
         self.pump_fleet(t, &faults);
+        let pumped = self.pump_log.len() as u64;
+        self.system.profiler_mut().end("fleet_pump", pump_timer);
+        self.system.profiler_mut().count("fleet_pump", pumped);
 
         // 8. Collect pipeline completions; answers produced away from
         // their entry proxy ride the mesh home.
+        let collect_timer = self.system.profiler().begin();
         for p in 0..proxies {
             if !up[p] {
                 continue;
+            }
+            // Splice each finished pipeline trace into its open fleet
+            // trace *before* the completions below consume the
+            // proxy-ticket bindings the lookup needs.
+            if self.router.tracer().enabled()
+                && self.system.proxies[p].pipeline().tracer().enabled()
+            {
+                for ptrace in self.system.proxies[p].pipeline_mut().tracer_mut().take_finished()
+                {
+                    if let Some(ticket) = self.router.fleet_ticket(p, ptrace.ticket) {
+                        self.router.tracer_mut().absorb(ticket, ptrace.events);
+                    }
+                }
             }
             for c in self.system.proxies[p].take_completed_queries() {
                 if let Some((ticket, entry)) = self.router.on_pipeline_completion(t, p, &c) {
@@ -479,6 +504,19 @@ impl FleetDeployment {
         self.refresh_depletions();
         let pressures: Vec<ProxyPressure> = (0..proxies).map(|p| self.pressure(p)).collect();
         self.router.observe_pressures(t, &pressures);
+        self.system.profiler_mut().end("fleet_collect", collect_timer);
+    }
+
+    /// One unified metrics snapshot across every tier: the system's
+    /// (proxies, pipelines, downlinks, fabric, sensors, profiler) plus
+    /// the fleet tier's router, membership, and mesh counters.
+    pub fn telemetry_snapshot(&self) -> Snapshot {
+        let mut snap = self.system.telemetry_snapshot();
+        let root = &mut snap.root;
+        root.observe("fleet_router", &self.router.stats());
+        root.observe("membership", &self.membership.stats());
+        root.observe("interlink", &self.mesh.stats());
+        snap
     }
 
     /// Opens (once) the cross-proxy downlink channel `driver` uses to
@@ -619,7 +657,7 @@ impl FleetDeployment {
             {
                 continue;
             }
-            self.router.mark_rerouted(ticket, serving);
+            self.router.mark_rerouted(t, ticket, serving);
             if serving == entry {
                 let pt = self.system.proxies[serving].submit_query_with_deadline(
                     t,

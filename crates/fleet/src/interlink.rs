@@ -118,6 +118,31 @@ pub struct InterLinkStats {
     pub acks_lost: u64,
 }
 
+impl InterLinkStats {
+    /// Folds another mesh's counters into this one.
+    pub fn merge(&mut self, other: &InterLinkStats) {
+        self.sent += other.sent;
+        self.delivered += other.delivered;
+        self.lost += other.lost;
+        self.retransmits += other.retransmits;
+        self.dropped += other.dropped;
+        self.ack_exhausted += other.ack_exhausted;
+        self.duplicates += other.duplicates;
+        self.acks_lost += other.acks_lost;
+    }
+}
+
+presto_telemetry::observe_counters!(InterLinkStats {
+    sent,
+    delivered,
+    lost,
+    retransmits,
+    dropped,
+    ack_exhausted,
+    duplicates,
+    acks_lost,
+});
+
 /// One in-flight mesh message.
 #[derive(Clone, Debug)]
 struct PendingMsg {

@@ -42,6 +42,7 @@ use presto_proxy::{
     QuerySensorMatcher,
 };
 use presto_sim::{SimDuration, SimTime};
+use presto_telemetry::{CompletionCause, LogHistogram, QueryTracer, SpanEvent};
 
 /// Router parameters.
 #[derive(Clone, Debug)]
@@ -74,6 +75,11 @@ pub struct FleetRouterConfig {
     /// Refractory window: minimum spacing between the starts of two
     /// shed episodes on the same proxy (anti-flap).
     pub shed_episode_window: SimDuration,
+    /// Record a fleet-level trace span per ticket (admission, shed,
+    /// forward, re-home, fencing, terminal verdict). On by default —
+    /// the fleet tier is deployment-scale, not hot-path, and the
+    /// flight recorder is the partition post-mortem record.
+    pub trace: bool,
 }
 
 impl Default for FleetRouterConfig {
@@ -89,6 +95,7 @@ impl Default for FleetRouterConfig {
             ewma_alpha: 0.4,
             shed_exit_margin: 3.0,
             shed_episode_window: SimDuration::from_mins(2),
+            trace: true,
         }
     }
 }
@@ -192,6 +199,38 @@ pub struct FleetRouterStats {
     pub failed_fenced: u64,
 }
 
+impl FleetRouterStats {
+    /// Folds another router's counters into this one (all additive) —
+    /// the aggregation a multi-fleet snapshot needs.
+    pub fn merge(&mut self, other: &FleetRouterStats) {
+        self.submitted += other.submitted;
+        self.shed += other.shed;
+        self.rerouted += other.rerouted;
+        self.completed_local += other.completed_local;
+        self.completed_remote += other.completed_remote;
+        self.failed_deadline += other.failed_deadline;
+        self.failed_entry_dead += other.failed_entry_dead;
+        self.resumed += other.resumed;
+        self.late_dropped += other.late_dropped;
+        self.shed_episodes += other.shed_episodes;
+        self.failed_fenced += other.failed_fenced;
+    }
+}
+
+presto_telemetry::observe_counters!(FleetRouterStats {
+    submitted,
+    shed,
+    rerouted,
+    completed_local,
+    completed_remote,
+    failed_deadline,
+    failed_entry_dead,
+    resumed,
+    late_dropped,
+    shed_episodes,
+    failed_fenced,
+});
+
 #[derive(Clone, Debug)]
 struct Ticket {
     query: PipelineQuery,
@@ -218,6 +257,12 @@ pub struct FleetRouter {
     /// When each proxy's most recent shed episode opened.
     last_episode: Vec<Option<SimTime>>,
     stats: FleetRouterStats,
+    /// Fleet-level trace spans (no-op unless [`FleetRouterConfig::trace`]).
+    tracer: QueryTracer,
+    /// End-to-end latency of every terminal, in microseconds.
+    latency: LogHistogram,
+    /// Serve-time data staleness of answers that carried data.
+    answer_age: LogHistogram,
 }
 
 impl FleetRouter {
@@ -227,6 +272,7 @@ impl FleetRouter {
         for class in &config.latency_classes {
             matcher.register(*class);
         }
+        let tracer = QueryTracer::new(config.trace);
         FleetRouter {
             matcher,
             next_ticket: 1,
@@ -237,6 +283,9 @@ impl FleetRouter {
             hot: Vec::new(),
             last_episode: Vec::new(),
             stats: FleetRouterStats::default(),
+            tracer,
+            latency: LogHistogram::new(),
+            answer_age: LogHistogram::new(),
             config,
         }
     }
@@ -298,6 +347,54 @@ impl FleetRouter {
         self.stats
     }
 
+    /// The fleet-level trace collector.
+    pub fn tracer(&self) -> &QueryTracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the trace collector (draining finished traces).
+    pub fn tracer_mut(&mut self) -> &mut QueryTracer {
+        &mut self.tracer
+    }
+
+    /// The fleet ticket currently bound to `(proxy, proxy_ticket)`, if
+    /// any — the splice lookup the deployment uses to merge a finished
+    /// pipeline trace into its fleet trace *before* the binding is
+    /// consumed by [`FleetRouter::on_pipeline_completion`].
+    pub fn fleet_ticket(&self, proxy: usize, proxy_ticket: u64) -> Option<u64> {
+        self.by_proxy_ticket.get(&(proxy, proxy_ticket)).copied()
+    }
+
+    /// End-to-end latency of every terminal (microsecond histogram).
+    pub fn latency_hist(&self) -> &LogHistogram {
+        &self.latency
+    }
+
+    /// Serve-time data staleness of answers that carried data
+    /// (microsecond histogram).
+    pub fn answer_age_hist(&self) -> &LogHistogram {
+        &self.answer_age
+    }
+
+    /// Closes a ticket's trace and feeds the fleet histograms: every
+    /// terminal records its end-to-end latency; answers carrying data
+    /// record their serve-time staleness too.
+    fn close_trace(
+        &mut self,
+        ticket: u64,
+        t: SimTime,
+        cause: CompletionCause,
+        latency: SimDuration,
+        answer_age: Option<SimDuration>,
+        sigma: f64,
+    ) {
+        self.latency.record_duration(latency);
+        if let Some(age) = answer_age {
+            self.answer_age.record_duration(age);
+        }
+        self.tracer.finish(ticket, t, cause, answer_age, sigma);
+    }
+
     /// Tickets awaiting a terminal (leak probe: zero once every
     /// submitted query completed or expired).
     pub fn open_tickets(&self) -> usize {
@@ -321,6 +418,16 @@ impl FleetRouter {
         self.next_ticket += 1;
         self.stats.submitted += 1;
         self.stats.failed_entry_dead += 1;
+        self.tracer.record(ticket, t, SpanEvent::Submitted);
+        self.tracer.record(ticket, t, SpanEvent::Unreachable);
+        self.close_trace(
+            ticket,
+            t,
+            CompletionCause::Failed,
+            SimDuration::ZERO,
+            None,
+            f64::INFINITY,
+        );
         self.completed.push(FleetCompletion {
             ticket,
             query,
@@ -346,6 +453,16 @@ impl FleetRouter {
         self.next_ticket += 1;
         self.stats.submitted += 1;
         self.stats.failed_fenced += 1;
+        self.tracer.record(ticket, t, SpanEvent::Submitted);
+        self.tracer.record(ticket, t, SpanEvent::FencedReject);
+        self.close_trace(
+            ticket,
+            t,
+            CompletionCause::FailedFenced,
+            SimDuration::ZERO,
+            None,
+            f64::INFINITY,
+        );
         self.completed.push(FleetCompletion {
             ticket,
             query,
@@ -382,6 +499,7 @@ impl FleetRouter {
         let ticket = self.next_ticket;
         self.next_ticket += 1;
         self.stats.submitted += 1;
+        self.tracer.record(ticket, t, SpanEvent::Submitted);
         let deadline = t + self.deadline_for(tolerance);
 
         let sheddable = matches!(
@@ -424,6 +542,14 @@ impl FleetRouter {
                     target = peer;
                     shed = true;
                     self.stats.shed += 1;
+                    self.tracer.record(
+                        ticket,
+                        t,
+                        SpanEvent::Shed {
+                            from: serving,
+                            to: peer,
+                        },
+                    );
                 }
             }
         }
@@ -431,6 +557,16 @@ impl FleetRouter {
         let forwarded = target != entry;
         if forwarded && !shed {
             self.stats.rerouted += 1;
+        }
+        if forwarded {
+            self.tracer.record(
+                ticket,
+                t,
+                SpanEvent::Forwarded {
+                    from: entry,
+                    to: target,
+                },
+            );
         }
         self.open.insert(
             ticket,
@@ -510,6 +646,19 @@ impl FleetRouter {
             self.stats.completed_local += 1;
         }
         let answer_age = answer.age_at(t);
+        let cause = if answer.source() == AnswerSource::Failed {
+            CompletionCause::Failed
+        } else {
+            CompletionCause::Ok
+        };
+        self.close_trace(
+            ticket,
+            t,
+            cause,
+            t - tk.submitted_at,
+            answer_age,
+            answer_sigma(&answer),
+        );
         self.completed.push(FleetCompletion {
             ticket,
             query: tk.query,
@@ -560,6 +709,14 @@ impl FleetRouter {
             let tk = self.open.remove(&ticket).expect("just listed");
             self.by_proxy_ticket.retain(|_, &mut v| v != ticket);
             self.stats.failed_deadline += 1;
+            self.close_trace(
+                ticket,
+                t,
+                CompletionCause::Failed,
+                t - tk.submitted_at,
+                None,
+                f64::INFINITY,
+            );
             self.completed.push(FleetCompletion {
                 ticket,
                 query: tk.query,
@@ -599,6 +756,14 @@ impl FleetRouter {
             if tk.entry == dead {
                 self.open.remove(&ticket);
                 self.stats.failed_entry_dead += 1;
+                self.close_trace(
+                    ticket,
+                    t,
+                    CompletionCause::Failed,
+                    t - tk.submitted_at,
+                    None,
+                    f64::INFINITY,
+                );
                 self.completed.push(FleetCompletion {
                     ticket,
                     query: tk.query,
@@ -623,17 +788,28 @@ impl FleetRouter {
 
     /// Marks a resumed ticket as re-forwarded to a new serving proxy
     /// (mesh path; [`FleetRouter::bind`] fires on adoption).
-    pub fn mark_rerouted(&mut self, ticket: u64, proxy: usize) {
+    pub fn mark_rerouted(&mut self, t: SimTime, ticket: u64, proxy: usize) {
         if let Some(tk) = self.open.get_mut(&ticket) {
             tk.serving = proxy;
             tk.forwarded = true;
             self.stats.resumed += 1;
+            self.tracer
+                .record(ticket, t, SpanEvent::Rerouted { to: proxy });
         }
     }
 
     /// Drains terminals recorded since the last call.
     pub fn take_completed(&mut self) -> Vec<FleetCompletion> {
         std::mem::take(&mut self.completed)
+    }
+}
+
+/// The confidence a trace records for an answer: the scalar's sigma,
+/// zero for a series (raw samples carry no model error).
+fn answer_sigma(answer: &PipelineAnswer) -> f64 {
+    match answer {
+        PipelineAnswer::Scalar(a) => a.sigma,
+        PipelineAnswer::Series(_) => 0.0,
     }
 }
 
@@ -803,7 +979,7 @@ mod tests {
         assert_eq!(done[0].ticket, a);
         assert_eq!(done[0].answer.source(), AnswerSource::Failed);
         // B re-binds at its adopter and completes normally.
-        r.mark_rerouted(b, 0);
+        r.mark_rerouted(SimTime::from_secs(31), b, 0);
         assert_eq!(r.stats().resumed, 1);
         r.bind(b, 0, 12);
         let done2 = CompletedQuery {

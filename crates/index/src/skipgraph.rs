@@ -21,6 +21,8 @@ pub struct OpStats {
     pub hops: u64,
 }
 
+presto_telemetry::observe_counters!(OpStats { hops });
+
 /// Which pointer of a `(left, right)` neighbour pair to set.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum Side {

@@ -31,6 +31,7 @@ use std::collections::VecDeque;
 
 use presto_sensor::AggregateOp;
 use presto_sim::{SimDuration, SimTime};
+use presto_telemetry::QueryTracer;
 
 use crate::proxy::{Answer, PastAnswer};
 
@@ -50,6 +51,11 @@ pub struct PipelineConfig {
     pub epoch_attempt_budget: u32,
     /// Shared pull-reply cache capacity, in replies (oldest evict first).
     pub reply_cache_capacity: usize,
+    /// Record a per-query trace span for every ticket (submit → fast
+    /// path or RPC attempt log → terminal verdict). Off by default: the
+    /// tracer then never allocates and the pump skips the attempt-log
+    /// plumbing entirely.
+    pub trace: bool,
 }
 
 impl Default for PipelineConfig {
@@ -58,6 +64,7 @@ impl Default for PipelineConfig {
             deadline: SimDuration::from_mins(10),
             epoch_attempt_budget: 16,
             reply_cache_capacity: 128,
+            trace: false,
         }
     }
 }
@@ -256,6 +263,32 @@ pub struct PipelineStats {
     pub max_in_flight: u64,
 }
 
+impl PipelineStats {
+    /// Folds another pipeline's counters into this one (additive except
+    /// the peak, which takes the max) — the aggregation a multi-proxy
+    /// snapshot needs.
+    pub fn merge(&mut self, other: &PipelineStats) {
+        self.submitted += other.submitted;
+        self.completed_fast += other.completed_fast;
+        self.completed_pull += other.completed_pull;
+        self.completed_cached += other.completed_cached;
+        self.failed += other.failed;
+        self.coalesced += other.coalesced;
+        self.rpcs_issued += other.rpcs_issued;
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+    }
+}
+
+presto_telemetry::observe_counters!(PipelineStats {
+    submitted,
+    completed_fast,
+    completed_pull,
+    completed_cached,
+    failed,
+    coalesced,
+    rpcs_issued,
+} max { max_in_flight });
+
 /// A reply kept in the shared pull-reply cache.
 #[derive(Clone, Debug)]
 struct CachedReply {
@@ -368,12 +401,15 @@ pub struct QueryPipeline {
     /// Attempts the most recent pump transmitted (pressure probe: a
     /// pump that used its whole per-epoch budget is saturated).
     pub(crate) last_pump_attempts: u32,
+    /// Per-ticket trace spans (no-op unless [`PipelineConfig::trace`]).
+    pub(crate) tracer: QueryTracer,
 }
 
 impl QueryPipeline {
     /// Creates an empty pipeline.
     pub fn new(config: PipelineConfig) -> Self {
         let reply_cache = PullReplyCache::new(config.reply_cache_capacity);
+        let tracer = QueryTracer::new(config.trace);
         QueryPipeline {
             config,
             pending: Vec::new(),
@@ -383,6 +419,7 @@ impl QueryPipeline {
             next_ticket: 1,
             rr_cursor: 0,
             last_pump_attempts: 0,
+            tracer,
         }
     }
 
@@ -422,6 +459,16 @@ impl QueryPipeline {
     /// Drains every completed query recorded since the last call.
     pub fn take_completed(&mut self) -> Vec<CompletedQuery> {
         std::mem::take(&mut self.completed)
+    }
+
+    /// The per-ticket trace collector.
+    pub fn tracer(&self) -> &QueryTracer {
+        &self.tracer
+    }
+
+    /// Mutable access to the trace collector (draining finished traces).
+    pub fn tracer_mut(&mut self) -> &mut QueryTracer {
+        &mut self.tracer
     }
 }
 

@@ -20,8 +20,9 @@ use std::collections::HashMap;
 
 use presto_models::SpatialGaussian;
 use presto_net::Mac;
-use presto_reliability::{DownlinkChannel, RpcOutcome};
+use presto_reliability::{AttemptEvent, DownlinkChannel, RpcOutcome};
 use presto_sim::{EnergyLedger, SimDuration, SimTime};
+use presto_telemetry::{CompletionCause, SpanEvent};
 
 use presto_sensor::{DownlinkMsg, SensorNode, UplinkMsg, UplinkPayload};
 
@@ -162,6 +163,23 @@ pub struct ProxyStats {
     /// needed).
     pub replica_resyncs: u64,
 }
+
+presto_telemetry::observe_counters!(ProxyStats {
+    uplinks,
+    samples_cached,
+    events_cached,
+    now_queries,
+    past_queries,
+    cache_hits,
+    extrapolations,
+    spatial_extrapolations,
+    pulls,
+    pull_failures,
+    models_pushed,
+    retunes_pushed,
+    recovery_pulls,
+    replica_resyncs,
+});
 
 /// One sensor's radio endpoints as seen by a pumping proxy: the node
 /// and the downlink channel this proxy drives towards it. The pump
@@ -1029,6 +1047,11 @@ impl PrestoProxy {
         &self.pipeline
     }
 
+    /// Mutable pipeline access (tracer draining, trace enablement).
+    pub fn pipeline_mut(&mut self) -> &mut QueryPipeline {
+        &mut self.pipeline
+    }
+
     /// Drains completed pipeline queries recorded since the last call.
     pub fn take_completed_queries(&mut self) -> Vec<CompletedQuery> {
         self.pipeline.take_completed()
@@ -1055,7 +1078,31 @@ impl PrestoProxy {
         self.events_span = None;
         self.sealed_spans.clear();
         self.spatial = None;
+        // RAM-resident trace state dies with the queue it described;
+        // the fleet tier still closes its own traces honestly.
+        self.pipeline.tracer.clear_open();
         dropped
+    }
+
+    /// Closes a ticket's trace from its answer: cause from provenance,
+    /// staleness at completion time, the reported confidence width
+    /// (series answers carry per-sample tolerances, reported as 0 here).
+    fn finish_trace(&mut self, id: u64, t: SimTime, answer: &PipelineAnswer) {
+        if !self.pipeline.tracer.enabled() {
+            return;
+        }
+        let cause = if answer.source() == AnswerSource::Failed {
+            CompletionCause::Failed
+        } else {
+            CompletionCause::Ok
+        };
+        let sigma = match answer {
+            PipelineAnswer::Scalar(a) => a.sigma,
+            PipelineAnswer::Series(_) => 0.0,
+        };
+        self.pipeline
+            .tracer
+            .finish(id, t, cause, answer.age_at(t), sigma);
     }
 
     /// Submits a query to the asynchronous pipeline. The radio-free
@@ -1086,6 +1133,7 @@ impl PrestoProxy {
         let id = self.pipeline.next_ticket;
         self.pipeline.next_ticket += 1;
         self.pipeline.stats.submitted += 1;
+        self.pipeline.tracer.record(id, t, SpanEvent::Submitted);
         match query {
             PipelineQuery::Now { .. } => self.stats.now_queries += 1,
             PipelineQuery::Past { .. } | PipelineQuery::Aggregate { .. } => {
@@ -1095,6 +1143,7 @@ impl PrestoProxy {
         if !self.sensors.contains_key(&query.sensor()) {
             let answer = self.failed_answer(&query, SimDuration::ZERO);
             self.pipeline.stats.failed += 1;
+            self.finish_trace(id, t, &answer);
             self.pipeline.completed.push(CompletedQuery {
                 id,
                 query,
@@ -1127,6 +1176,10 @@ impl PrestoProxy {
         };
         if let Some(answer) = fast {
             self.pipeline.stats.completed_fast += 1;
+            self.pipeline
+                .tracer
+                .record(id, t, SpanEvent::CacheHit { path: "fast" });
+            self.finish_trace(id, t, &answer);
             self.pipeline.completed.push(CompletedQuery {
                 id,
                 query,
@@ -1147,6 +1200,14 @@ impl PrestoProxy {
                 let answer =
                     self.answer_from_samples(&query, &samples, SimDuration::from_millis(2));
                 self.pipeline.stats.completed_cached += 1;
+                self.pipeline.tracer.record(
+                    id,
+                    t,
+                    SpanEvent::CacheHit {
+                        path: "reply_cache",
+                    },
+                );
+                self.finish_trace(id, t, &answer);
                 self.pipeline.completed.push(CompletedQuery {
                     id,
                     query,
@@ -1158,6 +1219,7 @@ impl PrestoProxy {
             }
         }
         let deadline = t + deadline.unwrap_or(self.pipeline.config.deadline);
+        self.pipeline.tracer.record(id, t, SpanEvent::CacheMiss);
         self.pipeline.pending.push(PendingQuery {
             id,
             query,
@@ -1370,6 +1432,7 @@ impl PrestoProxy {
             }
             let answer = self.failed_answer(&q.query, t - q.submitted_at);
             self.pipeline.stats.failed += 1;
+            self.finish_trace(q.id, t, &answer);
             self.pipeline.completed.push(CompletedQuery {
                 id: q.id,
                 query: q.query,
@@ -1393,6 +1456,7 @@ impl PrestoProxy {
             if let Some(&qid) = in_flight_keys.get(&q.key) {
                 q.rpc_qid = Some(qid);
                 self.pipeline.stats.coalesced += 1;
+                self.pipeline.tracer.record(q.id, t, SpanEvent::Coalesced);
                 continue;
             }
             let gid = q.query.sensor();
@@ -1432,6 +1496,7 @@ impl PrestoProxy {
             self.pipeline.stats.rpcs_issued += 1;
             ch.submit_async(t, msg, q.deadline);
             q.rpc_qid = Some(qid);
+            self.pipeline.tracer.record(q.id, t, SpanEvent::RpcIssued);
             in_flight_keys.insert(q.key, qid);
         }
 
@@ -1444,6 +1509,13 @@ impl PrestoProxy {
         // the shared attempt budget is spread fairly across sensors.
         let budget_start = self.pipeline.config.epoch_attempt_budget;
         let mut budget = budget_start;
+        if self.pipeline.tracer.enabled() {
+            // Opt the channels into per-RPC attempt logging so traces
+            // carry transmission-level detail (idempotent each epoch).
+            for s in sensors.iter_mut() {
+                s.chan.set_trace_attempts(true);
+            }
+        }
         let n = sensors.len().max(1);
         let start = self.pipeline.rr_cursor % n;
         self.pipeline.rr_cursor = self.pipeline.rr_cursor.wrapping_add(1);
@@ -1465,6 +1537,29 @@ impl PrestoProxy {
         // Pressure probe: a pump that spent its whole budget is
         // saturated — more queries than this epoch could serve.
         self.pipeline.last_pump_attempts = budget_start - budget;
+
+        // Per-RPC attempt detail: each channel logged first
+        // transmissions, retransmissions, and budget deferrals by RPC
+        // id; map them back onto every pending query sharing that RPC
+        // (coalesced queries inherit the attempt history).
+        if self.pipeline.tracer.enabled() {
+            let mut attempts: Vec<(u64, AttemptEvent)> = Vec::new();
+            for s in sensors.iter_mut() {
+                attempts.extend(s.chan.take_attempt_log());
+            }
+            for (qid, ev) in attempts {
+                let span = match ev {
+                    AttemptEvent::First => SpanEvent::RpcAttempt,
+                    AttemptEvent::Retransmit => SpanEvent::RpcRetransmit,
+                    AttemptEvent::Deferred => SpanEvent::RpcDeferred,
+                };
+                for q in live.iter() {
+                    if q.rpc_qid == Some(qid) {
+                        self.pipeline.tracer.record(q.id, t, span.clone());
+                    }
+                }
+            }
+        }
 
         // 4. Match events back to pending queries.
         for ev in events {
@@ -1509,6 +1604,7 @@ impl PrestoProxy {
                                 let answer =
                                     self.answer_from_samples(&q.query, &samples, latency);
                                 self.pipeline.stats.completed_pull += 1;
+                                self.finish_trace(q.id, t, &answer);
                                 self.pipeline.completed.push(CompletedQuery {
                                     id: q.id,
                                     query: q.query,
@@ -1545,6 +1641,7 @@ impl PrestoProxy {
                                     data_through: if *count == 0 { None } else { to },
                                 });
                                 self.pipeline.stats.completed_pull += 1;
+                                self.finish_trace(q.id, t, &answer);
                                 self.pipeline.completed.push(CompletedQuery {
                                     id: q.id,
                                     query: q.query,
@@ -1566,6 +1663,7 @@ impl PrestoProxy {
                     for q in live.iter_mut() {
                         if q.rpc_qid == Some(query_id) {
                             q.rpc_qid = None;
+                            self.pipeline.tracer.record(q.id, t, SpanEvent::RpcExpired);
                         }
                     }
                 }

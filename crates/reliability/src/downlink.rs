@@ -137,6 +137,54 @@ pub struct DownlinkStats {
     pub max_in_flight: u64,
 }
 
+impl DownlinkStats {
+    /// Folds another channel's counters in: everything adds except
+    /// `max_in_flight`, which is a per-channel peak and takes the max.
+    pub fn merge(&mut self, other: &DownlinkStats) {
+        self.rpcs += other.rpcs;
+        self.delivered += other.delivered;
+        self.retransmits += other.retransmits;
+        self.requests_lost += other.requests_lost;
+        self.replies_lost += other.replies_lost;
+        self.rpc_failures += other.rpc_failures;
+        self.dropped_budget += other.dropped_budget;
+        self.blocked_link_down += other.blocked_link_down;
+        self.duplicate_replies += other.duplicate_replies;
+        self.async_submitted += other.async_submitted;
+        self.async_expired += other.async_expired;
+        self.deferred_budget += other.deferred_budget;
+        self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
+    }
+}
+
+presto_telemetry::observe_counters!(DownlinkStats {
+    rpcs,
+    delivered,
+    retransmits,
+    requests_lost,
+    replies_lost,
+    rpc_failures,
+    dropped_budget,
+    blocked_link_down,
+    duplicate_replies,
+    async_submitted,
+    async_expired,
+    deferred_budget,
+} max { max_in_flight });
+
+/// One transmission-scheduling event of an async RPC, logged per query
+/// id when [`DownlinkChannel::set_trace_attempts`] is on — the radio-
+/// level detail of a query's trace span.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AttemptEvent {
+    /// First transmission of the RPC.
+    First,
+    /// A timeout-scheduled retransmission.
+    Retransmit,
+    /// An attempt deferred by the dry retry energy budget.
+    Deferred,
+}
+
 /// Outcome of one fabric-routed RPC.
 #[derive(Clone, Debug)]
 pub struct RpcOutcome {
@@ -226,6 +274,11 @@ pub struct DownlinkChannel {
     retry_spent_j: f64,
     last_refill: SimTime,
     stats: DownlinkStats,
+    /// Opt-in per-RPC attempt tracing: when on, every pump-time
+    /// scheduling decision is logged against its query id for the
+    /// pipeline tracer to drain. Off (the default) nothing allocates.
+    trace_attempts: bool,
+    attempt_log: Vec<(u64, AttemptEvent)>,
 }
 
 impl DownlinkChannel {
@@ -244,8 +297,24 @@ impl DownlinkChannel {
             retry_spent_j: 0.0,
             last_refill: SimTime::ZERO,
             stats: DownlinkStats::default(),
+            trace_attempts: false,
+            attempt_log: Vec::new(),
             config,
         }
+    }
+
+    /// Turns per-RPC attempt logging on or off (idempotent; the
+    /// pipeline tracer enables it on the channels it pumps).
+    pub fn set_trace_attempts(&mut self, on: bool) {
+        self.trace_attempts = on;
+        if !on {
+            self.attempt_log.clear();
+        }
+    }
+
+    /// Drains the attempt log recorded since the last call.
+    pub fn take_attempt_log(&mut self) -> Vec<(u64, AttemptEvent)> {
+        std::mem::take(&mut self.attempt_log)
     }
 
     /// A lossless channel over a lossless first hop (wired testbeds and
@@ -531,6 +600,10 @@ impl DownlinkChannel {
                 let cost = mac.expected_send_energy(wire);
                 if self.retry_spent_j + cost > self.config.retry_budget_j {
                     self.stats.deferred_budget += 1;
+                    if self.trace_attempts {
+                        self.attempt_log
+                            .push((self.async_rpcs[i].qid, AttemptEvent::Deferred));
+                    }
                     self.async_rpcs[i].next_attempt_at = t + self.config.rpc_timeout;
                     i += 1;
                     continue;
@@ -540,6 +613,16 @@ impl DownlinkChannel {
             }
             *attempt_budget -= 1;
             self.async_rpcs[i].attempts += 1;
+            if self.trace_attempts {
+                self.attempt_log.push((
+                    self.async_rpcs[i].qid,
+                    if self.async_rpcs[i].attempts == 1 {
+                        AttemptEvent::First
+                    } else {
+                        AttemptEvent::Retransmit
+                    },
+                ));
+            }
             let AsyncRpc {
                 qid,
                 seq,
@@ -601,6 +684,7 @@ impl DownlinkChannel {
         let dropped = self.async_rpcs.len();
         self.async_rpcs.clear();
         self.outstanding.clear();
+        self.attempt_log.clear();
         dropped
     }
 

@@ -105,6 +105,17 @@ pub struct FabricStats {
     pub blocked_link_down: u64,
 }
 
+presto_telemetry::observe_counters!(FabricStats {
+    offered,
+    delivered,
+    lost_in_channel,
+    retransmits,
+    acks_lost,
+    dropped_retries,
+    dropped_budget,
+    blocked_link_down,
+});
+
 struct Pending {
     seq: u64,
     msg: UplinkMsg,

@@ -45,7 +45,9 @@ pub mod fabric;
 pub mod liveness;
 pub mod recovery;
 
-pub use downlink::{AsyncRpcEvent, DownlinkChannel, DownlinkConfig, DownlinkStats, RpcOutcome};
+pub use downlink::{
+    AsyncRpcEvent, AttemptEvent, DownlinkChannel, DownlinkConfig, DownlinkStats, RpcOutcome,
+};
 pub use fabric::{Fabric, FabricConfig, FabricStats, SequencedUplink};
 pub use liveness::{Health, LivenessConfig, LivenessMonitor, LivenessStats};
 pub use recovery::{GapTracker, Observation, PendingRecovery, RecoveryStats};

@@ -73,6 +73,12 @@ pub struct LivenessStats {
     pub reconnected: u64,
 }
 
+presto_telemetry::observe_counters!(LivenessStats {
+    suspected,
+    died,
+    reconnected,
+});
+
 /// Per-sensor lease state.
 #[derive(Clone, Debug)]
 struct Slot {

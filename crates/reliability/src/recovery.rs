@@ -69,6 +69,17 @@ pub struct RecoveryStats {
     pub total_recovery_latency_s: f64,
 }
 
+impl presto_telemetry::Observe for RecoveryStats {
+    fn observe(&self, s: &mut presto_telemetry::Section) {
+        s.counter("gaps_detected", self.gaps_detected);
+        s.counter("duplicates", self.duplicates);
+        s.counter("recoveries", self.recoveries);
+        s.counter("failed_attempts", self.failed_attempts);
+        s.counter("samples_replayed", self.samples_replayed);
+        s.gauge("total_recovery_latency_s", self.total_recovery_latency_s);
+    }
+}
+
 #[derive(Clone, Debug)]
 struct SensorTrack {
     next_seq: u64,

@@ -50,6 +50,23 @@ pub struct SensorStats {
     pub duplicate_requests: u64,
 }
 
+presto_telemetry::observe_counters!(SensorStats {
+    samples,
+    model_checks,
+    deviations_pushed,
+    values_pushed,
+    batches_sent,
+    batch_samples_sent,
+    events_pushed,
+    pulls_served,
+    push_failures,
+    bytes_sent,
+    heartbeats_sent,
+    seals_sent,
+    reboots,
+    duplicate_requests,
+});
+
 /// A PRESTO sensor node.
 pub struct SensorNode {
     id: u16,

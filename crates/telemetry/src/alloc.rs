@@ -1,0 +1,56 @@
+//! A counting global allocator for allocations-per-epoch accounting.
+//!
+//! The ROADMAP's scale-harness item wants an allocations/epoch figure
+//! in every `BENCH_*.json` so the planned allocation-free pump has a
+//! trajectory to beat. Scenario binaries opt in with
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: presto_telemetry::alloc::CountingAlloc =
+//!     presto_telemetry::alloc::CountingAlloc;
+//! ```
+//!
+//! and read [`allocation_count`] before/after the measured phase. The
+//! counters are relaxed atomics — cheap enough to leave on for a whole
+//! scenario run — and the type delegates straight to the system
+//! allocator, so behavior is otherwise unchanged.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// A [`System`]-delegating allocator that counts allocations and bytes.
+pub struct CountingAlloc;
+
+// SAFETY: delegates every operation unchanged to the system allocator;
+// only the relaxed counters are added.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Heap allocations made since process start (0 unless the binary
+/// installed [`CountingAlloc`]).
+pub fn allocation_count() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Bytes requested from the heap since process start.
+pub fn allocated_bytes() -> u64 {
+    ALLOCATED_BYTES.load(Ordering::Relaxed)
+}

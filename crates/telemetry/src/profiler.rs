@@ -1,0 +1,164 @@
+//! Phase timers and per-epoch work counts over the epoch pump.
+//!
+//! The deployment's hot path is a fixed sequence of phases
+//! (`step_epoch_core`, `pump_pipelines`, `pump_queries`, membership
+//! step, mesh delivery, …). The profiler wraps each in a wall-clock
+//! timer plus optional item counts (downlink attempts, RPCs issued),
+//! so "where did this epoch's time go" is one read-out — and hot-path
+//! regressions surface before the scale-harness PR. Disabled, it never
+//! reads the clock: [`EpochProfiler::begin`] returns `None` and every
+//! other call returns immediately.
+
+use std::time::{Duration, Instant};
+
+use crate::metrics::{Observe, Section};
+
+/// Accumulated cost of one named phase.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseStat {
+    /// Times the phase ran.
+    pub calls: u64,
+    /// Total wall-clock microseconds spent in it.
+    pub micros: u64,
+    /// Items processed (attempts, messages — phase-defined).
+    pub items: u64,
+}
+
+/// The per-deployment phase profiler.
+#[derive(Clone, Debug)]
+pub struct EpochProfiler {
+    enabled: bool,
+    /// Insertion-ordered so reports read in pipeline order.
+    phases: Vec<(&'static str, PhaseStat)>,
+    epochs: u64,
+}
+
+impl EpochProfiler {
+    /// Creates a profiler; disabled it never reads the clock.
+    pub fn new(enabled: bool) -> Self {
+        EpochProfiler {
+            enabled,
+            phases: Vec::new(),
+            epochs: 0,
+        }
+    }
+
+    /// Whether profiling is on.
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts a phase timer (`None` when disabled — pass it straight
+    /// to [`EpochProfiler::end`]).
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Stops a phase timer started by [`EpochProfiler::begin`].
+    pub fn end(&mut self, name: &'static str, started: Option<Instant>) {
+        let Some(started) = started else { return };
+        let elapsed = started.elapsed();
+        let stat = self.entry(name);
+        stat.calls += 1;
+        stat.micros += elapsed.as_micros() as u64;
+    }
+
+    /// Adds `n` items to a phase's work count.
+    pub fn count(&mut self, name: &'static str, n: u64) {
+        if self.enabled && n > 0 {
+            self.entry(name).items += n;
+        }
+    }
+
+    /// Marks one epoch completed (the per-epoch denominators).
+    pub fn epoch(&mut self) {
+        if self.enabled {
+            self.epochs += 1;
+        }
+    }
+
+    /// Epochs profiled.
+    pub fn epochs(&self) -> u64 {
+        self.epochs
+    }
+
+    /// The accumulated phases, in first-seen order.
+    pub fn phases(&self) -> &[(&'static str, PhaseStat)] {
+        &self.phases
+    }
+
+    /// One phase's stat.
+    pub fn phase(&self, name: &str) -> Option<&PhaseStat> {
+        self.phases.iter().find(|(n, _)| *n == name).map(|(_, s)| s)
+    }
+
+    /// Total wall-clock time across all phases.
+    pub fn total(&self) -> Duration {
+        Duration::from_micros(self.phases.iter().map(|(_, s)| s.micros).sum())
+    }
+
+    fn entry(&mut self, name: &'static str) -> &mut PhaseStat {
+        if let Some(i) = self.phases.iter().position(|(n, _)| *n == name) {
+            return &mut self.phases[i].1;
+        }
+        self.phases.push((name, PhaseStat::default()));
+        &mut self.phases.last_mut().expect("just pushed").1
+    }
+}
+
+impl Observe for EpochProfiler {
+    fn observe(&self, s: &mut Section) {
+        s.counter("epochs", self.epochs);
+        for (name, stat) in &self.phases {
+            let c = s.child(name);
+            c.counter("calls", stat.calls);
+            c.counter("micros", stat.micros);
+            c.counter("items", stat.items);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_profiler_never_times() {
+        let mut p = EpochProfiler::new(false);
+        let t = p.begin();
+        assert!(t.is_none());
+        p.end("x", t);
+        p.count("x", 5);
+        p.epoch();
+        assert!(p.phases().is_empty());
+        assert_eq!(p.epochs(), 0);
+    }
+
+    #[test]
+    fn phases_accumulate_in_order() {
+        let mut p = EpochProfiler::new(true);
+        let t = p.begin();
+        p.end("core", t);
+        let t = p.begin();
+        p.end("pump", t);
+        p.count("pump", 3);
+        p.count("pump", 2);
+        let t = p.begin();
+        p.end("core", t);
+        p.epoch();
+        let names: Vec<&str> = p.phases().iter().map(|(n, _)| *n).collect();
+        assert_eq!(names, vec!["core", "pump"]);
+        assert_eq!(p.phase("core").unwrap().calls, 2);
+        assert_eq!(p.phase("pump").unwrap().items, 5);
+        assert_eq!(p.epochs(), 1);
+
+        let mut s = Section::default();
+        p.observe(&mut s);
+        assert_eq!(s.get_counter("epochs"), Some(1));
+        assert_eq!(s.get_child("pump").unwrap().get_counter("items"), Some(5));
+    }
+}

@@ -48,6 +48,7 @@
 //! | [`baselines`] | direct-query, streaming, value-driven comparators |
 //! | [`core`] | the assembled three-tier system + unified store |
 //! | [`fleet`] | cross-proxy deployment tier: shedding, proxy failover, re-homing |
+//! | [`telemetry`] | metrics registry, per-query trace spans, epoch profiler |
 
 pub use presto_archive as archive;
 pub use presto_baselines as baselines;
@@ -60,6 +61,7 @@ pub use presto_proxy as proxy;
 pub use presto_reliability as reliability;
 pub use presto_sensor as sensor;
 pub use presto_sim as sim;
+pub use presto_telemetry as telemetry;
 pub use presto_wavelet as wavelet;
 pub use presto_workloads as workloads;
 

@@ -226,6 +226,79 @@ fn run_and_check(
     (pulled, failed)
 }
 
+/// Runs the workload through a trace-enabled pipeline and checks the
+/// span log is complete: one finished trace per submitted query, each
+/// starting `Submitted` with exactly one terminal whose cause matches
+/// the answer's honesty, timestamps monotone, and no open (orphaned)
+/// tickets left in the tracer after the drain window.
+fn run_traced(workload: &[(u8, u8)], request: Vec<bool>, reply: Vec<bool>) {
+    use presto::telemetry::{CompletionCause, SpanEvent};
+
+    let base = SimTime::from_days(2);
+    let mut cfg = ProxyConfig {
+        past_coverage_hit: f64::INFINITY,
+        ..ProxyConfig::default()
+    };
+    cfg.pipeline.trace = true;
+    let mut p = PrestoProxy::new(cfg);
+    p.register_sensor(0);
+    let mut node = archived_node();
+    let mut chan = scripted_channel(request, reply);
+
+    let horizon: u64 = 24;
+    let deadline = p.config().pipeline.deadline;
+    let drain = deadline.div_duration(EPOCH) + 2;
+    let mut submitted = 0usize;
+    for e in 0..horizon + drain {
+        let t = base + EPOCH * e;
+        if e < horizon {
+            for &(_, code) in workload.iter().filter(|&&(ep, _)| ep as u64 % horizon == e) {
+                p.submit_query(t, decode(code));
+                submitted += 1;
+            }
+        }
+        p.pump_queries(t, 0, std::slice::from_mut(&mut node), std::slice::from_mut(&mut chan));
+    }
+
+    let done = p.take_completed_queries();
+    prop_assert_eq!(done.len(), submitted);
+    let failed_ids: std::collections::HashSet<u64> = done
+        .iter()
+        .filter(|c| c.answer.source() == AnswerSource::Failed)
+        .map(|c| c.id)
+        .collect();
+
+    let traces = p.pipeline_mut().tracer_mut().take_finished();
+    prop_assert_eq!(
+        traces.len(),
+        submitted,
+        "every query must leave exactly one finished trace"
+    );
+    prop_assert_eq!(p.pipeline().tracer().finished_dropped(), 0);
+    let mut seen = std::collections::HashSet::new();
+    for tr in &traces {
+        prop_assert!(seen.insert(tr.ticket), "duplicate trace for ticket {}", tr.ticket);
+        prop_assert_eq!(
+            tr.events.first().map(|e| &e.event),
+            Some(&SpanEvent::Submitted),
+            "trace must open with Submitted"
+        );
+        prop_assert_eq!(tr.terminal_count(), 1, "exactly one terminal per trace");
+        prop_assert!(tr.is_monotone(), "span timestamps must be monotone");
+        let want = if failed_ids.contains(&tr.ticket) {
+            CompletionCause::Failed
+        } else {
+            CompletionCause::Ok
+        };
+        prop_assert_eq!(tr.cause(), Some(want), "terminal cause must match the answer");
+    }
+    prop_assert_eq!(
+        p.pipeline().tracer().open_count(),
+        0,
+        "no orphaned open traces after the drain window"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig { cases: 16 })]
 
@@ -239,6 +312,18 @@ proptest! {
         reply in proptest::collection::vec(any::<bool>(), 1..64),
     ) {
         run_and_check(&workload, request, reply);
+    }
+
+    /// Any workload × any loss trace, tracer on: the span log accounts
+    /// for every query — exactly one terminal each, monotone
+    /// timestamps, zero orphans after drain.
+    #[test]
+    fn pipeline_traces_are_complete(
+        workload in proptest::collection::vec((any::<u8>(), any::<u8>()), 1..32),
+        request in proptest::collection::vec(any::<bool>(), 1..64),
+        reply in proptest::collection::vec(any::<bool>(), 1..64),
+    ) {
+        run_traced(&workload, request, reply);
     }
 
     /// A 100% request-loss burst: nothing completes, everything fails

@@ -1,0 +1,74 @@
+//! Log-linear histogram properties: for ANY sample stream, a reported
+//! quantile stays within one bucket width of the exact nearest-rank
+//! quantile (bucket counts are exact, only in-bucket position is
+//! lost), and merging histograms is indistinguishable from having
+//! recorded the concatenated stream in one histogram.
+
+use proptest::prelude::*;
+
+use presto::telemetry::LogHistogram;
+
+fn hist_of(xs: &[u64]) -> LogHistogram {
+    let mut h = LogHistogram::new();
+    for &x in xs {
+        h.record(x);
+    }
+    h
+}
+
+/// Exact nearest-rank quantile of the raw samples.
+fn exact_quantile(xs: &[u64], q: f64) -> u64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable();
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The histogram's quantile never undershoots the exact
+    /// nearest-rank value and never overshoots the top of the bucket
+    /// that value falls in — i.e. the error is at most one bucket
+    /// width at that magnitude. Checked for a random quantile and for
+    /// the endpoints (min and max must be exact).
+    #[test]
+    fn quantile_within_one_bucket_width(
+        xs in proptest::collection::vec(0u64..4_000_000_000, 1..200),
+        q in 0.0f64..1.0,
+    ) {
+        let h = hist_of(&xs);
+        for q in [q, 0.0, 1.0] {
+            let exact = exact_quantile(&xs, q);
+            let got = h.quantile(q);
+            let (lo, hi) = LogHistogram::bucket_bounds_of(exact);
+            prop_assert!(
+                exact <= got && got <= hi,
+                "quantile({}) = {}, exact nearest-rank {}, bucket [{}, {}]",
+                q, got, exact, lo, hi
+            );
+        }
+        prop_assert_eq!(h.quantile(1.0), h.max());
+    }
+
+    /// merge() is exactly concatenation: recording two streams into
+    /// separate histograms and merging equals one histogram fed both.
+    #[test]
+    fn merge_equals_concat(
+        xs in proptest::collection::vec(0u64..4_000_000_000, 0..150),
+        ys in proptest::collection::vec(0u64..4_000_000_000, 0..150),
+    ) {
+        let mut merged = hist_of(&xs);
+        merged.merge(&hist_of(&ys));
+
+        let mut both = xs.to_vec();
+        both.extend_from_slice(&ys);
+        let concat = hist_of(&both);
+
+        prop_assert_eq!(&merged, &concat);
+        prop_assert_eq!(merged.count(), (xs.len() + ys.len()) as u64);
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            prop_assert_eq!(merged.quantile(q), concat.quantile(q));
+        }
+    }
+}
