@@ -1,0 +1,26 @@
+//! Known-bad lint fixture. Never compiled — linted by
+//! `crates/analysis/tests/lints.rs` under the synthetic path
+//! `crates/proxy/src/fixture_bad.rs` so every rule is in scope, and each
+//! lint class below must fire at least once.
+
+use std::collections::HashMap; // D1: nondeterministic iteration order
+use std::time::Instant; // D2: host wall-clock
+
+pub struct OrphanStats {
+    pub hits: u64,
+}
+
+// A0: annotation names an unknown lint.
+// presto-lint: allow(bogus, this rule id does not exist)
+pub fn lookup(map: &HashMap<u16, f64>, key: usize) -> f64 {
+    // D1 fires on the HashMap above; A0 fires on the reason-less allow here.
+    // presto-lint: allow(det)
+    let started = Instant::now();
+    let key = key as u16; // N1: silent truncation on the query path
+    let _ = started;
+    *map.get(&key).unwrap() // H1: panics instead of failing honestly
+}
+
+// A0: stale annotation — nothing on the next line violates `clock`.
+// presto-lint: allow(clock, nothing here actually reads the clock)
+pub fn quiet() {}

@@ -1,0 +1,679 @@
+//! `presto-lint` — workspace invariant checker.
+//!
+//! The simulation's headline claims (seed-determinism, honest failure, full
+//! telemetry coverage) rest on invariants the type system cannot see. This
+//! crate enforces them with a token-pattern pass over the workspace's own
+//! source, built on a hand-rolled lexer (`lexer.rs`) — no external deps.
+//!
+//! Lint classes:
+//!
+//! - **D1 `det`** — no `HashMap`/`HashSet` in sim-visible code: `std`'s
+//!   `RandomState` seeds each map per-instance, so iteration order differs
+//!   between runs *and* between instances, silently breaking
+//!   seed-determinism wherever iteration order reaches behavior.
+//! - **D2 `clock`** — no wall-clock or entropy (`Instant`, `SystemTime`,
+//!   `thread_rng`, `std::env`) outside the bench/telemetry-timer allowlists;
+//!   all simulation time must come from `SimTime`.
+//! - **H1 `panic`** — no `.unwrap()` / `.expect()` / `panic!`-family macros
+//!   in library code of the lossy-path crates (`core`, `proxy`, `fleet`,
+//!   `reliability`, `sensor`); a query must fail honestly, never crash.
+//! - **N1 `narrow`** — flag narrowing `as` casts on the query/radio path
+//!   crates; truncation there corrupts ids and counters silently.
+//! - **T1 `stats`** — every `pub struct *Stats` must implement `Observe`
+//!   (registry coverage) and `merge` (fleet aggregation).
+//!
+//! A site can be justified with an annotation comment — the tool name, a
+//! colon, then `allow(<rule>, <reason>)` — on the same line or on a
+//! whole-line comment directly above (see ANALYSIS.md for examples). The
+//! reason is mandatory; unknown rules, missing reasons, and annotations that
+//! match no violation are themselves violations (A0 `meta`), so the
+//! allowlist cannot rot.
+//!
+//! Code inside `#[cfg(test)]` / `#[test]` items is exempt from D1/D2/H1/N1
+//! (tests may panic and may use wall-clock), but `*Stats` declarations in
+//! test code are ignored by T1 rather than required to be wired up.
+
+pub mod lexer;
+
+use lexer::{lex, Comment, Tok, Token};
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Lint classes. `Meta` covers annotation hygiene and is not itself
+/// allowable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Rule {
+    Det,
+    Clock,
+    Panic,
+    Narrow,
+    Stats,
+    Meta,
+}
+
+impl Rule {
+    /// The id used in `allow(<id>, ...)` annotations.
+    pub fn id(self) -> &'static str {
+        match self {
+            Rule::Det => "det",
+            Rule::Clock => "clock",
+            Rule::Panic => "panic",
+            Rule::Narrow => "narrow",
+            Rule::Stats => "stats",
+            Rule::Meta => "meta",
+        }
+    }
+
+    /// Short code used in report lines.
+    pub fn code(self) -> &'static str {
+        match self {
+            Rule::Det => "D1",
+            Rule::Clock => "D2",
+            Rule::Panic => "H1",
+            Rule::Narrow => "N1",
+            Rule::Stats => "T1",
+            Rule::Meta => "A0",
+        }
+    }
+
+    fn from_id(s: &str) -> Option<Rule> {
+        match s {
+            "det" => Some(Rule::Det),
+            "clock" => Some(Rule::Clock),
+            "panic" => Some(Rule::Panic),
+            "narrow" => Some(Rule::Narrow),
+            "stats" => Some(Rule::Stats),
+            _ => None,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub rule: Rule,
+    pub path: String,
+    pub line: usize,
+    pub msg: String,
+}
+
+impl Violation {
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}({}): {}",
+            self.path,
+            self.line,
+            self.rule.code(),
+            self.rule.id(),
+            self.msg
+        )
+    }
+}
+
+/// One workspace source file, with a repo-relative `/`-separated path. The
+/// path drives rule scoping, so fixture tests pass synthetic paths like
+/// `crates/proxy/src/fixture.rs` to place a snippet in a given scope.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    pub path: String,
+    pub text: String,
+}
+
+#[derive(Debug, Default)]
+pub struct Report {
+    pub violations: Vec<Violation>,
+    pub files_checked: usize,
+    pub allows_honored: usize,
+}
+
+impl Report {
+    pub fn is_clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Rule scoping by path
+// ---------------------------------------------------------------------------
+
+/// Crates whose library code sits on the lossy query path: a panic there is
+/// a dishonest failure. H1 applies here.
+const PANIC_FREE_CRATES: &[&str] = &["core", "proxy", "fleet", "reliability", "sensor"];
+
+/// Query/radio path crates where a silently-truncating cast corrupts sensor
+/// ids, sequence numbers, or counters. N1 applies here.
+const NARROW_CRATES: &[&str] = &["core", "proxy", "fleet", "reliability", "sensor", "net"];
+
+fn in_crates(path: &str, crates: &[&str]) -> bool {
+    crates.iter().any(|c| {
+        path.strip_prefix("crates/")
+            .and_then(|r| r.strip_prefix(c))
+            .is_some_and(|r| r.starts_with("/src/"))
+    })
+}
+
+/// D2 allowlist: host-side code that legitimately reads the host clock or
+/// process environment and is never part of simulated behavior.
+fn clock_allowlisted(path: &str) -> bool {
+    // Scenario drivers and reports: wall-clock for benchmarking, argv for CLI.
+    path.starts_with("crates/bench/src/")
+        // The epoch profiler *is* the telemetry timer.
+        || path == "crates/telemetry/src/profiler.rs"
+        // The lint tool itself is a host tool (argv, file system).
+        || path.starts_with("crates/analysis/src/")
+}
+
+// ---------------------------------------------------------------------------
+// Test-span detection
+// ---------------------------------------------------------------------------
+
+/// Line ranges (inclusive) covered by `#[cfg(test)]` / `#[test]` items.
+fn test_spans(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut spans = Vec::new();
+    let mut i = 0usize;
+    while i + 1 < tokens.len() {
+        if !(is_punct(&tokens[i], '#') && is_punct(&tokens[i + 1], '[')) {
+            i += 1;
+            continue;
+        }
+        let attr_line = tokens[i].line;
+        // Collect the attribute's tokens up to the matching `]`.
+        let mut j = i + 2;
+        let mut depth = 1usize;
+        let mut attr_idents: Vec<&str> = Vec::new();
+        while j < tokens.len() && depth > 0 {
+            match &tokens[j].tok {
+                Tok::Punct('[') => depth += 1,
+                Tok::Punct(']') => depth -= 1,
+                Tok::Ident(s) => attr_idents.push(s),
+                _ => {}
+            }
+            j += 1;
+        }
+        let is_test_attr = match attr_idents.first() {
+            Some(&"test") => true,
+            Some(&"cfg") => attr_idents.contains(&"test"),
+            _ => false,
+        };
+        if !is_test_attr {
+            i = j;
+            continue;
+        }
+        // Find the annotated item's body: skip further attributes, then the
+        // span runs to the matching `}` (or to a terminating `;` for items
+        // without a body, e.g. `#[cfg(test)] mod tests;`).
+        let mut k = j;
+        let mut end_line = attr_line;
+        while k < tokens.len() {
+            match &tokens[k].tok {
+                Tok::Punct('{') => {
+                    let mut bd = 1usize;
+                    let mut m = k + 1;
+                    while m < tokens.len() && bd > 0 {
+                        match &tokens[m].tok {
+                            Tok::Punct('{') => bd += 1,
+                            Tok::Punct('}') => bd -= 1,
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    end_line = tokens[m.saturating_sub(1).min(tokens.len() - 1)].line;
+                    k = m;
+                    break;
+                }
+                Tok::Punct(';') => {
+                    end_line = tokens[k].line;
+                    k += 1;
+                    break;
+                }
+                _ => k += 1,
+            }
+        }
+        spans.push((attr_line, end_line));
+        i = k.max(j);
+    }
+    spans
+}
+
+fn in_test(spans: &[(usize, usize)], line: usize) -> bool {
+    spans.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+// ---------------------------------------------------------------------------
+// Allow annotations
+// ---------------------------------------------------------------------------
+
+#[derive(Debug)]
+struct Annotation {
+    line: usize,
+    whole_line: bool,
+    rule: Rule,
+    used: bool,
+}
+
+/// Parse an allow annotation (tool name, colon, `allow(rule, reason)`) out
+/// of a comment. Prose that merely mentions the tool name without the full
+/// `: allow` marker is ignored; once the marker is present, malformed bodies
+/// are `Err(msg)` violations.
+fn parse_annotation(c: &Comment) -> Option<Result<Annotation, String>> {
+    let idx = c.text.find("presto-lint")?;
+    let rest = c.text[idx + "presto-lint".len()..].trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
+    let rest = rest.strip_prefix("allow")?.trim_start();
+    let inner = match rest.strip_prefix('(').and_then(|r| r.rfind(')').map(|e| &r[..e])) {
+        Some(i) => i,
+        None => return Some(Err("unclosed `allow(...)` annotation".into())),
+    };
+    let (rule_id, reason) = match inner.split_once(',') {
+        Some((r, why)) => (r.trim(), why.trim()),
+        None => (inner.trim(), ""),
+    };
+    let rule = match Rule::from_id(rule_id) {
+        Some(r) if r != Rule::Meta => r,
+        _ => {
+            return Some(Err(format!(
+                "unknown lint `{rule_id}` (expected det, clock, panic, narrow, or stats)"
+            )))
+        }
+    };
+    if reason.is_empty() {
+        return Some(Err(format!(
+            "allow({rule_id}) needs a justification: allow({rule_id}, <why this is sound>)"
+        )));
+    }
+    Some(Ok(Annotation {
+        line: c.line,
+        whole_line: c.whole_line,
+        rule,
+        used: false,
+    }))
+}
+
+// ---------------------------------------------------------------------------
+// Per-file context
+// ---------------------------------------------------------------------------
+
+struct FileCtx {
+    path: String,
+    tokens: Vec<Token>,
+    spans: Vec<(usize, usize)>,
+    annotations: Vec<Annotation>,
+    /// Violations before allow-annotation resolution.
+    raw: Vec<(Rule, usize, String)>,
+}
+
+fn ident(t: &Token) -> Option<&str> {
+    match &t.tok {
+        Tok::Ident(s) => Some(s),
+        _ => None,
+    }
+}
+
+fn is_punct(t: &Token, c: char) -> bool {
+    t.tok == Tok::Punct(c)
+}
+
+fn is_ident(t: &Token, s: &str) -> bool {
+    matches!(&t.tok, Tok::Ident(w) if w == s)
+}
+
+// ---------------------------------------------------------------------------
+// Per-file lints
+// ---------------------------------------------------------------------------
+
+fn scan_det(ctx: &mut FileCtx) {
+    let mut found = Vec::new();
+    for t in &ctx.tokens {
+        if in_test(&ctx.spans, t.line) {
+            continue;
+        }
+        if let Some(name @ ("HashMap" | "HashSet")) = ident(t) {
+            let fix = if name == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+            found.push((
+                Rule::Det,
+                t.line,
+                format!("{name} iteration order is nondeterministic (std RandomState); use {fix} or justify"),
+            ));
+        }
+    }
+    ctx.raw.extend(found);
+}
+
+fn scan_clock(ctx: &mut FileCtx) {
+    if clock_allowlisted(&ctx.path) {
+        return;
+    }
+    let mut found = Vec::new();
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        if in_test(&ctx.spans, toks[i].line) {
+            continue;
+        }
+        if let Some(name @ ("Instant" | "SystemTime" | "thread_rng" | "from_entropy")) =
+            ident(&toks[i])
+        {
+            found.push((
+                Rule::Clock,
+                toks[i].line,
+                format!("`{name}` leaks host wall-clock/entropy into simulation code; use SimTime / seeded RNG"),
+            ));
+        }
+        if i + 3 < toks.len()
+            && is_ident(&toks[i], "std")
+            && is_punct(&toks[i + 1], ':')
+            && is_punct(&toks[i + 2], ':')
+            && is_ident(&toks[i + 3], "env")
+        {
+            found.push((
+                Rule::Clock,
+                toks[i].line,
+                "`std::env` reads host process state; thread config through explicit parameters".into(),
+            ));
+        }
+    }
+    ctx.raw.extend(found);
+}
+
+fn scan_panic(ctx: &mut FileCtx) {
+    if !in_crates(&ctx.path, PANIC_FREE_CRATES) {
+        return;
+    }
+    let mut found = Vec::new();
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        if in_test(&ctx.spans, toks[i].line) {
+            continue;
+        }
+        if i + 2 < toks.len()
+            && is_punct(&toks[i], '.')
+            && is_punct(&toks[i + 2], '(')
+        {
+            if let Some(name @ ("unwrap" | "expect")) = ident(&toks[i + 1]) {
+                found.push((
+                    Rule::Panic,
+                    toks[i + 1].line,
+                    format!("`.{name}()` can panic on the lossy path; propagate an honest failure instead"),
+                ));
+            }
+        }
+        if i + 1 < toks.len() && is_punct(&toks[i + 1], '!') {
+            if let Some(name @ ("panic" | "unreachable" | "todo" | "unimplemented")) =
+                ident(&toks[i])
+            {
+                found.push((
+                    Rule::Panic,
+                    toks[i].line,
+                    format!("`{name}!` crashes the proxy instead of failing the query honestly"),
+                ));
+            }
+        }
+    }
+    ctx.raw.extend(found);
+}
+
+const NARROW_TYPES: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+
+fn scan_narrow(ctx: &mut FileCtx) {
+    if !in_crates(&ctx.path, NARROW_CRATES) {
+        return;
+    }
+    let mut found = Vec::new();
+    let toks = &ctx.tokens;
+    for i in 0..toks.len().saturating_sub(1) {
+        if in_test(&ctx.spans, toks[i].line) {
+            continue;
+        }
+        if is_ident(&toks[i], "as") {
+            if let Some(ty) = ident(&toks[i + 1]) {
+                if NARROW_TYPES.contains(&ty) {
+                    found.push((
+                        Rule::Narrow,
+                        toks[i].line,
+                        format!("narrowing `as {ty}` cast can truncate silently; use try_from or a checked helper"),
+                    ));
+                }
+            }
+        }
+    }
+    ctx.raw.extend(found);
+}
+
+// ---------------------------------------------------------------------------
+// T1: cross-file Stats coverage
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct StatsIndex {
+    /// `pub struct FooStats` declarations outside test code:
+    /// name -> (file index, line).
+    decls: BTreeMap<String, (usize, usize)>,
+    /// Names with `Observe` evidence (`observe_counters!(Foo` or
+    /// `impl ... Observe for ... Foo`).
+    observed: BTreeSet<String>,
+    /// Idents appearing in a `fn merge(...)` signature window anywhere.
+    merged: BTreeSet<String>,
+}
+
+fn index_stats(ctx: &FileCtx, file_idx: usize, idx: &mut StatsIndex) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        if i + 2 < toks.len() && is_ident(&toks[i], "pub") && is_ident(&toks[i + 1], "struct") {
+            if let Some(name) = ident(&toks[i + 2]) {
+                if name.len() > "Stats".len()
+                    && name.ends_with("Stats")
+                    && !in_test(&ctx.spans, toks[i].line)
+                {
+                    idx.decls
+                        .entry(name.to_string())
+                        .or_insert((file_idx, toks[i].line));
+                }
+            }
+        }
+        // observe_counters!(Foo { ... })
+        if i + 3 < toks.len()
+            && is_ident(&toks[i], "observe_counters")
+            && is_punct(&toks[i + 1], '!')
+            && is_punct(&toks[i + 2], '(')
+        {
+            if let Some(name) = ident(&toks[i + 3]) {
+                idx.observed.insert(name.to_string());
+            }
+        }
+        // impl [path::]Observe for [path::]Foo { — record every ident after
+        // `for` in the impl header; only names declared as `*Stats` are ever
+        // looked up, so over-approximation is harmless.
+        if is_ident(&toks[i], "impl") {
+            let mut saw_observe = false;
+            let mut saw_for = false;
+            for t in toks.iter().skip(i + 1).take(40) {
+                match ident(t) {
+                    Some("Observe") => saw_observe = true,
+                    Some("for") => saw_for = true,
+                    Some(name) if saw_observe && saw_for => {
+                        idx.observed.insert(name.to_string());
+                    }
+                    _ => {}
+                }
+                if is_punct(t, '{') || is_punct(t, ';') {
+                    break;
+                }
+            }
+        }
+        // fn merge(&mut self, other: &Foo) — the parameter must name the
+        // concrete type (not `Self`) for the evidence to register.
+        if i + 1 < toks.len() && is_ident(&toks[i], "fn") && is_ident(&toks[i + 1], "merge") {
+            for t in toks.iter().skip(i + 2).take(25) {
+                if let Some(name) = ident(t) {
+                    idx.merged.insert(name.to_string());
+                }
+                if is_punct(t, '{') {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------------
+
+/// Lint a set of sources. Paths select which rules apply to which file (see
+/// the scope constants above); pass workspace-relative paths.
+pub fn lint(files: &[SourceFile]) -> Report {
+    let mut ctxs: Vec<FileCtx> = Vec::with_capacity(files.len());
+    for f in files {
+        let out = lex(&f.text);
+        let spans = test_spans(&out.tokens);
+        let mut annotations = Vec::new();
+        let mut raw = Vec::new();
+        for c in &out.comments {
+            match parse_annotation(c) {
+                Some(Ok(a)) => annotations.push(a),
+                Some(Err(msg)) => raw.push((Rule::Meta, c.line, msg)),
+                None => {}
+            }
+        }
+        ctxs.push(FileCtx {
+            path: f.path.clone(),
+            tokens: out.tokens,
+            spans,
+            annotations,
+            raw,
+        });
+    }
+
+    let mut stats = StatsIndex::default();
+    for (i, ctx) in ctxs.iter().enumerate() {
+        index_stats(ctx, i, &mut stats);
+    }
+    for ctx in &mut ctxs {
+        scan_det(ctx);
+        scan_clock(ctx);
+        scan_panic(ctx);
+        scan_narrow(ctx);
+    }
+    for (name, &(file_idx, line)) in &stats.decls {
+        if !stats.observed.contains(name) {
+            ctxs[file_idx].raw.push((
+                Rule::Stats,
+                line,
+                format!("pub struct {name} must implement Observe (observe_counters! or impl Observe)"),
+            ));
+        }
+        if !stats.merged.contains(name) {
+            ctxs[file_idx].raw.push((
+                Rule::Stats,
+                line,
+                format!("pub struct {name} must implement `fn merge(&mut self, other: &{name})`"),
+            ));
+        }
+    }
+
+    // Resolve allow annotations: same line, or a whole-line comment directly
+    // above the offending line.
+    let mut report = Report {
+        files_checked: files.len(),
+        ..Report::default()
+    };
+    for ctx in &mut ctxs {
+        for (rule, line, msg) in std::mem::take(&mut ctx.raw) {
+            let allowed = ctx.annotations.iter_mut().find(|a| {
+                a.rule == rule && (a.line == line || (a.whole_line && a.line + 1 == line))
+            });
+            match allowed {
+                Some(a) if rule != Rule::Meta => {
+                    a.used = true;
+                    report.allows_honored += 1;
+                }
+                _ => report.violations.push(Violation {
+                    rule,
+                    path: ctx.path.clone(),
+                    line,
+                    msg,
+                }),
+            }
+        }
+        for a in &ctx.annotations {
+            if !a.used {
+                report.violations.push(Violation {
+                    rule: Rule::Meta,
+                    path: ctx.path.clone(),
+                    line: a.line,
+                    msg: format!(
+                        "allow({}) matches no violation on its line; remove the stale annotation",
+                        a.rule.id()
+                    ),
+                });
+            }
+        }
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    report
+}
+
+/// Collect every workspace-owned `.rs` source: `src/` of the umbrella crate
+/// plus `crates/*/src/`. Vendored shims (`vendor/`), integration tests,
+/// benches, and lint fixtures are out of scope.
+pub fn collect_workspace(root: &Path) -> io::Result<Vec<SourceFile>> {
+    let mut files = Vec::new();
+    let mut roots = vec![root.join("src")];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let p = entry?.path().join("src");
+            if p.is_dir() {
+                roots.push(p);
+            }
+        }
+    }
+    for r in roots {
+        walk(&r, root, &mut files)?;
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    Ok(files)
+}
+
+fn walk(dir: &Path, root: &Path, out: &mut Vec<SourceFile>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.is_dir() {
+            walk(&p, root, out)?;
+        } else if p.extension().is_some_and(|e| e == "rs") {
+            let rel = p
+                .strip_prefix(root)
+                .unwrap_or(&p)
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            out.push(SourceFile {
+                path: rel,
+                text: fs::read_to_string(&p)?,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Walk the workspace rooted at `root` and lint everything.
+pub fn lint_workspace(root: &Path) -> io::Result<Report> {
+    Ok(lint(&collect_workspace(root)?))
+}
+
+/// Locate the workspace root: walk up from `start` until a directory holding
+/// both `Cargo.toml` and `crates/` appears.
+pub fn find_workspace_root(start: &Path) -> PathBuf {
+    let mut dir = start.to_path_buf();
+    loop {
+        if dir.join("Cargo.toml").is_file() && dir.join("crates").is_dir() {
+            return dir;
+        }
+        if !dir.pop() {
+            return start.to_path_buf();
+        }
+    }
+}

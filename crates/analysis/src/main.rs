@@ -1,0 +1,57 @@
+//! `presto-lint` CLI: lint the workspace and report violations.
+//!
+//! Usage: `cargo run -p presto-lint -- [--deny] [--root <path>]`
+//!
+//! Without flags the pass reports and exits 0; `--deny` exits 1 when any
+//! violation (including annotation-hygiene problems) remains — that is the
+//! CI mode.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut deny = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--deny" => deny = true,
+            "--root" => root = args.next().map(PathBuf::from),
+            "--help" | "-h" => {
+                println!("presto-lint [--deny] [--root <workspace root>]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("presto-lint: unknown argument `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let root = root.unwrap_or_else(|| {
+        let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+        presto_lint::find_workspace_root(&cwd)
+    });
+
+    let report = match presto_lint::lint_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("presto-lint: failed to read workspace at {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+
+    for v in &report.violations {
+        println!("{}", v.render());
+    }
+    println!(
+        "presto-lint: {} files checked, {} violations, {} allow annotations honored",
+        report.files_checked,
+        report.violations.len(),
+        report.allows_honored
+    );
+    if deny && !report.is_clean() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

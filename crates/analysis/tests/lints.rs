@@ -1,0 +1,209 @@
+//! presto-lint engine tests: one test per lint class against inline
+//! snippets, fixture files that must fire (known-bad) or stay clean
+//! (known-good), a double-run determinism check on the engine itself, and
+//! the tier-1 workspace gate: the real workspace lints clean.
+
+use presto_lint::{find_workspace_root, lint, lint_workspace, Report, SourceFile};
+use std::path::Path;
+
+/// Lint one snippet under a synthetic path (the path picks rule scope).
+fn lint_one(path: &str, text: &str) -> Report {
+    lint(&[SourceFile {
+        path: path.into(),
+        text: text.into(),
+    }])
+}
+
+fn codes(report: &Report) -> Vec<&'static str> {
+    report.violations.iter().map(|v| v.rule.code()).collect()
+}
+
+// --- D1 det -----------------------------------------------------------
+
+#[test]
+fn det_flags_hash_containers() {
+    let r = lint_one(
+        "crates/fleet/src/fixture.rs",
+        "use std::collections::{HashMap, HashSet};\n",
+    );
+    assert_eq!(codes(&r), ["D1", "D1"]);
+}
+
+#[test]
+fn det_honors_justified_allow() {
+    let r = lint_one(
+        "crates/fleet/src/fixture.rs",
+        "// presto-lint: allow(det, keys are never iterated, only probed)\n\
+         use std::collections::HashMap;\n",
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+    assert_eq!(r.allows_honored, 1);
+}
+
+// --- D2 clock ---------------------------------------------------------
+
+#[test]
+fn clock_flags_wall_clock_and_env() {
+    let r = lint_one(
+        "crates/sim/src/fixture.rs",
+        "fn t() { let _ = std::time::Instant::now(); let _ = std::env::var(\"X\"); }\n",
+    );
+    assert_eq!(codes(&r), ["D2", "D2"]);
+}
+
+#[test]
+fn clock_allowlists_bench_and_profiler() {
+    let src = "fn t() { let _ = std::time::Instant::now(); }\n";
+    assert!(lint_one("crates/bench/src/fixture.rs", src).is_clean());
+    assert!(lint_one("crates/telemetry/src/profiler.rs", src).is_clean());
+    assert!(!lint_one("crates/telemetry/src/fixture.rs", src).is_clean());
+}
+
+// --- H1 panic ---------------------------------------------------------
+
+#[test]
+fn panic_flags_unwrap_expect_and_macros_in_scope() {
+    let src = "fn f(x: Option<u64>) -> u64 {\n\
+               let a = x.unwrap();\n\
+               let b = x.expect(\"msg\");\n\
+               if a > b { panic!(\"boom\"); }\n\
+               a\n}\n";
+    let r = lint_one("crates/proxy/src/fixture.rs", src);
+    assert_eq!(codes(&r), ["H1", "H1", "H1"]);
+    // Same code outside the lossy-path crates is not H1's business.
+    assert!(lint_one("crates/telemetry/src/fixture.rs", src).is_clean());
+}
+
+#[test]
+fn panic_exempts_test_code() {
+    let src = "#[cfg(test)]\nmod tests {\n    #[test]\n    fn t() { None::<u8>.unwrap(); }\n}\n";
+    assert!(lint_one("crates/proxy/src/fixture.rs", src).is_clean());
+}
+
+// --- N1 narrow --------------------------------------------------------
+
+#[test]
+fn narrow_flags_truncating_casts_in_scope() {
+    let src = "fn f(x: usize) -> u16 { x as u16 }\n";
+    let r = lint_one("crates/sensor/src/fixture.rs", src);
+    assert_eq!(codes(&r), ["N1"]);
+    // Widening casts are fine; out-of-scope crates are fine.
+    assert!(lint_one("crates/sensor/src/fixture.rs", "fn g(x: u16) -> u64 { x as u64 }\n").is_clean());
+    assert!(lint_one("crates/telemetry/src/fixture.rs", src).is_clean());
+}
+
+// --- T1 stats ---------------------------------------------------------
+
+#[test]
+fn stats_requires_observe_and_merge() {
+    let r = lint_one(
+        "crates/telemetry/src/fixture.rs",
+        "pub struct OrphanStats { pub hits: u64 }\n",
+    );
+    assert_eq!(codes(&r), ["T1", "T1"]);
+    assert!(r.violations[0].msg.contains("Observe"));
+    assert!(r.violations[1].msg.contains("merge"));
+}
+
+#[test]
+fn stats_satisfied_by_observe_and_merge_evidence() {
+    // Evidence may live in a different file than the declaration.
+    let decl = SourceFile {
+        path: "crates/telemetry/src/fixture_a.rs".into(),
+        text: "pub struct WiredStats { pub hits: u64 }\n\
+               impl WiredStats { pub fn merge(&mut self, other: &WiredStats) { self.hits += other.hits; } }\n"
+            .into(),
+    };
+    let wiring = SourceFile {
+        path: "crates/telemetry/src/fixture_b.rs".into(),
+        text: "fn reg(s: &WiredStats) { observe_counters!(WiredStats, s); }\n".into(),
+    };
+    let r = lint(&[decl, wiring]);
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+}
+
+// --- A0 meta ----------------------------------------------------------
+
+#[test]
+fn meta_flags_stale_unknown_and_reasonless_allows() {
+    let r = lint_one(
+        "crates/fleet/src/fixture.rs",
+        "// presto-lint: allow(det, nothing on the next line needs this)\n\
+         fn quiet() {}\n\
+         // presto-lint: allow(bogus, no such rule)\n\
+         // presto-lint: allow(clock)\n",
+    );
+    assert_eq!(codes(&r), ["A0", "A0", "A0"]);
+}
+
+// --- fixtures ---------------------------------------------------------
+
+#[test]
+fn known_bad_fixture_fires_every_lint_class() {
+    let r = lint_one(
+        "crates/proxy/src/fixture_bad.rs",
+        include_str!("../fixtures/known_bad.rs"),
+    );
+    let fired = codes(&r);
+    for code in ["D1", "D2", "H1", "N1", "T1", "A0"] {
+        assert!(fired.contains(&code), "{code} did not fire; got {fired:?}");
+    }
+    assert_eq!(r.allows_honored, 0);
+}
+
+#[test]
+fn known_good_fixture_is_clean() {
+    let r = lint_one(
+        "crates/proxy/src/fixture_good.rs",
+        include_str!("../fixtures/known_good.rs"),
+    );
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+    assert_eq!(r.allows_honored, 1);
+}
+
+// --- engine determinism -----------------------------------------------
+
+#[test]
+fn double_run_report_is_byte_identical() {
+    let files = [
+        SourceFile {
+            path: "crates/proxy/src/fixture_bad.rs".into(),
+            text: include_str!("../fixtures/known_bad.rs").into(),
+        },
+        SourceFile {
+            path: "crates/proxy/src/fixture_good.rs".into(),
+            text: include_str!("../fixtures/known_good.rs").into(),
+        },
+    ];
+    let render = |r: &Report| {
+        r.violations
+            .iter()
+            .map(|v| v.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let (a, b) = (lint(&files), lint(&files));
+    assert!(!a.violations.is_empty());
+    assert_eq!(render(&a), render(&b));
+    assert_eq!(a.allows_honored, b.allows_honored);
+}
+
+// --- the real workspace (tier-1 gate) ---------------------------------
+
+#[test]
+fn workspace_lints_clean() {
+    let root = find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")));
+    let report = lint_workspace(&root).expect("workspace sources readable");
+    assert!(
+        report.files_checked > 50,
+        "suspiciously few files: {}",
+        report.files_checked
+    );
+    let rendered = report
+        .violations
+        .iter()
+        .map(|v| v.render())
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert!(report.is_clean(), "workspace lint violations:\n{rendered}");
+}

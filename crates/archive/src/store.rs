@@ -37,7 +37,7 @@
 //! `archive_query` bench compare against.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, VecDeque};
 
 use presto_net::FlashModel;
 use presto_sim::{EnergyLedger, SimTime};
@@ -202,6 +202,18 @@ presto_telemetry::observe_counters!(ArchiveStats {
     pages_pruned,
 });
 
+impl ArchiveStats {
+    /// Accumulates another archive's counters (fleet aggregation).
+    pub fn merge(&mut self, other: &ArchiveStats) {
+        self.records_appended += other.records_appended;
+        self.segments_reclaimed += other.segments_reclaimed;
+        self.samples_aged += other.samples_aged;
+        self.page_cache_hits += other.page_cache_hits;
+        self.page_cache_misses += other.page_cache_misses;
+        self.pages_pruned += other.pages_pruned;
+    }
+}
+
 /// A bounded LRU of decoded pages, keyed by absolute page index.
 ///
 /// Pages are immutable between program and block erase, so entries stay
@@ -209,7 +221,7 @@ presto_telemetry::observe_counters!(ArchiveStats {
 #[derive(Debug, Default)]
 struct PageLru {
     cap: usize,
-    entries: HashMap<usize, Vec<Record>>,
+    entries: BTreeMap<usize, Vec<Record>>,
     /// LRU order, least recently used first.
     order: VecDeque<usize>,
 }
@@ -218,7 +230,7 @@ impl PageLru {
     fn new(cap: usize) -> Self {
         PageLru {
             cap,
-            entries: HashMap::with_capacity(cap),
+            entries: BTreeMap::new(),
             order: VecDeque::with_capacity(cap),
         }
     }
@@ -542,7 +554,7 @@ impl ArchiveStore {
                 RecordPayload::Summary { start, .. } => (0u8, start.as_micros()),
                 _ => (1u8, carried[i].timestamp.as_micros()),
             });
-            let mut drop = std::collections::HashSet::new();
+            let mut drop = std::collections::BTreeSet::new();
             for &i in &order {
                 if total <= budget {
                     break;

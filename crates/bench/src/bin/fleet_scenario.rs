@@ -11,13 +11,20 @@
 //! completion fairness improves, zero stale-confident answers appear
 //! in either arm, and every leak probe reads zero after the proxy
 //! crash + re-home cycle.
+//! `fleet_scenario --determinism` runs the quick arm twice with the
+//! same seed and exits non-zero unless the full telemetry snapshot and
+//! the completion set are byte-identical across the two runs.
 
 use presto_bench::experiments::render_json;
-use presto_bench::fleet::{fleet_scenario, FleetScenarioConfig};
+use presto_bench::fleet::{determinism_fingerprint, fleet_scenario, FleetScenarioConfig};
 use presto_bench::report::{render_summary, write_bench_json, BenchJson, MetricLine};
 
 fn main() {
     let arg = std::env::args().nth(1);
+    if arg.as_deref() == Some("--determinism") {
+        determinism_audit();
+        return;
+    }
     let quick = arg.as_deref() == Some("--quick");
     let cfg = if quick {
         FleetScenarioConfig::quick()
@@ -153,4 +160,50 @@ fn main() {
         r.shed_off.fairness,
         r.shed_on.rehomed
     );
+}
+
+/// Same-seed double run of the quick shedding arm: the telemetry
+/// snapshot and completion set must match byte for byte.
+fn determinism_audit() {
+    let cfg = FleetScenarioConfig::quick();
+    let a = determinism_fingerprint(&cfg, true);
+    let b = determinism_fingerprint(&cfg, true);
+    let snap_ok = a.snapshot == b.snapshot;
+    let comp_ok = a.completions == b.completions;
+    println!(
+        "determinism audit: snapshot {} bytes ({}), completions {} lines ({})",
+        a.snapshot.len(),
+        if snap_ok { "identical" } else { "DIVERGED" },
+        a.completions.lines().count(),
+        if comp_ok { "identical" } else { "DIVERGED" },
+    );
+    if !snap_ok {
+        for (la, lb) in a.snapshot.lines().zip(b.snapshot.lines()) {
+            if la != lb {
+                eprintln!("snapshot diff:\n  run1: {la}\n  run2: {lb}");
+            }
+        }
+    }
+    if !comp_ok {
+        let diverged = a
+            .completions
+            .lines()
+            .zip(b.completions.lines())
+            .enumerate()
+            .find(|(_, (la, lb))| la != lb);
+        if let Some((i, (la, lb))) = diverged {
+            eprintln!("completion diff at line {i}:\n  run1: {la}\n  run2: {lb}");
+        } else {
+            eprintln!(
+                "completion count diff: {} vs {} lines",
+                a.completions.lines().count(),
+                b.completions.lines().count()
+            );
+        }
+    }
+    if !(snap_ok && comp_ok) {
+        eprintln!("fleet determinism audit FAILED");
+        std::process::exit(1);
+    }
+    println!("fleet determinism audit passed");
 }

@@ -337,8 +337,8 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
     // NOW queries answer "the value when you asked" (the pipeline's
     // value-identity contract anchors at submission), so the
     // stale-confidence oracle is the truth at submission time.
-    let mut truth_at_submit: std::collections::HashMap<u64, f64> =
-        std::collections::HashMap::new();
+    let mut truth_at_submit: std::collections::BTreeMap<u64, f64> =
+        std::collections::BTreeMap::new();
     for e in 0..query_epochs + drain_epochs {
         if e < query_epochs {
             let t = fleet.now();
@@ -484,6 +484,68 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
         radio_bytes: snap.get("sensor.bytes_sent").unwrap_or(0.0) as u64,
         sensor_energy_j: fleet.system.sensor_ledger_total().total(),
         metrics: snap.flatten(),
+    }
+}
+
+/// One same-seed arm reduced to byte-comparable artifacts: the dynamic
+/// half of the determinism story (the static half is `presto-lint`'s D1
+/// pass — see ANALYSIS.md). Two runs with the same config must produce
+/// identical strings, byte for byte; any divergence means something
+/// outside the seeded RNGs (iteration order, wall-clock, uninitialized
+/// state) leaked into behavior.
+pub struct DeterminismFingerprint {
+    /// `Snapshot::render()` of the final unified telemetry tree — every
+    /// counter, gauge, and histogram bucket in sorted dotted-path order.
+    pub snapshot: String,
+    /// One `Debug` line per completion, in completion order: ticket,
+    /// query, routing (entry/served_by/forwarded), the full answer
+    /// (values, sigma, provenance, data_through), and both timestamps.
+    pub completions: String,
+}
+
+/// Drives one arm exactly like the scenario does and fingerprints it.
+pub fn determinism_fingerprint(cfg: &FleetScenarioConfig, shed: bool) -> DeterminismFingerprint {
+    use std::fmt::Write as _;
+    let epoch = SystemConfig::default().lab.epoch;
+    let warmup_epochs = SimDuration::from_hours(cfg.warmup_hours).div_duration(epoch);
+    let query_epochs = SimDuration::from_hours(cfg.query_hours).div_duration(epoch);
+    let drain_epochs = SimDuration::from_mins(14).div_duration(epoch) + 4;
+
+    let mut fleet = fleet(cfg, shed);
+    for _ in 0..warmup_epochs {
+        fleet.step_epoch();
+    }
+    let mut gen = load(cfg);
+    let mut completions = String::new();
+    for e in 0..query_epochs + drain_epochs {
+        if e < query_epochs {
+            let t = fleet.now();
+            for a in gen.step(t, epoch) {
+                fleet.submit_arrival(&a);
+            }
+        }
+        fleet.step_epoch();
+        for c in fleet.take_completed() {
+            let _ = writeln!(completions, "{c:?}");
+        }
+    }
+    // The profiler section is host wall-clock phase timing — the same
+    // telemetry-timer carve-out the static D2 allowlist grants
+    // `crates/telemetry/src/profiler.rs` — so it is excluded from the
+    // byte-identity check; everything else in the tree must match.
+    let snapshot = fleet
+        .telemetry_snapshot()
+        .render()
+        .lines()
+        .filter(|l| !l.starts_with("profiler."))
+        .fold(String::new(), |mut out, l| {
+            out.push_str(l);
+            out.push('\n');
+            out
+        });
+    DeterminismFingerprint {
+        snapshot,
+        completions,
     }
 }
 

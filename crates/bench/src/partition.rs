@@ -292,8 +292,8 @@ fn run_arm(cfg: &PartitionScenarioConfig, partition: bool) -> PartitionArmReport
     let mut trace_bad = 0u64;
     let mut failed_tickets: Vec<u64> = Vec::new();
 
-    let mut truth_at_submit: std::collections::HashMap<u64, f64> =
-        std::collections::HashMap::new();
+    let mut truth_at_submit: std::collections::BTreeMap<u64, f64> =
+        std::collections::BTreeMap::new();
     for e in 0..query_epochs + drain_epochs {
         if e < query_epochs {
             let t = fleet.now();

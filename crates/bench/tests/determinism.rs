@@ -1,0 +1,39 @@
+//! Dynamic determinism audit (tier-1): a same-seed double run of the
+//! fleet scenario arm must be byte-identical — full telemetry snapshot
+//! and completion set. This catches at runtime whatever the static D1
+//! pass (`presto-lint`) misses: any iteration-order, wall-clock, or
+//! uninitialized-state leak into simulated behavior shows up here as a
+//! diverging counter or completion line.
+
+use presto_bench::fleet::{determinism_fingerprint, FleetScenarioConfig};
+
+#[test]
+fn same_seed_double_run_is_byte_identical() {
+    // A shrunken quick config: enough warmup to build models and enough
+    // query phase to exercise submit/shed/pull/fail paths, small enough
+    // for a debug-mode test.
+    let cfg = FleetScenarioConfig {
+        warmup_hours: 3,
+        query_hours: 1,
+        ..FleetScenarioConfig::quick()
+    };
+    let a = determinism_fingerprint(&cfg, true);
+    let b = determinism_fingerprint(&cfg, true);
+
+    assert!(
+        !a.completions.is_empty(),
+        "audit vacuous: no completions recorded"
+    );
+    assert!(
+        a.snapshot.contains("pipeline."),
+        "audit vacuous: snapshot missing pipeline section"
+    );
+    assert_eq!(
+        a.snapshot, b.snapshot,
+        "telemetry snapshot diverged between same-seed runs"
+    );
+    assert_eq!(
+        a.completions, b.completions,
+        "completion set diverged between same-seed runs"
+    );
+}

@@ -19,6 +19,18 @@ pub mod run;
 pub mod store;
 pub mod system;
 
+/// Converts a global sensor index to its `u16` wire id.
+///
+/// Sensor ids travel the radio as `u16`; [`system::PrestoSystem::new`]
+/// asserts at construction that the sensor space fits, so this cast can
+/// never truncate in a constructed system. Keep every index→wire-id
+/// conversion behind this helper instead of scattering raw `as u16` casts.
+pub fn gid16(gid: usize) -> u16 {
+    debug_assert!(gid <= u16::MAX as usize, "sensor id {gid} exceeds u16 wire id space");
+    // presto-lint: allow(narrow, sensor space asserted <= u16::MAX at PrestoSystem construction)
+    gid as u16
+}
+
 pub use presto_proxy::{CompletedQuery, PipelineAnswer, PipelineQuery, PipelineStats};
 pub use run::run_presto;
 pub use store::{StoreQuery, StoreResponse, UnifiedStore};

@@ -27,7 +27,7 @@ pub fn run_presto(cfg: &DriverConfig) -> ArchReport {
         ..ProxyConfig::default()
     });
     for i in 0..cfg.sensors {
-        proxy.register_sensor(i as u16);
+        proxy.register_sensor(crate::gid16(i));
     }
 
     let mut rb = ReportBuilder::default();
@@ -47,14 +47,14 @@ pub fn run_presto(cfg: &DriverConfig) -> ArchReport {
         }
         if e % train_every == 0 {
             for s in 0..cfg.sensors {
-                proxy.maybe_train_and_push(t, s as u16, &mut dep.nodes[s], &mut dep.downlinks[s]);
+                proxy.maybe_train_and_push(t, crate::gid16(s), &mut dep.nodes[s], &mut dep.downlinks[s]);
             }
         }
         while qi < dep.queries.len() && dep.queries[qi].arrival <= t + dep.epoch {
             let q = dep.queries[qi];
             qi += 1;
             let sensor = match q.target {
-                QueryTarget::Sensor(s) => (s.min(cfg.sensors - 1)) as u16,
+                QueryTarget::Sensor(s) => crate::gid16(s.min(cfg.sensors - 1)),
                 QueryTarget::ProxyGroup(_) => 0,
             };
             match q.scope {

@@ -175,6 +175,10 @@ impl PrestoSystem {
     /// Builds the deployment.
     pub fn new(config: SystemConfig) -> Self {
         let total = config.proxies * config.sensors_per_proxy;
+        assert!(
+            total <= u16::MAX as usize,
+            "sensor space {total} exceeds the u16 wire id space"
+        );
         let rng = SimRng::new(config.seed);
         let mut proxies = Vec::with_capacity(config.proxies);
         let mut nodes = Vec::with_capacity(config.proxies);
@@ -207,7 +211,7 @@ impl PrestoSystem {
             let mut cluster = Vec::with_capacity(config.sensors_per_proxy);
             let mut links = Vec::with_capacity(config.sensors_per_proxy);
             for s in 0..config.sensors_per_proxy {
-                let gid = (p * config.sensors_per_proxy + s) as u16;
+                let gid = crate::gid16(p * config.sensors_per_proxy + s);
                 proxy.register_sensor(gid);
                 let cfg = SensorConfig {
                     push: PushPolicy::ModelDriven {
@@ -322,7 +326,11 @@ impl PrestoSystem {
     /// index and the routing hop count (the index-lookup cost a
     /// distributed deployment would pay).
     pub fn route(&self, global: u16) -> (usize, u64) {
-        let intro = self.index.introducer().expect("non-empty index");
+        // An empty index means nothing is registered yet: route to proxy 0
+        // with zero hops rather than crashing the query path.
+        let Some(intro) = self.index.introducer() else {
+            return (0, 0);
+        };
         let (owner_key, stats) = self.index.search(intro, global as u64);
         let key = owner_key.unwrap_or(0);
         ((key as usize) / self.config.sensors_per_proxy, stats.hops)
@@ -369,7 +377,7 @@ impl PrestoSystem {
                 self.proxies[p].crash_reset();
                 for gid in 0..self.total_sensors() {
                     if self.assignment[gid] == p {
-                        let (hp, hs) = self.locate(gid as u16);
+                        let (hp, hs) = self.locate(crate::gid16(gid));
                         self.downlinks[hp][hs].reset_proxy_state();
                     }
                 }
@@ -391,7 +399,7 @@ impl PrestoSystem {
             shared.advance(1);
         }
         for gid in 0..self.total_sensors() {
-            let (p, s) = self.locate(gid as u16);
+            let (p, s) = self.locate(crate::gid16(gid));
             let down = self.config.faults.is_down(gid, t);
             if down && !self.was_down[gid] {
                 // Crash onset: the unacked retransmission window lives
@@ -466,7 +474,7 @@ impl PrestoSystem {
             if self.config.faults.is_down(gid, t) {
                 continue;
             }
-            let (p, s) = self.locate(gid as u16);
+            let (p, s) = self.locate(crate::gid16(gid));
             let local_t = self.clocks[gid].local_time(t);
             let hb = {
                 let node = &mut self.nodes[p][s];
@@ -555,10 +563,10 @@ impl PrestoSystem {
                 {
                     continue;
                 }
-                let (hp, hs) = self.locate(gid as u16);
+                let (hp, hs) = self.locate(crate::gid16(gid));
                 let node = &mut self.nodes[hp][hs];
                 let chan = &mut self.downlinks[hp][hs];
-                self.proxies[sp].maybe_train_and_push(t, gid as u16, node, chan);
+                self.proxies[sp].maybe_train_and_push(t, crate::gid16(gid), node, chan);
             }
             for p in 0..self.config.proxies {
                 if !self.config.faults.proxy_down(p, t) {
@@ -606,7 +614,7 @@ impl PrestoSystem {
                 .enumerate()
                 .filter(|&(gid, _)| assignment[gid] == p)
                 .map(|(gid, (node, chan))| presto_proxy::PumpSensor {
-                    gid: gid as u16,
+                    gid: crate::gid16(gid),
                     node,
                     chan,
                 })
@@ -636,8 +644,8 @@ impl PrestoSystem {
             return;
         }
         self.assignment[gid] = proxy;
-        self.proxies[proxy].register_sensor(gid as u16);
-        let (hp, hs) = self.locate(gid as u16);
+        self.proxies[proxy].register_sensor(crate::gid16(gid));
+        let (hp, hs) = self.locate(crate::gid16(gid));
         self.downlinks[hp][hs].reset_proxy_state();
     }
 
@@ -684,12 +692,12 @@ impl PrestoSystem {
                 self.gaps.request_recovery(r.sensor, r.from, r.to, r.detected_at);
                 continue;
             }
-            let (p, s) = self.locate(r.sensor as u16);
+            let (p, s) = self.locate(crate::gid16(r.sensor));
             let (from, to) = padded_span(r.from, r.to, self.config.reliability.recovery_pad);
             let tolerance = self.config.reliability.recovery_tolerance;
             let node = &mut self.nodes[p][s];
             let chan = &mut self.downlinks[p][s];
-            match self.proxies[sp].recover_span(t, r.sensor as u16, from, to, tolerance, node, chan)
+            match self.proxies[sp].recover_span(t, crate::gid16(r.sensor), from, to, tolerance, node, chan)
             {
                 Some(samples) => {
                     self.gaps.complete(&r, samples as u64, t);

@@ -11,7 +11,7 @@
 //! numbers from a per-proxy namespace so the sensor's duplicate filter
 //! keeps working with two proxies talking to it at once.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use presto_core::{PrestoSystem, SystemConfig};
 use presto_net::{LinkModel, LossProcess};
@@ -74,7 +74,7 @@ pub struct FleetDeployment {
     pub mesh: InterLinkMesh,
     /// Cross-proxy downlink channels for shed queries, keyed
     /// `(driving proxy, sensor)`.
-    foreign: HashMap<(usize, u16), DownlinkChannel>,
+    foreign: BTreeMap<(usize, u16), DownlinkChannel>,
     rng: presto_sim::SimRng,
     /// Sensors re-homed across proxy deaths.
     rehomed: u64,
@@ -111,7 +111,7 @@ impl FleetDeployment {
             router: FleetRouter::new(config.router),
             membership: FleetMembership::new(config.membership, proxies),
             mesh: InterLinkMesh::new(config.interlink, proxies),
-            foreign: HashMap::new(),
+            foreign: BTreeMap::new(),
             rng: presto_sim::SimRng::new(seed ^ 0xF1EE7),
             rehomed: 0,
             proxy_was_down: vec![false; proxies],
@@ -195,7 +195,7 @@ impl FleetDeployment {
         let mut min_frac = vec![1.0f64; self.system.config().proxies];
         for gid in 0..self.system.total_sensors() {
             let p = self.system.assignment()[gid];
-            let (hp, hs) = self.system.locate(gid as u16);
+            let (hp, hs) = self.system.locate(presto_core::gid16(gid));
             min_frac[p] = min_frac[p].min(self.system.downlinks[hp][hs].budget_remaining_j() / cap);
         }
         for ((fp, _), chan) in self.foreign.iter() {
@@ -213,7 +213,7 @@ impl FleetDeployment {
     pub fn arrival_gid(&self, a: &FleetArrival) -> u16 {
         let spp = self.system.config().sensors_per_proxy;
         let entry = a.group.min(self.system.config().proxies - 1);
-        (entry * spp + a.arrival.sensor_slot.min(spp - 1)) as u16
+        presto_core::gid16(entry * spp + a.arrival.sensor_slot.min(spp - 1))
     }
 
     /// Submits a workload arrival: maps `(group, slot)` to a global
@@ -441,7 +441,9 @@ impl FleetDeployment {
                 FleetMsg::Completion { ticket, answer } => {
                     self.router.on_completion_msg(t, ticket, answer);
                 }
-                FleetMsg::Heartbeat { .. } => unreachable!("consumed above"),
+                // Heartbeats were consumed by the membership pass above;
+                // one slipping through is dropped, not a crash.
+                FleetMsg::Heartbeat { .. } => {}
             }
         }
 
@@ -584,12 +586,15 @@ impl FleetDeployment {
             let mut view: Vec<PumpSensor<'_>> = Vec::new();
             for (gid, &owner) in assignment.iter().enumerate() {
                 if owner == p {
-                    view.push(PumpSensor {
-                        gid: gid as u16,
-                        node: node_refs[gid].take().expect("each sensor taken once"),
-                        chan: chan_refs[gid].take().expect("each channel taken once"),
-                    });
-                    self.pump_log.push((p, gid as u16, false));
+                    let taken = (node_refs[gid].take(), chan_refs[gid].take());
+                    if let (Some(node), Some(chan)) = taken {
+                        view.push(PumpSensor {
+                            gid: presto_core::gid16(gid),
+                            node,
+                            chan,
+                        });
+                        self.pump_log.push((p, presto_core::gid16(gid), false));
+                    }
                 }
             }
             for ((fp, gid), chan) in self.foreign.iter_mut() {
@@ -623,12 +628,10 @@ impl FleetDeployment {
                 if self.system.assignment()[gid] != dead {
                     continue;
                 }
-                let adopter = *candidates
-                    .iter()
-                    .min_by_key(|&&p| {
-                        self.system.assignment().iter().filter(|&&a| a == p).count()
-                    })
-                    .expect("non-empty candidates");
+                let least_loaded = candidates.iter().min_by_key(|&&p| {
+                    self.system.assignment().iter().filter(|&&a| a == p).count()
+                });
+                let Some(&adopter) = least_loaded else { break };
                 self.system.rehome_sensor(gid, adopter);
                 self.rehomed += 1;
                 // Warm the adopter: replay the span the fleet stopped

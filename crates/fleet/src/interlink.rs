@@ -16,7 +16,7 @@
 //! bursts hit every forwarding decision at once, exactly when shedding
 //! is most tempting.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 use presto_net::{GilbertElliott, LinkModel, LossProcess, SharedLossState};
 use presto_proxy::{PipelineAnswer, PipelineQuery};
@@ -161,11 +161,11 @@ pub struct InterLinkMesh {
     config: InterLinkConfig,
     proxies: usize,
     /// Forward-path loss per ordered pair, lazily built.
-    links: HashMap<(usize, usize), LinkModel>,
+    links: BTreeMap<(usize, usize), LinkModel>,
     /// Next sequence number per ordered pair.
-    next_seq: HashMap<(usize, usize), u64>,
+    next_seq: BTreeMap<(usize, usize), u64>,
     /// Delivered sequence numbers per ordered pair (receiver dedup).
-    delivered: HashMap<(usize, usize), HashSet<u64>>,
+    delivered: BTreeMap<(usize, usize), BTreeSet<u64>>,
     /// Mesh-wide shared fading state, advanced by the driver.
     shared: Option<SharedLossState>,
     /// Per-proxy gate: a down proxy neither sends nor receives.
@@ -184,9 +184,9 @@ impl InterLinkMesh {
             .map(|chain| SharedLossState::new(chain, rng.split("il-shared")));
         InterLinkMesh {
             proxies,
-            links: HashMap::new(),
-            next_seq: HashMap::new(),
-            delivered: HashMap::new(),
+            links: BTreeMap::new(),
+            next_seq: BTreeMap::new(),
+            delivered: BTreeMap::new(),
             shared,
             up: vec![true; proxies],
             pending: Vec::new(),

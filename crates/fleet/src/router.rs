@@ -35,7 +35,7 @@
 //! oscillating around the threshold cannot flap the shedding decision
 //! every submission.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use presto_proxy::{
     Answer, AnswerSource, CompletedQuery, PastAnswer, PipelineAnswer, PipelineQuery, QueryClass,
@@ -246,9 +246,9 @@ pub struct FleetRouter {
     config: FleetRouterConfig,
     matcher: QuerySensorMatcher,
     next_ticket: u64,
-    open: HashMap<u64, Ticket>,
+    open: BTreeMap<u64, Ticket>,
     /// (serving proxy, its pipeline ticket) → fleet ticket.
-    by_proxy_ticket: HashMap<(usize, u64), u64>,
+    by_proxy_ticket: BTreeMap<(usize, u64), u64>,
     completed: Vec<FleetCompletion>,
     /// EWMA-smoothed pressure score per proxy (grown on demand).
     smoothed: Vec<f64>,
@@ -276,8 +276,8 @@ impl FleetRouter {
         FleetRouter {
             matcher,
             next_ticket: 1,
-            open: HashMap::new(),
-            by_proxy_ticket: HashMap::new(),
+            open: BTreeMap::new(),
+            by_proxy_ticket: BTreeMap::new(),
             completed: Vec::new(),
             smoothed: Vec::new(),
             hot: Vec::new(),
@@ -532,11 +532,7 @@ impl FleetRouter {
                 .iter()
                 .enumerate()
                 .filter(|&(p, r)| p != serving && r.live)
-                .min_by(|a, b| {
-                    a.1.score()
-                        .partial_cmp(&b.1.score())
-                        .expect("scores are finite")
-                });
+                .min_by(|a, b| a.1.score().total_cmp(&b.1.score()));
             if let Some((peer, reading)) = coolest {
                 if reading.score() + self.config.shed_margin <= pressures[serving].score() {
                     target = peer;
@@ -639,7 +635,12 @@ impl FleetRouter {
     }
 
     fn terminal(&mut self, t: SimTime, ticket: u64, served_by: usize, answer: PipelineAnswer) {
-        let tk = self.open.remove(&ticket).expect("checked by callers");
+        let Some(tk) = self.open.remove(&ticket) else {
+            // Callers check membership, but a double completion must not
+            // crash the router: count it as a late arrival and move on.
+            self.stats.late_dropped += 1;
+            return;
+        };
         if tk.forwarded {
             self.stats.completed_remote += 1;
         } else {
@@ -706,7 +707,7 @@ impl FleetRouter {
             .map(|(&id, _)| id)
             .collect();
         for ticket in overdue {
-            let tk = self.open.remove(&ticket).expect("just listed");
+            let Some(tk) = self.open.remove(&ticket) else { continue };
             self.by_proxy_ticket.retain(|_, &mut v| v != ticket);
             self.stats.failed_deadline += 1;
             self.close_trace(
@@ -752,7 +753,7 @@ impl FleetRouter {
             .collect();
         let mut resume = Vec::new();
         for ticket in affected {
-            let tk = self.open.get(&ticket).expect("just listed").clone();
+            let Some(tk) = self.open.get(&ticket).cloned() else { continue };
             if tk.entry == dead {
                 self.open.remove(&ticket);
                 self.stats.failed_entry_dead += 1;

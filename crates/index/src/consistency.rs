@@ -7,7 +7,7 @@
 //! models at the wireless proxies may need to be further replicated at
 //! the wired proxies to enable low-latency query responses" (paper §5).
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use presto_sim::{SimDuration, SimTime};
 
@@ -45,7 +45,7 @@ pub struct ReplicaEntry {
 /// equal version → lower proxy id (deterministic tiebreak).
 #[derive(Clone, Debug, Default)]
 pub struct ConsistencyManager {
-    cells: HashMap<(u16, u64), ReplicaEntry>,
+    cells: BTreeMap<(u16, u64), ReplicaEntry>,
     /// Conflicts observed (both sides present, different values).
     pub conflicts_resolved: u64,
 }

@@ -14,7 +14,7 @@
 //! index tracks the longest registered span so a stabbing query knows
 //! how far left of the window it must scan.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use presto_sim::SimTime;
 
@@ -34,7 +34,7 @@ struct IntervalEntry {
 pub struct TimeRangeIndex {
     graph: SkipGraph<u64>,
     /// start-micros → registered intervals beginning there.
-    entries: HashMap<u64, Vec<IntervalEntry>>,
+    entries: BTreeMap<u64, Vec<IntervalEntry>>,
     /// Longest registered `end - start`, bounding the leftward scan of a
     /// stabbing query.
     max_span_us: u64,
@@ -48,7 +48,7 @@ impl TimeRangeIndex {
     pub fn new(seed: u64) -> Self {
         TimeRangeIndex {
             graph: SkipGraph::new(seed),
-            entries: HashMap::new(),
+            entries: BTreeMap::new(),
             max_span_us: 0,
             registered: 0,
             seed,

@@ -68,7 +68,7 @@ impl QuerySensorMatcher {
         self.classes
             .iter()
             .map(|c| c.tolerance)
-            .min_by(|a, b| a.partial_cmp(b).expect("tolerances are finite"))
+            .min_by(|a, b| a.total_cmp(b))
     }
 
     /// The deadline a query of the given tolerance earns under the
@@ -87,8 +87,7 @@ impl QuerySensorMatcher {
             .min_by(|a, b| {
                 (a.tolerance - tolerance)
                     .abs()
-                    .partial_cmp(&(b.tolerance - tolerance).abs())
-                    .expect("tolerances are finite")
+                    .total_cmp(&(b.tolerance - tolerance).abs())
                     .then(a.latency_bound.cmp(&b.latency_bound))
             })
             .map(|c| c.latency_bound)
@@ -101,8 +100,11 @@ impl QuerySensorMatcher {
         if self.classes.is_empty() {
             return None;
         }
-        let latency = self.tightest_latency().expect("non-empty");
-        let tolerance = self.tightest_tolerance().expect("non-empty");
+        let (Some(latency), Some(tolerance)) =
+            (self.tightest_latency(), self.tightest_tolerance())
+        else {
+            return None;
+        };
         let duty = DutyCycle::for_latency_bound(latency);
         Some(DownlinkMsg::Retune {
             push_tolerance: Some(tolerance),

@@ -191,7 +191,7 @@ pub struct CompletedQuery {
 /// serving a sub-window slice of a differently-encoded reply would
 /// break value-identity with the synchronous reference path, because
 /// the reply codec is applied per reply, not per sample.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub(crate) enum PullKey {
     /// An archive pull.
     Pull {

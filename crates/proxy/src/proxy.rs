@@ -16,7 +16,7 @@
 //! direct-call path; downlink loss surfaces as query latency and
 //! [`AnswerSource::Failed`] answers.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 use presto_models::SpatialGaussian;
 use presto_net::Mac;
@@ -181,6 +181,26 @@ presto_telemetry::observe_counters!(ProxyStats {
     replica_resyncs,
 });
 
+impl ProxyStats {
+    /// Accumulates another proxy's counters (fleet aggregation).
+    pub fn merge(&mut self, other: &ProxyStats) {
+        self.uplinks += other.uplinks;
+        self.samples_cached += other.samples_cached;
+        self.events_cached += other.events_cached;
+        self.now_queries += other.now_queries;
+        self.past_queries += other.past_queries;
+        self.cache_hits += other.cache_hits;
+        self.extrapolations += other.extrapolations;
+        self.spatial_extrapolations += other.spatial_extrapolations;
+        self.pulls += other.pulls;
+        self.pull_failures += other.pull_failures;
+        self.models_pushed += other.models_pushed;
+        self.retunes_pushed += other.retunes_pushed;
+        self.recovery_pulls += other.recovery_pulls;
+        self.replica_resyncs += other.replica_resyncs;
+    }
+}
+
 /// One sensor's radio endpoints as seen by a pumping proxy: the node
 /// and the downlink channel this proxy drives towards it. The pump
 /// works over an arbitrary set of these — a proxy's own cluster, a
@@ -208,7 +228,7 @@ struct SensorSlot {
 pub struct PrestoProxy {
     config: ProxyConfig,
     engine: PredictionEngine,
-    sensors: HashMap<u16, SensorSlot>,
+    sensors: BTreeMap<u16, SensorSlot>,
     /// Time-indexed, capacity-bounded semantic event cache.
     events: EventCache,
     /// `[min, max]` timestamp over *all* events ever cached (survives
@@ -246,7 +266,7 @@ impl PrestoProxy {
         PrestoProxy {
             engine,
             downlink,
-            sensors: HashMap::new(),
+            sensors: BTreeMap::new(),
             events: EventCache::new(config.event_capacity),
             events_span: None,
             sealed_spans: Vec::new(),
@@ -468,8 +488,12 @@ impl PrestoProxy {
         let delivered = self.rpc(t, &msg, node, chan).delivered;
         // Install only if the sensor acknowledged it; otherwise the
         // replicas would diverge.
+        let Some(slot) = self.sensors.get_mut(&sensor) else {
+            // Registration checked on entry, but an unregistered sensor
+            // simply has no replica to update.
+            return false;
+        };
         if delivered && node.has_model() {
-            let slot = self.sensors.get_mut(&sensor).expect("registered");
             slot.model = Some(trained);
             slot.model_installed_at = Some(t);
             self.stats.models_pushed += 1;
@@ -482,7 +506,6 @@ impl PrestoProxy {
             // silently false. We cannot tell the two cases apart, so
             // drop the replica: queries fall back to honest pulls until
             // a later confirmed push resynchronizes both ends.
-            let slot = self.sensors.get_mut(&sensor).expect("registered");
             slot.model = None;
             slot.model_installed_at = None;
             false
@@ -667,17 +690,14 @@ impl PrestoProxy {
             node,
             chan,
         );
-        match reply {
-            Some(samples) if !samples.is_empty() => {
-                let last = samples.last().expect("non-empty");
-                Answer {
-                    value: last.1,
-                    sigma: tolerance / 2.0,
-                    source: AnswerSource::Pulled,
-                    latency,
-                    data_through: Some(last.0),
-                }
-            }
+        match reply.as_deref().and_then(<[_]>::last) {
+            Some(&(stamp, value)) => Answer {
+                value,
+                sigma: tolerance / 2.0,
+                source: AnswerSource::Pulled,
+                latency,
+                data_through: Some(stamp),
+            },
             _ => {
                 // Best effort: stale cache or model, flagged as failed.
                 let slot = &self.sensors[&sensor];
@@ -1388,12 +1408,8 @@ impl PrestoProxy {
         let mut view: Vec<PumpSensor<'_>> = nodes
             .iter_mut()
             .zip(chans.iter_mut())
-            .enumerate()
-            .map(|(i, (node, chan))| PumpSensor {
-                gid: base_gid + i as u16,
-                node,
-                chan,
-            })
+            .zip(base_gid..)
+            .map(|((node, chan), gid)| PumpSensor { gid, node, chan })
             .collect();
         self.pump_queries_view(t, &mut view);
     }
@@ -1445,7 +1461,7 @@ impl PrestoProxy {
         // 2. Issue radio work for queries that have none. A query whose
         // (sensor, window, tolerance) an in-flight RPC already covers
         // attaches to it instead of pulling again.
-        let mut in_flight_keys: HashMap<PullKey, u64> = live
+        let mut in_flight_keys: BTreeMap<PullKey, u64> = live
             .iter()
             .filter_map(|q| q.rpc_qid.map(|qid| (q.key, qid)))
             .collect();

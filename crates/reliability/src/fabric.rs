@@ -116,6 +116,20 @@ presto_telemetry::observe_counters!(FabricStats {
     blocked_link_down,
 });
 
+impl FabricStats {
+    /// Accumulates another fabric's counters (fleet aggregation).
+    pub fn merge(&mut self, other: &FabricStats) {
+        self.offered += other.offered;
+        self.delivered += other.delivered;
+        self.lost_in_channel += other.lost_in_channel;
+        self.retransmits += other.retransmits;
+        self.acks_lost += other.acks_lost;
+        self.dropped_retries += other.dropped_retries;
+        self.dropped_budget += other.dropped_budget;
+        self.blocked_link_down += other.blocked_link_down;
+    }
+}
+
 struct Pending {
     seq: u64,
     msg: UplinkMsg,
@@ -311,7 +325,9 @@ impl Fabric {
             if head.deliver_at > t {
                 break;
             }
-            let Reverse(flight) = self.in_flight.pop().expect("peeked entry exists");
+            let Some(Reverse(flight)) = self.in_flight.pop() else {
+                break;
+            };
             let ch = &mut self.channels[flight.sensor];
             let Some(pos) = ch.unacked.iter().position(|p| p.seq == flight.seq) else {
                 // Sender state is gone (crash cleared it, or an earlier
@@ -368,7 +384,9 @@ impl Fabric {
                 ch.retry_spent_j += cost;
                 charge(sensor, cost);
                 self.stats.retransmits += 1;
-                let mut pending = ch.unacked.remove(i).expect("index in bounds");
+                let Some(mut pending) = ch.unacked.remove(i) else {
+                    continue;
+                };
                 pending.attempts += 1;
                 pending.last_attempt = t;
                 Self::attempt(

@@ -67,6 +67,26 @@ presto_telemetry::observe_counters!(SensorStats {
     duplicate_requests,
 });
 
+impl SensorStats {
+    /// Accumulates another sensor's counters (fleet aggregation).
+    pub fn merge(&mut self, other: &SensorStats) {
+        self.samples += other.samples;
+        self.model_checks += other.model_checks;
+        self.deviations_pushed += other.deviations_pushed;
+        self.values_pushed += other.values_pushed;
+        self.batches_sent += other.batches_sent;
+        self.batch_samples_sent += other.batch_samples_sent;
+        self.events_pushed += other.events_pushed;
+        self.pulls_served += other.pulls_served;
+        self.push_failures += other.push_failures;
+        self.bytes_sent += other.bytes_sent;
+        self.heartbeats_sent += other.heartbeats_sent;
+        self.seals_sent += other.seals_sent;
+        self.reboots += other.reboots;
+        self.duplicate_requests += other.duplicate_requests;
+    }
+}
+
 /// A PRESTO sensor node.
 pub struct SensorNode {
     id: u16,
@@ -669,7 +689,7 @@ impl SensorNode {
             UplinkPayload::AggregateReply {
                 query_id,
                 value,
-                count: values.len() as u32,
+                count: u32::try_from(values.len()).unwrap_or(u32::MAX),
                 sigma,
             },
             proxy_ledger,
@@ -811,20 +831,21 @@ pub fn evaluate_aggregate(op: crate::msg::AggregateOp, values: &[f64]) -> f64 {
             } else {
                 1.0
             };
-            let mut counts: std::collections::HashMap<i64, (u64, f64)> =
-                std::collections::HashMap::new();
+            let mut counts: std::collections::BTreeMap<i64, (u64, f64)> =
+                std::collections::BTreeMap::new();
             for &v in values {
                 let bin = (v / w).floor() as i64;
                 let e = counts.entry(bin).or_insert((0, 0.0));
                 e.0 += 1;
                 e.1 += v;
             }
-            // Deterministic tie-break: higher count, then lower bin.
-            let (_, &(n, sum)) = counts
+            // Deterministic tie-break: higher count, then lower bin. The
+            // empty-values case was handled above, so the map is
+            // non-empty; fall back to NaN (honest "no data") regardless.
+            counts
                 .iter()
                 .max_by_key(|(bin, (n, _))| (*n, std::cmp::Reverse(**bin)))
-                .expect("non-empty values");
-            sum / n as f64
+                .map_or(f64::NAN, |(_, &(n, sum))| sum / n as f64)
         }
     }
 }

@@ -51,7 +51,7 @@ pub struct EventQueue<E> {
     heap: BinaryHeap<Entry<E>>,
     now: SimTime,
     next_seq: u64,
-    cancelled: std::collections::HashSet<u64>,
+    cancelled: std::collections::BTreeSet<u64>,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -67,7 +67,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             now: SimTime::ZERO,
             next_seq: 0,
-            cancelled: std::collections::HashSet::new(),
+            cancelled: std::collections::BTreeSet::new(),
         }
     }
 

@@ -24,23 +24,50 @@ static ALLOCATED_BYTES: AtomicU64 = AtomicU64::new(0);
 /// A [`System`]-delegating allocator that counts allocations and bytes.
 pub struct CountingAlloc;
 
-// SAFETY: delegates every operation unchanged to the system allocator;
-// only the relaxed counters are added.
+// SAFETY: `GlobalAlloc`'s contract has two halves, and this impl satisfies
+// both by construction:
+//
+// 1. *Allocator correctness* — every method forwards its arguments verbatim
+//    to [`System`] and returns `System`'s result unmodified. No pointer is
+//    created, offset, cached, or retired here, and no layout is altered, so
+//    the memory this type hands out is exactly the memory `System` hands
+//    out: `alloc` returns either null or a block valid for `layout`,
+//    `dealloc`/`realloc` pass the caller's `(ptr, layout)` pair straight
+//    through, and the caller's obligations (matching layout on free,
+//    non-zero sizes) transfer 1:1 onto `System`, which upholds them.
+//
+// 2. *No reentrant allocation, no panics, no TLS* — a `GlobalAlloc` method
+//    must not itself allocate (infinite recursion), unwind, or touch
+//    thread-local state that may be torn down during thread exit. The only
+//    added work is `fetch_add(Relaxed)` on two `static` process-lifetime
+//    atomics: lock-free, allocation-free, panic-free, and TLS-free. Relaxed
+//    ordering is sound because the counters are monotone telemetry read
+//    after the measured phase completes — they impose no synchronization
+//    edge that correctness depends on.
+//
+// `dealloc` deliberately does not decrement: the counters report cumulative
+// allocation traffic (allocations/epoch), not live-heap size.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
-        System.alloc(layout)
+        // SAFETY: caller obligations (`layout` has non-zero size) are
+        // forwarded unchanged from our own caller.
+        unsafe { System.alloc(layout) }
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
-        System.dealloc(ptr, layout)
+        // SAFETY: `ptr` was returned by `self.alloc`/`self.realloc`, which
+        // delegate to `System`, so it is a `System` block with this layout.
+        unsafe { System.dealloc(ptr, layout) }
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
         ALLOCATED_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
-        System.realloc(ptr, layout, new_size)
+        // SAFETY: as in `dealloc`, `ptr` is a live `System` block matching
+        // `layout`, and `new_size` obligations forward from our caller.
+        unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
 

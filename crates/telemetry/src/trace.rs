@@ -21,7 +21,7 @@
 //! it is free when disabled: a tracer built with `enabled = false`
 //! never allocates or records.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::collections::VecDeque;
 
 use presto_sim::{SimDuration, SimTime};
@@ -223,7 +223,7 @@ const RECORDER_CAP: usize = 4096;
 #[derive(Clone, Debug)]
 pub struct QueryTracer {
     enabled: bool,
-    open: HashMap<u64, Vec<TraceEvent>>,
+    open: BTreeMap<u64, Vec<TraceEvent>>,
     finished: VecDeque<QueryTrace>,
     finished_cap: usize,
     /// Finished traces evicted before collection.
@@ -237,7 +237,7 @@ impl QueryTracer {
     pub fn new(enabled: bool) -> Self {
         QueryTracer {
             enabled,
-            open: HashMap::new(),
+            open: BTreeMap::new(),
             finished: VecDeque::new(),
             finished_cap: FINISHED_CAP,
             finished_dropped: 0,
