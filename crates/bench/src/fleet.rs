@@ -184,6 +184,8 @@ impl FleetArmReport {
             retransmits: self.retransmits,
             radio_bytes: self.radio_bytes,
             sensor_energy_j: self.sensor_energy_j,
+            cache_hit_rate: 0.0,
+            stale_confident: self.stale_confident,
             trace_terminals: self.trace_terminals,
             trace_bad: self.trace_bad,
             trace_orphans: self.trace_orphans,

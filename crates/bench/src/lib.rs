@@ -14,6 +14,7 @@ pub mod fleet;
 pub mod partition;
 pub mod query_pipeline;
 pub mod report;
+pub mod slice_scenario;
 pub mod table1;
 
 /// Renders a JSON value for machine-readable output next to each table.

@@ -61,6 +61,13 @@ pub struct ArmSummary {
     pub radio_bytes: u64,
     /// Total sensor-tier energy, joules.
     pub sensor_energy_j: f64,
+    /// Cache hit rate over archive-range lookups (slice-tier lookups
+    /// when sliced execution is on, reply-cache lookups otherwise).
+    pub cache_hit_rate: f64,
+    /// Confident answers contradicted by their own window — an Ok
+    /// answer with no samples, out-of-window samples, or a coverage
+    /// stamp from the future (must be 0).
+    pub stale_confident: u64,
     /// Finished query traces collected.
     pub trace_terminals: u64,
     /// Traces violating well-formedness (≠1 terminal or non-monotone
@@ -105,7 +112,8 @@ pub fn render_summary(b: &BenchJson) -> String {
              queries_per_sec={:.4} latency_p50_s={:.3} latency_p90_s={:.3} \
              latency_p99_s={:.3} answer_age_count={} answer_age_missing={} \
              answer_age_p50_s={:.3} shed={} rehomed={} retransmits={} \
-             radio_bytes={} sensor_energy_j={:.3} trace_terminals={} \
+             radio_bytes={} sensor_energy_j={:.3} cache_hit_rate={:.4} \
+             stale_confident={} trace_terminals={} \
              trace_bad={} trace_orphans={}\n",
             b.scenario,
             a.arm,
@@ -124,6 +132,8 @@ pub fn render_summary(b: &BenchJson) -> String {
             a.retransmits,
             a.radio_bytes,
             a.sensor_energy_j,
+            a.cache_hit_rate,
+            a.stale_confident,
             a.trace_terminals,
             a.trace_bad,
             a.trace_orphans,

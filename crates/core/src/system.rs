@@ -20,7 +20,9 @@
 
 use presto_index::{ClockCorrector, DriftClock, SkipGraph, TimeRangeIndex};
 use presto_net::{LinkModel, LossProcess, SharedLossState};
-use presto_proxy::{CompletedQuery, PipelineQuery, PipelineStats, PrestoProxy, ProxyConfig};
+use presto_proxy::{
+    CompletedQuery, PipelineQuery, PipelineStats, PrestoProxy, ProxyConfig, SliceCacheStats,
+};
 use presto_reliability::{
     recovery::padded_span, DownlinkChannel, DownlinkStats, Fabric, FabricStats, GapTracker,
     Health, LivenessMonitor, Observation, RecoveryStats, ReliabilityConfig,
@@ -799,6 +801,16 @@ impl PrestoSystem {
         self.proxies.iter().map(|p| p.pipeline().pending_queries()).sum()
     }
 
+    /// Merged two-tier slice-cache counters across proxies (all zero
+    /// unless sliced execution is configured).
+    pub fn slice_cache_stats(&self) -> SliceCacheStats {
+        let mut total = SliceCacheStats::default();
+        for p in &self.proxies {
+            total.merge(&p.pipeline().slice_cache().stats());
+        }
+        total
+    }
+
     /// Outstanding async RPC entries across every downlink channel
     /// (leak probe for the pending-RPC tables).
     pub fn async_in_flight_total(&self) -> usize {
@@ -860,6 +872,7 @@ impl PrestoSystem {
         for p in &self.proxies {
             root.observe("proxy", &p.stats());
             root.observe("pipeline", &p.pipeline().stats());
+            root.observe("slice", &p.pipeline().slice_cache().stats());
         }
         root.observe("downlink", &self.downlink_stats());
         root.observe("fabric", &self.fabric.stats());

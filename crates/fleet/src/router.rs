@@ -388,6 +388,17 @@ impl FleetRouter {
         answer_age: Option<SimDuration>,
         sigma: f64,
     ) {
+        // Age coverage is exactly the Ok set: a `Failed` or
+        // `FailedFenced` terminal reflects no data and carries no age,
+        // whatever an upstream completion site stamped (normalized here
+        // so every failure path — expiry, fencing, unreachable, dead
+        // proxy, failed pipeline answer — is consistent by
+        // construction).
+        let answer_age = if cause == CompletionCause::Ok {
+            answer_age
+        } else {
+            None
+        };
         self.latency.record_duration(latency);
         if let Some(age) = answer_age {
             self.answer_age.record_duration(age);

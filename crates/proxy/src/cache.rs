@@ -61,11 +61,16 @@ pub struct EventCache {
 }
 
 impl EventCache {
-    /// Creates a cache bounded to `capacity` events.
+    /// Creates a cache bounded to `capacity` events. A capacity of 0 is
+    /// clamped to 1 (a cache that can never admit anything is always a
+    /// misconfiguration), and the clamped bound also drives the
+    /// preallocation — capped so a huge configured bound does not
+    /// reserve memory up front.
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         EventCache {
             events: VecDeque::with_capacity(capacity.min(4096)),
-            capacity: capacity.max(1),
+            capacity,
         }
     }
 
@@ -80,16 +85,28 @@ impl EventCache {
     }
 
     /// Inserts an event, keeping time order and the capacity bound.
+    /// Eviction happens *before* the insert, so the deque never holds
+    /// `capacity + 1` entries, even transiently.
     pub fn insert(&mut self, event: CachedEvent) {
         if self.events.back().is_none_or(|b| b.t <= event.t) {
+            while self.events.len() >= self.capacity {
+                self.events.pop_front();
+            }
             self.events.push_back(event);
-        } else {
-            let idx = self.events.partition_point(|e| e.t <= event.t);
-            self.events.insert(idx, event);
+            return;
         }
-        while self.events.len() > self.capacity {
+        let idx = self.events.partition_point(|e| e.t <= event.t);
+        if self.events.len() >= self.capacity {
+            // Oldest evicts first; an incoming event older than the
+            // whole cache is its own eviction victim.
+            if idx == 0 {
+                return;
+            }
             self.events.pop_front();
+            self.events.insert(idx - 1, event);
+            return;
         }
+        self.events.insert(idx, event);
     }
 
     /// Events in `[from, to]`, oldest first, via binary search on the
@@ -124,11 +141,14 @@ pub struct SensorCache {
 }
 
 impl SensorCache {
-    /// Creates a cache bounded to `capacity` samples.
+    /// Creates a cache bounded to `capacity` samples. Bounds handling
+    /// matches [`EventCache::new`]: clamp to at least 1 first, then cap
+    /// the preallocation.
     pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
         SensorCache {
             samples: VecDeque::with_capacity(capacity.min(4096)),
-            capacity: capacity.max(1),
+            capacity,
             last_heard: None,
         }
     }
@@ -145,28 +165,41 @@ impl SensorCache {
 
     /// Inserts a sample, keeping the deque time-ordered and bounded.
     /// Pulled samples refine (replace) earlier lossy entries at the same
-    /// timestamp.
+    /// timestamp. Eviction happens *before* the insert (growth paths
+    /// only — a same-timestamp refinement replaces in place), so the
+    /// deque never holds `capacity + 1` entries, even transiently.
     pub fn insert(&mut self, sample: CachedSample) {
         self.last_heard = Some(self.last_heard.map_or(sample.t, |h| h.max(sample.t)));
         // Fast path: append at the tail.
         if self.samples.back().is_none_or(|b| b.t < sample.t) {
-            self.samples.push_back(sample);
-        } else {
-            // Find insertion point (rare: out-of-order arrival).
-            let idx = self.samples.partition_point(|s| s.t < sample.t);
-            if self.samples.get(idx).is_some_and(|s| s.t == sample.t) {
-                // Same timestamp: pulled data wins over lossy views.
-                let existing = &mut self.samples[idx];
-                if sample.source == CacheSource::Pulled || existing.source != CacheSource::Pulled {
-                    *existing = sample;
-                }
-            } else {
-                self.samples.insert(idx, sample);
+            while self.samples.len() >= self.capacity {
+                self.samples.pop_front();
             }
+            self.samples.push_back(sample);
+            return;
         }
-        while self.samples.len() > self.capacity {
+        // Find insertion point (rare: out-of-order arrival).
+        let idx = self.samples.partition_point(|s| s.t < sample.t);
+        if self.samples.get(idx).is_some_and(|s| s.t == sample.t) {
+            // Same timestamp: pulled data wins over lossy views. No
+            // growth, so no eviction.
+            let existing = &mut self.samples[idx];
+            if sample.source == CacheSource::Pulled || existing.source != CacheSource::Pulled {
+                *existing = sample;
+            }
+            return;
+        }
+        if self.samples.len() >= self.capacity {
+            // Oldest evicts first; an incoming sample older than the
+            // whole cache is its own eviction victim.
+            if idx == 0 {
+                return;
+            }
             self.samples.pop_front();
+            self.samples.insert(idx - 1, sample);
+            return;
         }
+        self.samples.insert(idx, sample);
     }
 
     /// The most recent cached sample.
@@ -359,6 +392,58 @@ mod tests {
             c.range(SimTime::from_secs(91), SimTime::from_secs(200)).count(),
             0
         );
+    }
+
+    #[test]
+    fn eviction_precedes_insert_and_bounds_are_unified() {
+        // Zero capacity clamps to one in both caches (the clamped bound
+        // is what admits entries, not the raw argument).
+        let mut sc = SensorCache::new(0);
+        sc.insert(s(10, 1.0, CacheSource::Batch));
+        assert_eq!(sc.len(), 1);
+        let mut ec = EventCache::new(0);
+        ec.insert(ev(10, 0, 1));
+        assert_eq!(ec.len(), 1);
+
+        // At capacity, the bound holds through every insert path: tail
+        // append, mid-range out-of-order, and an incoming entry older
+        // than the whole cache (its own eviction victim — dropped, with
+        // the cached entries untouched).
+        let mut c = SensorCache::new(3);
+        for i in 1..=3u64 {
+            c.insert(s(i * 10, i as f64, CacheSource::Batch));
+        }
+        c.insert(s(25, 2.5, CacheSource::Batch)); // mid-range: evicts t=10
+        assert_eq!(c.len(), 3);
+        let ts: Vec<u64> = c
+            .range(SimTime::ZERO, SimTime::from_secs(100))
+            .iter()
+            .map(|x| x.t.as_secs())
+            .collect();
+        assert_eq!(ts, vec![20, 25, 30]);
+        c.insert(s(5, 0.5, CacheSource::Batch)); // older than everything
+        assert_eq!(c.len(), 3);
+        assert_eq!(
+            c.range(SimTime::ZERO, SimTime::from_secs(100))[0].t.as_secs(),
+            20,
+            "incoming oldest-ever sample is dropped, cache untouched"
+        );
+        // Same-timestamp refinement replaces in place at capacity (no
+        // growth, so nothing is evicted).
+        c.insert(s(25, 2.6, CacheSource::Pulled));
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.latest_at(SimTime::from_secs(25)).unwrap().value, 2.6);
+
+        let mut e = EventCache::new(3);
+        for i in 1..=3u64 {
+            e.insert(ev(i * 10, 0, 1));
+        }
+        e.insert(ev(25, 0, 2)); // mid-range: evicts t=10
+        let ts: Vec<u64> = e.iter().map(|x| x.t.as_secs()).collect();
+        assert_eq!(ts, vec![20, 25, 30]);
+        e.insert(ev(5, 0, 3)); // older than everything: dropped
+        assert_eq!(e.len(), 3);
+        assert_eq!(e.iter().next().unwrap().t.as_secs(), 20);
     }
 
     #[test]

@@ -18,12 +18,16 @@
 //!   and PAST queries via *cache hit → extrapolation → pull* (exactly the
 //!   miss path of paper §2), and delivers downlink messages over the
 //!   energy-metered MAC.
+//! * [`slice`] — sliced archive-range execution: the slice calculator,
+//!   the two-tier slice cache, and the assembler behind the pipeline's
+//!   sliced PAST path.
 
 pub mod cache;
 pub mod engine;
 pub mod matching;
 pub mod pipeline;
 pub mod proxy;
+pub mod slice;
 
 pub use cache::{CachedEvent, EventCache, SensorCache};
 pub use engine::{EngineConfig, PredictionEngine};
@@ -35,3 +39,4 @@ pub use pipeline::{
 pub use proxy::{
     Answer, AnswerSource, PastAnswer, PrestoProxy, ProxyConfig, ProxyStats, PumpSensor,
 };
+pub use slice::{SliceCacheStats, SliceConfig, SliceKey, SliceSpec, TieredSliceCache};

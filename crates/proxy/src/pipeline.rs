@@ -34,6 +34,7 @@ use presto_sim::{SimDuration, SimTime};
 use presto_telemetry::QueryTracer;
 
 use crate::proxy::{Answer, PastAnswer};
+use crate::slice::{SliceConfig, SliceSpec, TieredSliceCache};
 
 /// Pipeline parameters.
 #[derive(Clone, Debug)]
@@ -56,6 +57,12 @@ pub struct PipelineConfig {
     /// tracer then never allocates and the pump skips the attempt-log
     /// plumbing entirely.
     pub trace: bool,
+    /// Sliced archive-range execution (see [`crate::slice`]): PAST
+    /// windows spanning enough fixed time-aligned slices are fetched
+    /// slice-by-slice and cached at slice granularity in a two-tier
+    /// store. `None` (the default) keeps the monolithic pull path
+    /// byte-identical to the pre-slice behavior.
+    pub slice: Option<SliceConfig>,
 }
 
 impl Default for PipelineConfig {
@@ -65,6 +72,7 @@ impl Default for PipelineConfig {
             epoch_attempt_budget: 16,
             reply_cache_capacity: 128,
             trace: false,
+            slice: None,
         }
     }
 }
@@ -220,6 +228,25 @@ pub(crate) fn op_key(op: AggregateOp) -> (u8, u64) {
     }
 }
 
+/// One slice of a sliced PAST query's window: the canonical slice spec,
+/// the pull key its sub-RPC coalesces under, and its fill state.
+#[derive(Clone, Debug)]
+pub(crate) struct SlicePart {
+    /// Canonical slice identity and pull window.
+    pub spec: SliceSpec,
+    /// The radio work this slice needs (a [`PullKey::Pull`] over the
+    /// slice's aligned window) — slices shared across queries coalesce
+    /// into one sub-RPC exactly like monolithic pulls do.
+    pub key: PullKey,
+    /// Samples once the slice is served (from cache or radio), trimmed
+    /// to the slice span.
+    pub samples: Option<Vec<(SimTime, f64)>>,
+    /// Re-bounded per-slice sigma ([`crate::slice::slice_sigma`]).
+    pub sigma: f64,
+    /// The in-flight sub-RPC fetching this slice, once issued.
+    pub rpc_qid: Option<u64>,
+}
+
 /// One enqueued query awaiting radio work.
 #[derive(Clone, Debug)]
 pub(crate) struct PendingQuery {
@@ -238,8 +265,28 @@ pub(crate) struct PendingQuery {
     /// Honest-failure deadline.
     pub deadline: SimTime,
     /// The in-flight RPC serving this query, once issued. Several
-    /// pending queries may share one (coalescing).
+    /// pending queries may share one (coalescing). Unused for sliced
+    /// queries, whose radio state lives per-part.
     pub rpc_qid: Option<u64>,
+    /// Sliced execution state: empty for monolithic queries; for a
+    /// sliced PAST query, one entry per slice of its window.
+    pub parts: Vec<SlicePart>,
+    /// Air latency of the most recent reply that filled one of this
+    /// query's parts — the assembled answer's latency reflects the
+    /// slice that completed it.
+    pub last_reply_latency: SimDuration,
+}
+
+impl PendingQuery {
+    /// True when this query runs the sliced path.
+    pub fn is_sliced(&self) -> bool {
+        !self.parts.is_empty()
+    }
+
+    /// True when every slice of a sliced query has been served.
+    pub fn parts_complete(&self) -> bool {
+        self.is_sliced() && self.parts.iter().all(|p| p.samples.is_some())
+    }
 }
 
 /// Pipeline counters.
@@ -259,6 +306,15 @@ pub struct PipelineStats {
     pub coalesced: u64,
     /// RPCs issued into the downlink channels.
     pub rpcs_issued: u64,
+    /// PAST queries that took the sliced path.
+    pub sliced: u64,
+    /// Sliced queries completed by assembly (radio or mixed cache/radio).
+    pub completed_sliced: u64,
+    /// Per-slice sub-RPCs issued (a subset of `rpcs_issued`).
+    pub slice_rpcs: u64,
+    /// Slice parts attached to a sub-RPC another query already had in
+    /// flight.
+    pub slice_coalesced: u64,
     /// Peak simultaneously outstanding pulls across the proxy's sensors.
     pub max_in_flight: u64,
 }
@@ -275,6 +331,10 @@ impl PipelineStats {
         self.failed += other.failed;
         self.coalesced += other.coalesced;
         self.rpcs_issued += other.rpcs_issued;
+        self.sliced += other.sliced;
+        self.completed_sliced += other.completed_sliced;
+        self.slice_rpcs += other.slice_rpcs;
+        self.slice_coalesced += other.slice_coalesced;
         self.max_in_flight = self.max_in_flight.max(other.max_in_flight);
     }
 }
@@ -287,6 +347,10 @@ presto_telemetry::observe_counters!(PipelineStats {
     failed,
     coalesced,
     rpcs_issued,
+    sliced,
+    completed_sliced,
+    slice_rpcs,
+    slice_coalesced,
 } max { max_in_flight });
 
 /// A reply kept in the shared pull-reply cache.
@@ -347,6 +411,14 @@ impl PullReplyCache {
     /// future then), in which case the cached samples cannot cover the
     /// newest demanded data and the reply must NOT be served — the
     /// query takes a fresh pull instead.
+    ///
+    /// The boundary is **closed**: the queried window is inclusive of
+    /// its endpoint, and the archive's serving instant covers every
+    /// row through `served_at` itself, so a reply served *exactly* at
+    /// `needed_through` covers the whole closed window and must serve
+    /// (`served_at == needed_through` hits; only `served_at <
+    /// needed_through` — an open gap of at least one tick — rejects).
+    /// Pinned by `reply_cache_serves_at_exact_freshness_boundary`.
     pub(crate) fn lookup(&mut self, key: PullKey, needed_through: SimTime) -> Option<&[(SimTime, f64)]> {
         let Some(pos) = self.entries.iter().position(|e| e.key == key) else {
             self.misses += 1;
@@ -394,6 +466,8 @@ pub struct QueryPipeline {
     pub(crate) pending: Vec<PendingQuery>,
     pub(crate) completed: Vec<CompletedQuery>,
     pub(crate) reply_cache: PullReplyCache,
+    /// Two-tier slice store (only populated when slicing is enabled).
+    pub(crate) slice_cache: TieredSliceCache,
     pub(crate) stats: PipelineStats,
     pub(crate) next_ticket: u64,
     /// Rotating pump start index for cross-sensor fairness.
@@ -409,12 +483,18 @@ impl QueryPipeline {
     /// Creates an empty pipeline.
     pub fn new(config: PipelineConfig) -> Self {
         let reply_cache = PullReplyCache::new(config.reply_cache_capacity);
+        let slice_cache = config
+            .slice
+            .as_ref()
+            .map(TieredSliceCache::for_config)
+            .unwrap_or_else(|| TieredSliceCache::new(1, 0));
         let tracer = QueryTracer::new(config.trace);
         QueryPipeline {
             config,
             pending: Vec::new(),
             completed: Vec::new(),
             reply_cache,
+            slice_cache,
             stats: PipelineStats::default(),
             next_ticket: 1,
             rr_cursor: 0,
@@ -444,6 +524,12 @@ impl QueryPipeline {
     /// The shared pull-reply cache.
     pub fn reply_cache(&self) -> &PullReplyCache {
         &self.reply_cache
+    }
+
+    /// The two-tier slice cache (empty and untouched unless
+    /// [`PipelineConfig::slice`] is set).
+    pub fn slice_cache(&self) -> &TieredSliceCache {
+        &self.slice_cache
     }
 
     /// Queries currently pending (enqueued, not yet completed).
@@ -510,6 +596,26 @@ mod tests {
         // The same entry is fine for a query content with coverage
         // through its serve time.
         assert!(c.lookup(key(0, 200), SimTime::from_secs(100)).is_some());
+    }
+
+    #[test]
+    fn reply_cache_serves_at_exact_freshness_boundary() {
+        // The freshness boundary is closed: a reply served exactly at
+        // the closed window's end covers every row through that instant
+        // and must serve. One tick of uncovered window must reject.
+        let mut c = PullReplyCache::new(4);
+        let served = SimTime::from_secs(200);
+        c.insert(key(0, 200), served, vec![(SimTime::from_secs(150), 1.0)]);
+        assert!(
+            c.lookup(key(0, 200), served).is_some(),
+            "served_at == needed_through is full coverage and must hit"
+        );
+        assert_eq!(c.stale_rejections(), 0);
+        assert!(
+            c.lookup(key(0, 200), served + SimDuration::from_micros(1)).is_none(),
+            "one tick past the serve instant is uncovered and must reject"
+        );
+        assert_eq!(c.stale_rejections(), 1);
     }
 
     #[test]

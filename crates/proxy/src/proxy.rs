@@ -30,8 +30,9 @@ use crate::cache::{CacheSource, CachedEvent, CachedSample, EventCache, SensorCac
 use crate::engine::{EngineConfig, ModelSlot, PredictionEngine};
 use crate::pipeline::{
     op_key, CompletedQuery, PendingQuery, PipelineAnswer, PipelineConfig, PipelineQuery,
-    PullKey, PullReplyCache, QueryPipeline,
+    PullKey, PullReplyCache, QueryPipeline, SlicePart,
 };
+use crate::slice;
 
 /// Proxy configuration.
 #[derive(Clone, Debug)]
@@ -914,15 +915,27 @@ impl PrestoProxy {
             } = &r.payload
             {
                 latency += self.reply_latency(r.wire_bytes);
+                if *count == 0 {
+                    // The sensor aggregated nothing: the reply carries
+                    // no information, and an answer that carries no
+                    // data is a failure, not an Ok with no age — the
+                    // Ok set and the has-age set must coincide.
+                    return Answer {
+                        value: *value,
+                        sigma: f64::INFINITY,
+                        source: AnswerSource::Failed,
+                        latency,
+                        data_through: None,
+                    };
+                }
                 return Answer {
                     value: *value,
                     // The sensor derives the bound from the codec/aging
-                    // error of the rows it aggregated; an empty range
-                    // carries no information.
-                    sigma: if *count == 0 { f64::INFINITY } else { *sigma },
+                    // error of the rows it aggregated.
+                    sigma: *sigma,
                     source: AnswerSource::Pulled,
                     latency,
-                    data_through: if *count == 0 { None } else { Some(to) },
+                    data_through: Some(to),
                 };
             }
         }
@@ -1089,6 +1102,9 @@ impl PrestoProxy {
         self.pipeline.pending.clear();
         self.pipeline.completed.clear();
         self.pipeline.reply_cache = PullReplyCache::new(self.pipeline.config.reply_cache_capacity);
+        // Slice entries are RAM state and die with the crash; the tier
+        // counters are measurement instrumentation and survive.
+        self.pipeline.slice_cache.clear();
         for slot in self.sensors.values_mut() {
             slot.cache = SensorCache::new(self.config.cache_capacity);
             slot.model = None;
@@ -1108,6 +1124,20 @@ impl PrestoProxy {
     /// staleness at completion time, the reported confidence width
     /// (series answers carry per-sample tolerances, reported as 0 here).
     fn finish_trace(&mut self, id: u64, t: SimTime, answer: &PipelineAnswer) {
+        self.finish_trace_with(id, t, answer, None);
+    }
+
+    /// [`PrestoProxy::finish_trace`] with an explicit confidence width —
+    /// sliced series answers report their re-bounded assembly sigma
+    /// (worst per-slice codec/aging bound) instead of the 0 a series
+    /// defaults to.
+    fn finish_trace_with(
+        &mut self,
+        id: u64,
+        t: SimTime,
+        answer: &PipelineAnswer,
+        sigma_override: Option<f64>,
+    ) {
         if !self.pipeline.tracer.enabled() {
             return;
         }
@@ -1116,10 +1146,10 @@ impl PrestoProxy {
         } else {
             CompletionCause::Ok
         };
-        let sigma = match answer {
+        let sigma = sigma_override.unwrap_or(match answer {
             PipelineAnswer::Scalar(a) => a.sigma,
             PipelineAnswer::Series(_) => 0.0,
-        };
+        });
         self.pipeline
             .tracer
             .finish(id, t, cause, answer.age_at(t), sigma);
@@ -1209,6 +1239,97 @@ impl PrestoProxy {
             });
             return id;
         }
+        // Sliced archive-range execution: a PAST window spanning enough
+        // fixed time-aligned slices decomposes into canonical slices —
+        // slices any earlier query pulled serve from the two-tier slice
+        // cache (a sub-window of a previously pulled span completes
+        // radio-free), and only the missing slices become sub-RPCs.
+        if let PipelineQuery::Past {
+            sensor,
+            from,
+            to,
+            tolerance,
+        } = query
+        {
+            if let Some(specs) = self
+                .pipeline
+                .config
+                .slice
+                .as_ref()
+                .and_then(|cfg| slice::plan(sensor, from, to, tolerance, cfg))
+            {
+                self.pipeline.stats.sliced += 1;
+                let mut parts: Vec<SlicePart> = specs
+                    .into_iter()
+                    .map(|spec| SlicePart {
+                        key: PullKey::Pull {
+                            sensor,
+                            from: spec.from,
+                            to: spec.to,
+                            tol_bits: tolerance.to_bits(),
+                        },
+                        spec,
+                        samples: None,
+                        sigma: tolerance / 2.0,
+                        rpc_qid: None,
+                    })
+                    .collect();
+                let mut all_hit = true;
+                for p in parts.iter_mut() {
+                    match self.pipeline.slice_cache.lookup(p.spec.key) {
+                        Some((samples, sigma)) => {
+                            p.samples = Some(samples);
+                            p.sigma = sigma;
+                        }
+                        None => all_hit = false,
+                    }
+                }
+                if all_hit {
+                    let (answer, sigma) =
+                        self.assemble_sliced(&query, &parts, SimDuration::from_millis(2));
+                    self.pipeline.stats.completed_cached += 1;
+                    self.pipeline.stats.completed_sliced += 1;
+                    self.pipeline.tracer.record(
+                        id,
+                        t,
+                        SpanEvent::CacheHit {
+                            path: "slice_cache",
+                        },
+                    );
+                    let sig = (answer.source() != AnswerSource::Failed).then_some(sigma);
+                    self.finish_trace_with(id, t, &answer, sig);
+                    self.pipeline.completed.push(CompletedQuery {
+                        id,
+                        query,
+                        answer,
+                        submitted_at: t,
+                        completed_at: t,
+                    });
+                    return id;
+                }
+                let deadline = t + deadline.unwrap_or(self.pipeline.config.deadline);
+                self.pipeline.tracer.record(id, t, SpanEvent::CacheMiss);
+                self.pipeline.pending.push(PendingQuery {
+                    id,
+                    query,
+                    key: PullKey::Pull {
+                        sensor,
+                        from,
+                        to,
+                        tol_bits: tolerance.to_bits(),
+                    },
+                    pull_from: from,
+                    pull_to: to,
+                    pull_tolerance: tolerance,
+                    submitted_at: t,
+                    deadline,
+                    rpc_qid: None,
+                    parts,
+                    last_reply_latency: SimDuration::ZERO,
+                });
+                return id;
+            }
+        }
         let (key, pull_from, pull_to, pull_tolerance) = self.pull_plan(t, &query);
         // Shared pull-reply cache: a span any user already pulled at
         // this tolerance answers from proxy memory — unless the window
@@ -1250,8 +1371,33 @@ impl PrestoProxy {
             submitted_at: t,
             deadline,
             rpc_qid: None,
+            parts: Vec::new(),
+            last_reply_latency: SimDuration::ZERO,
         });
         id
+    }
+
+    /// Joins a sliced query's served parts into its answer: concatenate
+    /// in slice order, trim to the queried window, re-bound with the
+    /// worst per-slice sigma. An empty assembly falls through to the
+    /// honest failure answer.
+    fn assemble_sliced(
+        &self,
+        query: &PipelineQuery,
+        parts: &[SlicePart],
+        latency: SimDuration,
+    ) -> (PipelineAnswer, f64) {
+        let (from, to) = match *query {
+            PipelineQuery::Past { from, to, .. } => (from, to),
+            _ => (SimTime::ZERO, SimTime::MAX),
+        };
+        let runs: Vec<Vec<(SimTime, f64)>> = parts
+            .iter()
+            .map(|p| p.samples.clone().unwrap_or_default())
+            .collect();
+        let samples = slice::assemble(&runs, from, to);
+        let sigma = parts.iter().map(|p| p.sigma).fold(0.0f64, f64::max);
+        (self.answer_from_samples(query, &samples, latency), sigma)
     }
 
     /// The radio work a precision-missed query needs: its pull window,
@@ -1432,18 +1578,31 @@ impl PrestoProxy {
         let (expired, mut live): (Vec<PendingQuery>, Vec<PendingQuery>) =
             pending.into_iter().partition(|q| q.deadline <= t);
         for q in expired {
-            if let Some(qid) = q.rpc_qid {
-                if !live.iter().any(|p| p.rpc_qid == Some(qid)) {
-                    let gid = q.query.sensor();
-                    let cancelled = sensors
-                        .iter_mut()
-                        .find(|s| s.gid == gid)
-                        .is_some_and(|s| s.chan.cancel_async(qid));
-                    if cancelled {
-                        // The RPC was issued (booked in `pulls`) and
-                        // produced nothing: a query-path pull failure.
-                        self.stats.pull_failures += 1;
-                    }
+            // Cancel this query's RPCs (the monolithic pull, or each
+            // slice sub-RPC) unless another live query still shares
+            // them — sliced or not, an RPC with no attached query must
+            // not leak.
+            let gid = q.query.sensor();
+            let qids = q
+                .rpc_qid
+                .into_iter()
+                .chain(q.parts.iter().filter_map(|p| p.rpc_qid));
+            for qid in qids {
+                let shared = live.iter().any(|p| {
+                    p.rpc_qid == Some(qid)
+                        || p.parts.iter().any(|pp| pp.rpc_qid == Some(qid))
+                });
+                if shared {
+                    continue;
+                }
+                let cancelled = sensors
+                    .iter_mut()
+                    .find(|s| s.gid == gid)
+                    .is_some_and(|s| s.chan.cancel_async(qid));
+                if cancelled {
+                    // The RPC was issued (booked in `pulls`) and
+                    // produced nothing: a query-path pull failure.
+                    self.stats.pull_failures += 1;
                 }
             }
             let answer = self.failed_answer(&q.query, t - q.submitted_at);
@@ -1458,14 +1617,72 @@ impl PrestoProxy {
             });
         }
 
-        // 2. Issue radio work for queries that have none. A query whose
-        // (sensor, window, tolerance) an in-flight RPC already covers
-        // attaches to it instead of pulling again.
-        let mut in_flight_keys: BTreeMap<PullKey, u64> = live
-            .iter()
-            .filter_map(|q| q.rpc_qid.map(|qid| (q.key, qid)))
-            .collect();
+        // 2. Issue radio work for queries that have none. A query (or a
+        // slice part) whose (sensor, window, tolerance) an in-flight RPC
+        // already covers attaches to it instead of pulling again.
+        let mut in_flight_keys: BTreeMap<PullKey, u64> = BTreeMap::new();
+        for q in live.iter() {
+            if let Some(qid) = q.rpc_qid {
+                in_flight_keys.insert(q.key, qid);
+            }
+            for p in q.parts.iter() {
+                if let Some(qid) = p.rpc_qid {
+                    in_flight_keys.insert(p.key, qid);
+                }
+            }
+        }
         for q in live.iter_mut() {
+            if q.is_sliced() {
+                // Per-slice radio work: each unserved part re-checks the
+                // slice cache first (a sibling query's reply may have
+                // landed the slice since submit), then coalesces onto an
+                // in-flight sub-RPC, then issues its own.
+                let mut traced_coalesce = false;
+                for p in q.parts.iter_mut() {
+                    if p.samples.is_some() || p.rpc_qid.is_some() {
+                        continue;
+                    }
+                    if let Some((samples, sigma)) = self.pipeline.slice_cache.lookup(p.spec.key)
+                    {
+                        p.samples = Some(samples);
+                        p.sigma = sigma;
+                        continue;
+                    }
+                    if let Some(&qid) = in_flight_keys.get(&p.key) {
+                        p.rpc_qid = Some(qid);
+                        self.pipeline.stats.slice_coalesced += 1;
+                        if !traced_coalesce {
+                            self.pipeline.tracer.record(q.id, t, SpanEvent::Coalesced);
+                            traced_coalesce = true;
+                        }
+                        continue;
+                    }
+                    let gid = q.query.sensor();
+                    let Some(ch) = sensors
+                        .iter_mut()
+                        .find(|s| s.gid == gid)
+                        .map(|s| &mut *s.chan)
+                    else {
+                        break;
+                    };
+                    let qid = self.next_query_id;
+                    self.next_query_id += 1;
+                    let msg = DownlinkMsg::PullRequest {
+                        query_id: qid,
+                        from: p.spec.from,
+                        to: p.spec.to,
+                        tolerance: q.pull_tolerance,
+                    };
+                    self.stats.pulls += 1;
+                    self.pipeline.stats.rpcs_issued += 1;
+                    self.pipeline.stats.slice_rpcs += 1;
+                    ch.submit_async(t, msg, q.deadline);
+                    p.rpc_qid = Some(qid);
+                    self.pipeline.tracer.record(q.id, t, SpanEvent::RpcIssued);
+                    in_flight_keys.insert(p.key, qid);
+                }
+                continue;
+            }
             if q.rpc_qid.is_some() {
                 continue;
             }
@@ -1570,7 +1787,9 @@ impl PrestoProxy {
                     AttemptEvent::Deferred => SpanEvent::RpcDeferred,
                 };
                 for q in live.iter() {
-                    if q.rpc_qid == Some(qid) {
+                    if q.rpc_qid == Some(qid)
+                        || q.parts.iter().any(|p| p.rpc_qid == Some(qid))
+                    {
                         self.pipeline.tracer.record(q.id, t, span.clone());
                     }
                 }
@@ -1600,9 +1819,69 @@ impl PrestoProxy {
                         }
                     }
                     match &reply.payload {
-                        UplinkPayload::PullReply { samples, .. } => {
+                        UplinkPayload::PullReply {
+                            samples: reply_samples,
+                            ..
+                        } => {
                             let samples: Vec<(SimTime, f64)> =
-                                samples.iter().map(|s| (s.t, s.value)).collect();
+                                reply_samples.iter().map(|s| (s.t, s.value)).collect();
+                            // Fill every live query's slice parts this
+                            // reply serves, and cache the slice once.
+                            // The samples are trimmed to the slice span:
+                            // the freshest-sample fallback a sensor
+                            // sends for an empty window lies outside the
+                            // span and must not masquerade as content.
+                            let quant = self
+                                .pipeline
+                                .config
+                                .slice
+                                .as_ref()
+                                .map_or(0.05, |c| c.aging_quant_step);
+                            let mut slice_insert = None;
+                            for q in live.iter_mut() {
+                                let mut filled = false;
+                                for p in q.parts.iter_mut() {
+                                    if p.rpc_qid != Some(query_id) {
+                                        continue;
+                                    }
+                                    let trimmed: Vec<(SimTime, f64)> = samples
+                                        .iter()
+                                        .copied()
+                                        .filter(|&(st, _)| {
+                                            st >= p.spec.from && st <= p.spec.to
+                                        })
+                                        .collect();
+                                    let sigma = slice::slice_sigma(
+                                        q.pull_tolerance,
+                                        reply_samples.iter().map(|s| s.quality),
+                                        quant,
+                                    );
+                                    if slice_insert.is_none() {
+                                        slice_insert = Some((
+                                            p.spec.key,
+                                            p.spec.span_end,
+                                            sigma,
+                                            trimmed.clone(),
+                                        ));
+                                    }
+                                    p.sigma = sigma;
+                                    p.samples = Some(trimmed);
+                                    p.rpc_qid = None;
+                                    filled = true;
+                                }
+                                if filled {
+                                    q.last_reply_latency = attempt_latency + reply_air;
+                                }
+                            }
+                            if let Some((key, span_end, sigma, trimmed)) = slice_insert {
+                                self.pipeline.slice_cache.insert(
+                                    key,
+                                    span_end,
+                                    reply.sent_at,
+                                    sigma,
+                                    trimmed,
+                                );
+                            }
                             if let Some(first) = served.first() {
                                 // Share the reply: later queries over
                                 // this span skip the radio. `sent_at`
@@ -1643,16 +1922,22 @@ impl PrestoProxy {
                                     PipelineQuery::Aggregate { to, .. } => Some(*to),
                                     _ => None,
                                 };
+                                // An empty range carries nothing: that
+                                // is an honest failure, not an Ok
+                                // answer with no age (mirrors the
+                                // blocking path exactly).
                                 let answer = PipelineAnswer::Scalar(Answer {
                                     value: *value,
-                                    // Codec/aging-derived bound; an
-                                    // empty range carries nothing.
                                     sigma: if *count == 0 {
                                         f64::INFINITY
                                     } else {
                                         *sigma
                                     },
-                                    source: AnswerSource::Pulled,
+                                    source: if *count == 0 {
+                                        AnswerSource::Failed
+                                    } else {
+                                        AnswerSource::Pulled
+                                    },
                                     latency,
                                     data_through: if *count == 0 { None } else { to },
                                 });
@@ -1677,13 +1962,47 @@ impl PrestoProxy {
                     // a fresh RPC on the next pump.
                     self.stats.pull_failures += 1;
                     for q in live.iter_mut() {
+                        let mut hit = false;
                         if q.rpc_qid == Some(query_id) {
                             q.rpc_qid = None;
+                            hit = true;
+                        }
+                        for p in q.parts.iter_mut() {
+                            if p.rpc_qid == Some(query_id) {
+                                p.rpc_qid = None;
+                                hit = true;
+                            }
+                        }
+                        if hit {
                             self.pipeline.tracer.record(q.id, t, SpanEvent::RpcExpired);
                         }
                     }
                 }
             }
+        }
+
+        // 5. Assemble sliced queries whose every slice is now served
+        // (from cache at issue time, from replies this epoch, or both).
+        let mut i = 0;
+        while i < live.len() {
+            if !live[i].parts_complete() {
+                i += 1;
+                continue;
+            }
+            let q = live.remove(i);
+            let latency = (t - q.submitted_at) + q.last_reply_latency;
+            let (answer, sigma) = self.assemble_sliced(&q.query, &q.parts, latency);
+            self.pipeline.stats.completed_pull += 1;
+            self.pipeline.stats.completed_sliced += 1;
+            let sig = (answer.source() != AnswerSource::Failed).then_some(sigma);
+            self.finish_trace_with(q.id, t, &answer, sig);
+            self.pipeline.completed.push(CompletedQuery {
+                id: q.id,
+                query: q.query,
+                answer,
+                submitted_at: q.submitted_at,
+                completed_at: t,
+            });
         }
         self.pipeline.pending = live;
     }

@@ -144,6 +144,17 @@ impl QueryTrace {
         })
     }
 
+    /// The terminal's answer age: `Some` exactly when the completion
+    /// carried data (the Ok set — failed terminals reflect nothing and
+    /// have nothing to be stale about). `None` also when the trace
+    /// never closed.
+    pub fn answer_age(&self) -> Option<SimDuration> {
+        self.terminal().and_then(|e| match e.event {
+            SpanEvent::Terminal { answer_age, .. } => answer_age,
+            _ => None,
+        })
+    }
+
     /// Number of terminal events (well-formed traces have exactly one).
     pub fn terminal_count(&self) -> usize {
         self.events.iter().filter(|e| e.event.is_terminal()).count()

@@ -291,6 +291,15 @@ fn run_traced(workload: &[(u8, u8)], request: Vec<bool>, reply: Vec<bool>) {
             CompletionCause::Ok
         };
         prop_assert_eq!(tr.cause(), Some(want), "terminal cause must match the answer");
+        // Age coverage is exactly the Ok set: an Ok terminal reflects
+        // real data and must carry its staleness; a failed terminal
+        // reflects nothing and must not pretend otherwise.
+        prop_assert_eq!(
+            tr.answer_age().is_some(),
+            want == CompletionCause::Ok,
+            "answer age must be present iff the completion is Ok (ticket {})",
+            tr.ticket
+        );
     }
     prop_assert_eq!(
         p.pipeline().tracer().open_count(),
