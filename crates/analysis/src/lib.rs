@@ -21,6 +21,10 @@
 //!   crates; truncation there corrupts ids and counters silently.
 //! - **T1 `stats`** — every `pub struct *Stats` must implement `Observe`
 //!   (registry coverage) and `merge` (fleet aggregation).
+//! - **T2 `watchdog`** — every `pub const WD_*` watchdog rule name must be
+//!   exercised by a test somewhere in the workspace (an ident reference
+//!   inside a `#[cfg(test)]` / `#[test]` span); an SLO constant nothing
+//!   tests is a watchdog that may never have fired.
 //!
 //! A site can be justified with an annotation comment — the tool name, a
 //! colon, then `allow(<rule>, <reason>)` — on the same line or on a
@@ -50,6 +54,7 @@ pub enum Rule {
     Panic,
     Narrow,
     Stats,
+    Watchdog,
     Meta,
 }
 
@@ -62,6 +67,7 @@ impl Rule {
             Rule::Panic => "panic",
             Rule::Narrow => "narrow",
             Rule::Stats => "stats",
+            Rule::Watchdog => "watchdog",
             Rule::Meta => "meta",
         }
     }
@@ -74,6 +80,7 @@ impl Rule {
             Rule::Panic => "H1",
             Rule::Narrow => "N1",
             Rule::Stats => "T1",
+            Rule::Watchdog => "T2",
             Rule::Meta => "A0",
         }
     }
@@ -85,6 +92,7 @@ impl Rule {
             "panic" => Some(Rule::Panic),
             "narrow" => Some(Rule::Narrow),
             "stats" => Some(Rule::Stats),
+            "watchdog" => Some(Rule::Watchdog),
             _ => None,
         }
     }
@@ -273,7 +281,7 @@ fn parse_annotation(c: &Comment) -> Option<Result<Annotation, String>> {
         Some(r) if r != Rule::Meta => r,
         _ => {
             return Some(Err(format!(
-                "unknown lint `{rule_id}` (expected det, clock, panic, narrow, or stats)"
+                "unknown lint `{rule_id}` (expected det, clock, panic, narrow, stats, or watchdog)"
             )))
         }
     };
@@ -516,6 +524,39 @@ fn index_stats(ctx: &FileCtx, file_idx: usize, idx: &mut StatsIndex) {
 }
 
 // ---------------------------------------------------------------------------
+// T2: cross-file watchdog-rule fixture coverage
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct WatchdogIndex {
+    /// `pub const WD_*` declarations outside test code:
+    /// name -> (file index, line).
+    decls: BTreeMap<String, (usize, usize)>,
+    /// WD_* idents referenced from inside a test span anywhere.
+    tested: BTreeSet<String>,
+}
+
+fn index_watchdogs(ctx: &FileCtx, file_idx: usize, idx: &mut WatchdogIndex) {
+    let toks = &ctx.tokens;
+    for i in 0..toks.len() {
+        let Some(name) = ident(&toks[i]) else { continue };
+        if !name.starts_with("WD_") {
+            continue;
+        }
+        if in_test(&ctx.spans, toks[i].line) {
+            idx.tested.insert(name.to_string());
+        } else if i >= 2
+            && is_ident(&toks[i - 2], "pub")
+            && is_ident(&toks[i - 1], "const")
+        {
+            idx.decls
+                .entry(name.to_string())
+                .or_insert((file_idx, toks[i].line));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------------
 
@@ -545,8 +586,10 @@ pub fn lint(files: &[SourceFile]) -> Report {
     }
 
     let mut stats = StatsIndex::default();
+    let mut watchdogs = WatchdogIndex::default();
     for (i, ctx) in ctxs.iter().enumerate() {
         index_stats(ctx, i, &mut stats);
+        index_watchdogs(ctx, i, &mut watchdogs);
     }
     for ctx in &mut ctxs {
         scan_det(ctx);
@@ -567,6 +610,18 @@ pub fn lint(files: &[SourceFile]) -> Report {
                 Rule::Stats,
                 line,
                 format!("pub struct {name} must implement `fn merge(&mut self, other: &{name})`"),
+            ));
+        }
+    }
+    for (name, &(file_idx, line)) in &watchdogs.decls {
+        if !watchdogs.tested.contains(name) {
+            ctxs[file_idx].raw.push((
+                Rule::Watchdog,
+                line,
+                format!(
+                    "watchdog rule `{name}` has no fixture test; reference it from a \
+                     #[test] that drives the rule to a violation"
+                ),
             ));
         }
     }

@@ -122,6 +122,45 @@ fn stats_satisfied_by_observe_and_merge_evidence() {
     assert!(r.is_clean(), "unexpected: {:?}", r.violations);
 }
 
+// --- T2 watchdog ------------------------------------------------------
+
+#[test]
+fn watchdog_requires_a_fixture_test() {
+    let r = lint_one(
+        "crates/telemetry/src/fixture.rs",
+        "pub const WD_ORPHAN_RULE: &str = \"orphan_rule\";\n",
+    );
+    assert_eq!(codes(&r), ["T2"]);
+    assert!(r.violations[0].msg.contains("WD_ORPHAN_RULE"));
+}
+
+#[test]
+fn watchdog_satisfied_by_test_reference_anywhere() {
+    // The fixture test may live in a different file than the constant.
+    let decl = SourceFile {
+        path: "crates/telemetry/src/fixture_a.rs".into(),
+        text: "pub const WD_COVERED_RULE: &str = \"covered_rule\";\n".into(),
+    };
+    let fixture = SourceFile {
+        path: "crates/fleet/src/fixture_b.rs".into(),
+        text: "#[cfg(test)]\nmod tests {\n    #[test]\n    fn fires() { let _ = WD_COVERED_RULE; }\n}\n"
+            .into(),
+    };
+    let r = lint(&[decl, fixture]);
+    assert!(r.is_clean(), "unexpected: {:?}", r.violations);
+    // A reference outside any test span is not evidence.
+    let nontest_use = SourceFile {
+        path: "crates/fleet/src/fixture_c.rs".into(),
+        text: "fn wire() { let _ = WD_COVERED_RULE; }\n".into(),
+    };
+    let decl2 = SourceFile {
+        path: "crates/telemetry/src/fixture_a.rs".into(),
+        text: "pub const WD_COVERED_RULE: &str = \"covered_rule\";\n".into(),
+    };
+    let r = lint(&[decl2, nontest_use]);
+    assert_eq!(codes(&r), ["T2"]);
+}
+
 // --- A0 meta ----------------------------------------------------------
 
 #[test]

@@ -1,10 +1,11 @@
 //! Zero-overhead guard for the telemetry layer.
 //!
 //! Runs the same seeded single-proxy query workload twice — every
-//! telemetry surface off (no epoch profiler, no pipeline tracer) vs
-//! everything on, draining traces each epoch like a real consumer —
-//! and fails unless the enabled arm stays within `GUARD_RATIO`× the
-//! disabled arm's wall-clock. Each arm is timed `REPS` times
+//! telemetry surface off (no epoch profiler, no pipeline tracer, no
+//! presto-scope) vs everything on (scope sampler + watchdogs included),
+//! draining traces each epoch like a real consumer — and fails unless
+//! the enabled arm stays within `GUARD_RATIO`× the disabled arm's
+//! wall-clock. Each arm is timed `REPS` times
 //! interleaved and the minimum kept, so scheduler noise can't trip
 //! the guard on a loaded CI box.
 //!
@@ -62,6 +63,24 @@ fn run_arm(telemetry: bool) -> (f64, u64) {
     sys_cfg.reliability.downlink.reply_loss = LossProcess::Bernoulli(0.2);
     sys_cfg.profile = telemetry;
     sys_cfg.proxy.pipeline.trace = telemetry;
+    if telemetry {
+        // The full scope: per-epoch snapshot sampling into ring series
+        // plus a live watchdog rule, so the guard prices the whole
+        // presto-scope pipeline, not just the legacy counters.
+        sys_cfg.scope = presto_telemetry::ScopeConfig {
+            enabled: true,
+            series: vec![
+                presto_telemetry::SeriesSpec::delta("pipeline.rpcs_issued"),
+                presto_telemetry::SeriesSpec::delta("pipeline.submitted"),
+                presto_telemetry::SeriesSpec::level("trace.recorder_len"),
+            ],
+            rules: vec![presto_telemetry::WatchdogRule::still(
+                presto_telemetry::scope::WD_STALE_CONFIDENT,
+                "probe.stale_confident",
+            )],
+            ..presto_telemetry::ScopeConfig::default()
+        };
+    }
     let epoch = sys_cfg.lab.epoch;
     let mut sys = PrestoSystem::new(sys_cfg);
     sys.run(SimDuration::from_hours(WARMUP_HOURS));

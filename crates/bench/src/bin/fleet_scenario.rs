@@ -19,6 +19,13 @@ use presto_bench::experiments::render_json;
 use presto_bench::fleet::{determinism_fingerprint, fleet_scenario, FleetScenarioConfig};
 use presto_bench::report::{render_summary, write_bench_json, BenchJson, MetricLine};
 
+// Counting allocator: BENCH_fleet.json carries allocations/epoch and the
+// peak-RSS proxy. The counters are process-cumulative, so the rows are
+// appended here (deltas around the scenario call), never folded into the
+// telemetry snapshot the determinism audit compares.
+#[global_allocator]
+static ALLOC: presto_telemetry::alloc::CountingAlloc = presto_telemetry::alloc::CountingAlloc;
+
 fn main() {
     let arg = std::env::args().nth(1);
     if arg.as_deref() == Some("--determinism") {
@@ -34,7 +41,10 @@ fn main() {
             ..FleetScenarioConfig::default()
         }
     };
+    let allocs_before = presto_telemetry::alloc::allocation_count();
     let r = fleet_scenario(&cfg);
+    let allocs_total = presto_telemetry::alloc::allocation_count() - allocs_before;
+    let peak_bytes = presto_telemetry::alloc::peak_bytes();
     print!(
         "{}",
         render_json(
@@ -51,7 +61,7 @@ fn main() {
     );
     // The shared benchmark artifact: stable grep lines on stdout plus
     // the machine-readable BENCH_fleet.json next to the run.
-    let bench = BenchJson {
+    let mut bench = BenchJson {
         scenario: "fleet".into(),
         throughput_ratio: r.throughput_ratio,
         arms: vec![
@@ -67,7 +77,34 @@ fn main() {
                 value: *v,
             })
             .collect(),
+        timeline: r.shed_on.timeline.clone(),
+        incidents: r.shed_on.incidents.clone(),
     };
+    // Allocation-pressure rows (host-dependent, so bench-diff leaves
+    // the `alloc.` prefix ungated; CI only asserts they are non-zero).
+    let epochs = r
+        .shed_on
+        .metrics
+        .iter()
+        .find(|(k, _)| k == "profiler.epochs")
+        .map_or(0.0, |(_, v)| *v);
+    for (key, value) in [
+        ("alloc.allocations_total", allocs_total as f64),
+        (
+            "alloc.allocations_per_epoch",
+            if epochs > 0.0 {
+                allocs_total as f64 / epochs
+            } else {
+                0.0
+            },
+        ),
+        ("alloc.peak_bytes", peak_bytes as f64),
+    ] {
+        bench.metrics.push(MetricLine {
+            key: key.into(),
+            value,
+        });
+    }
     print!("{}", render_summary(&bench));
     let mut failures = Vec::new();
     if let Err(e) = write_bench_json("BENCH_fleet.json", &bench) {
@@ -113,6 +150,18 @@ fn main() {
                 arm.rehomed
             ));
         }
+        if arm.incidents_unattributed > 0 {
+            failures.push(format!(
+                "{label}: {} watchdog incidents outside any fault window",
+                arm.incidents_unattributed
+            ));
+        }
+    }
+    if r.shed_on.timeline.iter().all(|s| s.points.is_empty()) {
+        failures.push("presto-scope exported an empty timeline".into());
+    }
+    if allocs_total == 0 || peak_bytes == 0 {
+        failures.push("counting allocator reported zero activity".into());
     }
     if r.shed_on.shed == 0 {
         failures.push("shedding never fired under skew".into());

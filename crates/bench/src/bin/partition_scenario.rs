@@ -61,6 +61,8 @@ fn main() {
                 value: *v,
             })
             .collect(),
+        timeline: r.with_partition.timeline.clone(),
+        incidents: r.with_partition.incidents.clone(),
     };
     print!("{}", render_summary(&bench));
     let mut failures = Vec::new();
@@ -142,6 +144,35 @@ fn main() {
     if r.without_partition.fenced_epochs > 0 || r.without_partition.deaths_declared > 0 {
         failures.push("clean arm fenced or declared a proxy".into());
     }
+    // presto-scope acceptance: the injected cut must surface as at
+    // least one incident blaming the mesh partition, nothing may fire
+    // outside a fault window, and the clean arm must stay silent.
+    if w.incidents_mesh_attributed == 0 {
+        failures.push(format!(
+            "no watchdog incident attributed to the mesh cut ({} incidents total)",
+            w.incidents.len()
+        ));
+    }
+    for (label, arm) in [
+        ("with-partition", &r.with_partition),
+        ("no-partition", &r.without_partition),
+    ] {
+        if arm.incidents_unattributed > 0 {
+            failures.push(format!(
+                "{label}: {} watchdog incidents outside any fault window",
+                arm.incidents_unattributed
+            ));
+        }
+    }
+    if !r.without_partition.incidents.is_empty() {
+        failures.push(format!(
+            "clean arm logged {} watchdog incidents",
+            r.without_partition.incidents.len()
+        ));
+    }
+    if w.timeline.iter().all(|s| s.points.is_empty()) {
+        failures.push("presto-scope exported an empty timeline".into());
+    }
     if r.throughput_ratio < 0.5 {
         failures.push(format!(
             "split brain cost more than half the throughput: {:.1} vs {:.1} q/h ({:.2}×)",
@@ -160,7 +191,8 @@ fn main() {
     }
     eprintln!(
         "partition-scenario {} OK — {} queries, fenced {} epochs, {} fenced refusals, \
-         {} re-homed, rejoined, {:.1} vs {:.1} q/h ({:.2}×), age p50 {:.0} s",
+         {} re-homed, rejoined, {:.1} vs {:.1} q/h ({:.2}×), age p50 {:.0} s, \
+         {} incidents ({} mesh-attributed)",
         if quick { "smoke" } else { "run" },
         w.submitted,
         w.fenced_epochs,
@@ -169,6 +201,8 @@ fn main() {
         w.throughput_qph,
         r.without_partition.throughput_qph,
         r.throughput_ratio,
-        w.answer_age_p50_s
+        w.answer_age_p50_s,
+        w.incidents.len(),
+        w.incidents_mesh_attributed
     );
 }

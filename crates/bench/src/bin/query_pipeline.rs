@@ -67,6 +67,7 @@ fn main() {
             },
         ],
         metrics: Vec::new(),
+        ..BenchJson::default()
     };
     print!("{}", render_summary(&bench));
     let mut failures = Vec::new();

@@ -54,6 +54,8 @@ fn main() {
                 value: *value,
             })
             .collect(),
+        timeline: r.sliced.timeline.clone(),
+        incidents: r.sliced.incidents.clone(),
     };
     print!("{}", render_summary(&bench));
     let mut failures = Vec::new();
@@ -92,6 +94,16 @@ fn main() {
                 arm.leaked_pending, arm.leaked_rpcs
             ));
         }
+        if !arm.incidents.is_empty() || arm.incidents_unattributed > 0 {
+            failures.push(format!(
+                "({label}) clean run logged {} watchdog incidents ({} unattributed)",
+                arm.incidents.len(),
+                arm.incidents_unattributed
+            ));
+        }
+    }
+    if r.sliced.timeline.iter().all(|s| s.points.is_empty()) {
+        failures.push("presto-scope exported an empty timeline".into());
     }
     if r.sliced.sliced == 0 {
         failures.push("no query took the sliced path".into());

@@ -21,8 +21,9 @@
 //! never silently wrong one). Leak probes must read clean after the
 //! drain window, across the crash + re-home cycle included.
 
+use crate::report::{scope_incidents, scope_timeline, IncidentOut, SeriesOut};
 use presto_core::SystemConfig;
-use presto_fleet::{FleetConfig, FleetDeployment};
+use presto_fleet::{fleet_scope_config, FleetConfig, FleetDeployment, FleetScopeBounds, FEED_STALE_CONFIDENT};
 use presto_net::LossProcess;
 use presto_proxy::{PipelineAnswer, PipelineQuery, QueryClass};
 use presto_sim::metrics::Summary;
@@ -162,6 +163,13 @@ pub struct FleetArmReport {
     /// The flattened unified-telemetry snapshot (the BENCH artifact
     /// rows).
     pub metrics: Vec<(String, f64)>,
+    /// presto-scope epoch trajectories (the BENCH timeline section).
+    pub timeline: Vec<SeriesOut>,
+    /// Watchdog incident log, with fault attribution.
+    pub incidents: Vec<IncidentOut>,
+    /// Incidents no injected fault explains (must be zero — every
+    /// violation in this scenario is the crash schedule's doing).
+    pub incidents_unattributed: u64,
 }
 
 impl FleetArmReport {
@@ -247,6 +255,10 @@ fn fleet(cfg: &FleetScenarioConfig, shed: bool) -> FleetDeployment {
     // pipeline tracer on too gets per-RPC attempt/retransmit/defer
     // events spliced into every fleet trace for the BENCH artifact.
     sys_cfg.proxy.pipeline.trace = true;
+    // The standard fleet scope: epoch time-series sampling plus the
+    // SLO watchdogs, so every run exports a trajectory and any
+    // violation lands in the incident log with the faults to blame.
+    sys_cfg.scope = fleet_scope_config(&FleetScopeBounds::default());
     // A bounded summary cache (the paper's "cache of summary
     // information"): the queryable age band below is deliberately
     // larger than this, so the workload's working set does not fit and
@@ -355,6 +367,13 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
                 per_proxy_submitted[a.group.min(cfg.proxies - 1)] += 1;
             }
         }
+        // The stale-confidence probe is driver-side knowledge (it needs
+        // ground truth), so it reaches the watchdog as a feed; growth
+        // in the cumulative count is a violation.
+        fleet
+            .system
+            .scope_mut()
+            .feed(FEED_STALE_CONFIDENT, stale_confident as f64);
         fleet.step_epoch();
         for c in fleet.take_completed() {
             completed += 1;
@@ -486,6 +505,9 @@ fn run_arm(cfg: &FleetScenarioConfig, shed: bool) -> FleetArmReport {
         radio_bytes: snap.get("sensor.bytes_sent").unwrap_or(0.0) as u64,
         sensor_energy_j: fleet.system.sensor_ledger_total().total(),
         metrics: snap.flatten(),
+        timeline: scope_timeline(fleet.system.scope()),
+        incidents: scope_incidents(fleet.system.scope()),
+        incidents_unattributed: fleet.system.scope().unattributed_incidents() as u64,
     }
 }
 
@@ -606,6 +628,17 @@ mod tests {
             assert!(
                 arm.metrics.iter().any(|(k, v)| k == "pipeline.rpcs_issued" && *v > 0.0),
                 "telemetry snapshot missing pipeline counters ({label})"
+            );
+            assert_eq!(
+                arm.incidents_unattributed, 0,
+                "incidents outside fault windows ({label}): {:?}",
+                arm.incidents
+            );
+            assert!(
+                arm.timeline
+                    .iter()
+                    .any(|s| s.path == "fleet.pressure_max" && !s.points.is_empty()),
+                "scope timeline missing the pressure trajectory ({label})"
             );
         }
         assert!(r.shed_on.shed > 0, "hot proxy never shed: {:?}", r.shed_on);

@@ -7,6 +7,7 @@
 //! code. Results serialize to JSON (via the workspace-approved `serde`)
 //! next to the human-readable tables.
 
+pub mod diff;
 pub mod experiments;
 pub mod failure;
 pub mod figure2;

@@ -14,8 +14,9 @@
 //! the throughput cost: a split brain may slow the fleet, never
 //! corrupt it.
 
+use crate::report::{scope_incidents, scope_timeline, IncidentOut, SeriesOut};
 use presto_core::SystemConfig;
-use presto_fleet::{FleetConfig, FleetDeployment};
+use presto_fleet::{fleet_scope_config, FleetConfig, FleetDeployment, FleetScopeBounds, FEED_STALE_CONFIDENT};
 use presto_net::LossProcess;
 use presto_proxy::{PipelineAnswer, PipelineQuery, QueryClass};
 use presto_sim::metrics::Summary;
@@ -149,6 +150,16 @@ pub struct PartitionArmReport {
     /// The flattened unified-telemetry snapshot (the BENCH artifact
     /// rows).
     pub metrics: Vec<(String, f64)>,
+    /// presto-scope epoch trajectories (the BENCH timeline section).
+    pub timeline: Vec<SeriesOut>,
+    /// Watchdog incident log, with fault attribution.
+    pub incidents: Vec<IncidentOut>,
+    /// Incidents no injected fault explains (must be zero in both
+    /// arms: outside the cut window the fleet is healthy).
+    pub incidents_unattributed: u64,
+    /// Incidents whose blame window names the injected mesh partition
+    /// (the partitioned arm must log at least one).
+    pub incidents_mesh_attributed: u64,
 }
 
 impl PartitionArmReport {
@@ -217,6 +228,15 @@ fn fleet(cfg: &PartitionScenarioConfig, partition: bool) -> FleetDeployment {
     }
     sys_cfg.proxy.pipeline.epoch_attempt_budget = 8;
     sys_cfg.proxy.cache_capacity = 700;
+    // The standard fleet scope: the fenced-admission watchdog is what
+    // turns the injected cut into an attributed incident. This workload
+    // serves PAST windows across the whole warmup archive, so answers
+    // legitimately carry hours of age — the p99 bound only has to catch
+    // serving data older than the archive itself.
+    sys_cfg.scope = fleet_scope_config(&FleetScopeBounds {
+        answer_age_p99_us: (cfg.warmup_hours + cfg.query_hours + 8) as f64 * 3600.0 * 1e6,
+        ..FleetScopeBounds::default()
+    });
     // Full trace spans: per-RPC pipeline events spliced into every
     // fleet trace, and the flight recorder retaining each failed /
     // fenced query's cause chain for the post-mortem checks below.
@@ -309,6 +329,12 @@ fn run_arm(cfg: &PartitionScenarioConfig, partition: bool) -> PartitionArmReport
                 submitted += 1;
             }
         }
+        // Driver-side probe feed: the watchdog flags any growth in the
+        // cumulative stale-confident count.
+        fleet
+            .system
+            .scope_mut()
+            .feed(FEED_STALE_CONFIDENT, stale_confident as f64);
         fleet.step_epoch();
         if fleet.is_fenced(minority) {
             fenced_epochs += 1;
@@ -411,6 +437,7 @@ fn run_arm(cfg: &PartitionScenarioConfig, partition: bool) -> PartitionArmReport
         + (0..cfg.proxies)
             .map(|p| fleet.system.proxies[p].pipeline().tracer().open_count() as u64)
             .sum::<u64>();
+    let incidents = scope_incidents(fleet.system.scope());
     PartitionArmReport {
         submitted,
         completed,
@@ -442,6 +469,13 @@ fn run_arm(cfg: &PartitionScenarioConfig, partition: bool) -> PartitionArmReport
         radio_bytes: snap.get("sensor.bytes_sent").unwrap_or(0.0) as u64,
         sensor_energy_j: fleet.system.sensor_ledger_total().total(),
         metrics: snap.flatten(),
+        timeline: scope_timeline(fleet.system.scope()),
+        incidents_unattributed: fleet.system.scope().unattributed_incidents() as u64,
+        incidents_mesh_attributed: incidents
+            .iter()
+            .filter(|i| i.faults.iter().any(|f| f.contains("MeshPartition")))
+            .count() as u64,
+        incidents,
     }
 }
 
@@ -497,7 +531,22 @@ mod tests {
                 "flight recorder must reproduce every failed query's cause chain ({label})"
             );
             assert_eq!(arm.recorder_chains_ok, arm.failed, "({label})");
+            assert_eq!(
+                arm.incidents_unattributed, 0,
+                "watchdog fired outside any fault window ({label}): {:?}",
+                arm.incidents
+            );
         }
+        assert!(
+            r.without_partition.incidents.is_empty(),
+            "clean arm must log zero incidents: {:?}",
+            r.without_partition.incidents
+        );
+        assert!(
+            r.with_partition.incidents_mesh_attributed >= 1,
+            "no incident blamed the injected mesh cut: {:?}",
+            r.with_partition.incidents
+        );
         let w = &r.with_partition;
         assert!(w.fenced_epochs > 0, "minority never fenced: {w:?}");
         assert!(w.failed_fenced > 0, "no admission was fenced: {w:?}");

@@ -13,7 +13,7 @@
 //!   shed/re-home counts, radio bytes, retransmits, energy, and the
 //!   full flattened unified-telemetry snapshot.
 
-use presto_telemetry::Snapshot;
+use presto_telemetry::{PrestoScope, Snapshot};
 use serde::Serialize;
 
 /// One flattened telemetry reading (`dotted.path`, value).
@@ -77,8 +77,53 @@ pub struct ArmSummary {
     pub trace_orphans: u64,
 }
 
-/// The benchmark artifact a scenario bin writes.
+/// One downsampled bin of a presto-scope time series.
 #[derive(Clone, Debug, Serialize)]
+pub struct TimelinePoint {
+    /// Bin start, simulated seconds.
+    pub t_s: f64,
+    /// Minimum reading folded into the bin.
+    pub min: f64,
+    /// Maximum reading folded in.
+    pub max: f64,
+    /// Most recent reading folded in.
+    pub last: f64,
+    /// Raw readings folded in.
+    pub samples: u64,
+}
+
+/// One sampled series' epoch trajectory.
+#[derive(Clone, Debug, Serialize)]
+pub struct SeriesOut {
+    /// Dotted snapshot path (or feed name) the series watched.
+    pub path: String,
+    /// Downsampled bins, oldest first.
+    pub points: Vec<TimelinePoint>,
+}
+
+/// One watchdog incident, with its blame window.
+#[derive(Clone, Debug, Serialize)]
+pub struct IncidentOut {
+    /// Rule family (`stale_confident`, `answer_age_p99`, …).
+    pub rule: String,
+    /// The watched path.
+    pub path: String,
+    /// First violating epoch, simulated seconds.
+    pub opened_s: f64,
+    /// First clean epoch after the episode (`None` if still open).
+    pub closed_s: Option<f64>,
+    /// Worst offending reading inside the episode.
+    pub observed: f64,
+    /// The rule's bound.
+    pub bound: f64,
+    /// Whether any injected fault overlaps the violation window.
+    pub attributed: bool,
+    /// The `FaultPlan` faults active in the padded violation window.
+    pub faults: Vec<String>,
+}
+
+/// The benchmark artifact a scenario bin writes.
+#[derive(Clone, Debug, Default, Serialize)]
 pub struct BenchJson {
     /// Scenario name (`fleet`, `partition`, `query_pipeline`).
     pub scenario: String,
@@ -88,6 +133,50 @@ pub struct BenchJson {
     pub arms: Vec<ArmSummary>,
     /// The primary arm's flattened unified-telemetry snapshot.
     pub metrics: Vec<MetricLine>,
+    /// The primary arm's presto-scope epoch trajectories.
+    pub timeline: Vec<SeriesOut>,
+    /// The primary arm's watchdog incident log.
+    pub incidents: Vec<IncidentOut>,
+}
+
+/// Exports a scope's ring-buffered series as artifact timelines.
+pub fn scope_timeline(scope: &PrestoScope) -> Vec<SeriesOut> {
+    scope
+        .series()
+        .iter()
+        .map(|(path, ring)| SeriesOut {
+            path: path.clone(),
+            points: ring
+                .bins()
+                .iter()
+                .map(|b| TimelinePoint {
+                    t_s: b.t.as_secs_f64(),
+                    min: b.min,
+                    max: b.max,
+                    last: b.last,
+                    samples: b.samples,
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Exports a scope's watchdog incident log as artifact rows.
+pub fn scope_incidents(scope: &PrestoScope) -> Vec<IncidentOut> {
+    scope
+        .incidents()
+        .iter()
+        .map(|i| IncidentOut {
+            rule: i.rule.to_string(),
+            path: i.path.clone(),
+            opened_s: i.opened_at.as_secs_f64(),
+            closed_s: i.closed_at.map(|t| t.as_secs_f64()),
+            observed: i.observed,
+            bound: i.bound,
+            attributed: i.attributed,
+            faults: i.faults.iter().map(|f| format!("{f:?}")).collect(),
+        })
+        .collect()
 }
 
 /// Flattens a telemetry snapshot into artifact rows.
@@ -146,11 +235,185 @@ pub fn render_summary(b: &BenchJson) -> String {
     out
 }
 
-/// Writes the artifact as JSON to `path`.
+// ---------------------------------------------------------------------------
+// Deterministic JSON emission
+// ---------------------------------------------------------------------------
+//
+// The vendored serde_json shim transliterates `Debug` output, which is
+// fine for human-readable experiment dumps but too loose for artifacts
+// that get byte-compared: `bench-diff` and the committed baselines need
+// every run of the same binary on the same seed to emit the identical
+// byte stream. The emitter below renders `BenchJson` directly — strings
+// escaped per RFC 8259, floats via Rust's shortest round-trip `Display`
+// (deterministic for identical bit patterns), non-finite floats as
+// `null` — with no dependence on `Debug` formatting.
+
+/// Escapes a string for a JSON string literal (quotes not included).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a float deterministically: shortest round-trip decimal for
+/// finite values, `null` for NaN/±inf (JSON has no non-finite numbers).
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn push_arm(out: &mut String, a: &ArmSummary, indent: &str) {
+    use std::fmt::Write as _;
+    let _ = write!(
+        out,
+        "{indent}{{\n\
+         {indent}  \"arm\": \"{}\",\n\
+         {indent}  \"submitted\": {},\n\
+         {indent}  \"answered_ok\": {},\n\
+         {indent}  \"failed\": {},\n\
+         {indent}  \"queries_per_sec\": {},\n\
+         {indent}  \"latency_p50_s\": {},\n\
+         {indent}  \"latency_p90_s\": {},\n\
+         {indent}  \"latency_p99_s\": {},\n\
+         {indent}  \"answer_age_count\": {},\n\
+         {indent}  \"answer_age_missing\": {},\n\
+         {indent}  \"answer_age_p50_s\": {},\n\
+         {indent}  \"shed\": {},\n\
+         {indent}  \"rehomed\": {},\n\
+         {indent}  \"retransmits\": {},\n\
+         {indent}  \"radio_bytes\": {},\n\
+         {indent}  \"sensor_energy_j\": {},\n\
+         {indent}  \"cache_hit_rate\": {},\n\
+         {indent}  \"stale_confident\": {},\n\
+         {indent}  \"trace_terminals\": {},\n\
+         {indent}  \"trace_bad\": {},\n\
+         {indent}  \"trace_orphans\": {}\n\
+         {indent}}}",
+        json_escape(&a.arm),
+        a.submitted,
+        a.answered_ok,
+        a.failed,
+        json_num(a.queries_per_sec),
+        json_num(a.latency_p50_s),
+        json_num(a.latency_p90_s),
+        json_num(a.latency_p99_s),
+        a.answer_age_count,
+        a.answer_age_missing,
+        json_num(a.answer_age_p50_s),
+        a.shed,
+        a.rehomed,
+        a.retransmits,
+        a.radio_bytes,
+        json_num(a.sensor_energy_j),
+        json_num(a.cache_hit_rate),
+        a.stale_confident,
+        a.trace_terminals,
+        a.trace_bad,
+        a.trace_orphans,
+    );
+}
+
+/// Renders the artifact as deterministic JSON text.
+pub fn render_bench_json(b: &BenchJson) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = write!(
+        out,
+        "{{\n  \"scenario\": \"{}\",\n  \"throughput_ratio\": {},\n  \"arms\": [",
+        json_escape(&b.scenario),
+        json_num(b.throughput_ratio)
+    );
+    for (i, a) in b.arms.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        push_arm(&mut out, a, "    ");
+    }
+    out.push_str(if b.arms.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"metrics\": [");
+    for (i, m) in b.metrics.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"key\": \"{}\", \"value\": {}}}",
+            json_escape(&m.key),
+            json_num(m.value)
+        );
+    }
+    out.push_str(if b.metrics.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"timeline\": [");
+    for (i, s) in b.timeline.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let _ = write!(
+            out,
+            "    {{\"path\": \"{}\", \"points\": [",
+            json_escape(&s.path)
+        );
+        for (j, p) in s.points.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(
+                out,
+                "{{\"t_s\": {}, \"min\": {}, \"max\": {}, \"last\": {}, \"samples\": {}}}",
+                json_num(p.t_s),
+                json_num(p.min),
+                json_num(p.max),
+                json_num(p.last),
+                p.samples
+            );
+        }
+        out.push_str("]}");
+    }
+    out.push_str(if b.timeline.is_empty() { "],\n" } else { "\n  ],\n" });
+    out.push_str("  \"incidents\": [");
+    for (i, inc) in b.incidents.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        let closed = match inc.closed_s {
+            Some(t) => json_num(t),
+            None => "null".to_string(),
+        };
+        let faults: Vec<String> = inc
+            .faults
+            .iter()
+            .map(|f| format!("\"{}\"", json_escape(f)))
+            .collect();
+        let _ = write!(
+            out,
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"opened_s\": {}, \
+             \"closed_s\": {}, \"observed\": {}, \"bound\": {}, \
+             \"attributed\": {}, \"faults\": [{}]}}",
+            json_escape(&inc.rule),
+            json_escape(&inc.path),
+            json_num(inc.opened_s),
+            closed,
+            json_num(inc.observed),
+            json_num(inc.bound),
+            inc.attributed,
+            faults.join(", ")
+        );
+    }
+    out.push_str(if b.incidents.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Writes the artifact as deterministic JSON to `path`.
 pub fn write_bench_json(path: &str, b: &BenchJson) -> std::io::Result<()> {
-    let json = serde_json::to_string_pretty(b)
-        .map_err(|e| std::io::Error::other(e.to_string()))?;
-    std::fs::write(path, json)
+    std::fs::write(path, render_bench_json(b))
 }
 
 #[cfg(test)]
@@ -172,26 +435,76 @@ mod tests {
                 key: "pipeline.submitted".into(),
                 value: 10.0,
             }],
+            ..BenchJson::default()
         };
         let s = render_summary(&b);
         assert!(s.contains("scenario=fleet arm=shed-on submitted=10 answered_ok=9"));
         assert!(s.contains("scenario=fleet throughput_ratio=1.2500"));
     }
 
-    #[test]
-    fn bench_json_is_python_parseable_shape() {
-        // The vendored serde shim renders Debug-derived JSON; the
-        // artifact must come out as an object with the four top-level
-        // keys the CI validator reads.
-        let b = BenchJson {
+    fn sample_bench() -> BenchJson {
+        BenchJson {
             scenario: "fleet".into(),
             throughput_ratio: f64::INFINITY,
-            arms: Vec::new(),
-            metrics: Vec::new(),
-        };
-        let json = serde_json::to_string_pretty(&b).expect("renders");
-        assert!(json.contains("\"scenario\": \"fleet\""));
+            arms: vec![ArmSummary {
+                arm: "shed-on".into(),
+                submitted: 10,
+                answered_ok: 9,
+                queries_per_sec: 0.125,
+                ..ArmSummary::default()
+            }],
+            metrics: vec![MetricLine {
+                key: "pipeline.\"odd\\key\"".into(),
+                value: f64::NAN,
+            }],
+            timeline: vec![SeriesOut {
+                path: "fleet.pressure_max".into(),
+                points: vec![TimelinePoint {
+                    t_s: 30.0,
+                    min: 1.0,
+                    max: 4.5,
+                    last: 2.0,
+                    samples: 3,
+                }],
+            }],
+            incidents: vec![IncidentOut {
+                rule: "pressure_watermark".into(),
+                path: "fleet.pressure_max".into(),
+                opened_s: 60.0,
+                closed_s: None,
+                observed: 5.0,
+                bound: 4.0,
+                attributed: true,
+                faults: vec!["MeshPartition { group: [2] }".into()],
+            }],
+        }
+    }
+
+    #[test]
+    fn bench_json_emitter_is_valid_and_escaped() {
+        let json = render_bench_json(&sample_bench());
+        assert!(json.contains("\"scenario\": \"fleet\""), "{json}");
         assert!(json.contains("\"throughput_ratio\": null"), "{json}");
-        assert!(json.contains("\"arms\": []"));
+        // Quotes and backslashes in keys survive as JSON escapes.
+        assert!(json.contains("pipeline.\\\"odd\\\\key\\\""), "{json}");
+        // NaN values render as null, not as a bare token.
+        assert!(json.contains("\"value\": null"), "{json}");
+        assert!(!json.contains("NaN"), "{json}");
+        assert!(json.contains("\"timeline\""), "{json}");
+        assert!(json.contains("\"t_s\": 30"), "{json}");
+        assert!(json.contains("\"rule\": \"pressure_watermark\""), "{json}");
+        assert!(json.contains("\"closed_s\": null"), "{json}");
+        assert!(json.contains("\"attributed\": true"), "{json}");
+    }
+
+    #[test]
+    fn bench_json_emitter_is_byte_deterministic() {
+        let b = sample_bench();
+        assert_eq!(render_bench_json(&b), render_bench_json(&b));
+        // Empty sections still close their brackets.
+        let empty = BenchJson::default();
+        let json = render_bench_json(&empty);
+        assert!(json.contains("\"arms\": []"), "{json}");
+        assert!(json.contains("\"incidents\": []"), "{json}");
     }
 }

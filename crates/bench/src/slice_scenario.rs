@@ -19,12 +19,15 @@
 //! answer contradicted by its own window — must be zero), and the
 //! trace/age coverage counters the CI smoke asserts on.
 
+use crate::report::{scope_incidents, scope_timeline, IncidentOut, SeriesOut};
 use presto_core::{PipelineAnswer, PrestoSystem, StoreQuery, SystemConfig};
+use presto_fleet::FEED_STALE_CONFIDENT;
 use presto_net::LossProcess;
 use presto_proxy::{AnswerSource, SliceConfig};
 use presto_sim::metrics::Summary;
 use presto_sim::{SimDuration, SimTime};
-use presto_telemetry::CompletionCause;
+use presto_telemetry::scope::WD_STALE_CONFIDENT;
+use presto_telemetry::{CompletionCause, ScopeConfig, SeriesSpec, WatchdogRule};
 use serde::Serialize;
 
 /// Experiment parameters.
@@ -135,6 +138,12 @@ pub struct SliceArmReport {
     pub leaked_rpcs: u64,
     /// The flattened unified-telemetry snapshot.
     pub metrics: Vec<(String, f64)>,
+    /// presto-scope epoch trajectories (the BENCH timeline section).
+    pub timeline: Vec<SeriesOut>,
+    /// Watchdog incident log (clean slice runs must keep this empty).
+    pub incidents: Vec<IncidentOut>,
+    /// Incidents no injected fault explains (must be zero).
+    pub incidents_unattributed: u64,
 }
 
 impl SliceArmReport {
@@ -212,6 +221,20 @@ fn system(cfg: &SliceScenarioConfig, sliced: bool) -> PrestoSystem {
     // the coverage fast path, and trace so age coverage is auditable.
     sys_cfg.proxy.past_coverage_hit = f64::INFINITY;
     sys_cfg.proxy.pipeline.trace = true;
+    // A single-system scope: fleet paths don't exist here, so the
+    // timeline watches the pipeline/slice work rates and the recorder,
+    // and the one watchdog is the driver-fed stale-confident probe.
+    sys_cfg.scope = ScopeConfig {
+        enabled: true,
+        series: vec![
+            SeriesSpec::delta("pipeline.rpcs_issued"),
+            SeriesSpec::delta("pipeline.sliced"),
+            SeriesSpec::delta("slice.lookups"),
+            SeriesSpec::level("trace.recorder_len"),
+        ],
+        rules: vec![WatchdogRule::still(WD_STALE_CONFIDENT, FEED_STALE_CONFIDENT)],
+        ..ScopeConfig::default()
+    };
     if sliced {
         sys_cfg.proxy.pipeline.slice = Some(SliceConfig::default());
     }
@@ -291,6 +314,7 @@ fn run_arm(cfg: &SliceScenarioConfig, sliced: bool) -> SliceArmReport {
                 }
             }
         }
+        sys.scope_mut().feed(FEED_STALE_CONFIDENT, stale_confident as f64);
         sys.step_epoch();
         for (_, c) in sys.take_completed_queries() {
             completed += 1;
@@ -362,6 +386,9 @@ fn run_arm(cfg: &SliceScenarioConfig, sliced: bool) -> SliceArmReport {
         leaked_pending: sys.pipeline_pending_total() as u64,
         leaked_rpcs: sys.async_in_flight_total() as u64,
         metrics: snap.flatten(),
+        timeline: scope_timeline(sys.scope()),
+        incidents: scope_incidents(sys.scope()),
+        incidents_unattributed: sys.scope().unattributed_incidents() as u64,
     }
 }
 
@@ -403,6 +430,17 @@ mod tests {
             assert_eq!(arm.trace_orphans, 0, "({label}) {arm:?}");
             assert_eq!(arm.leaked_pending, 0, "({label}) {arm:?}");
             assert_eq!(arm.leaked_rpcs, 0, "({label}) {arm:?}");
+            assert!(
+                arm.incidents.is_empty(),
+                "({label}) clean run must log zero incidents: {:?}",
+                arm.incidents
+            );
+            assert_eq!(arm.incidents_unattributed, 0, "({label}) {arm:?}");
+            assert!(
+                arm.timeline.iter().any(|s| s.path == "slice.lookups"
+                    || s.path == "pipeline.rpcs_issued"),
+                "({label}) timeline missing the work-rate series"
+            );
         }
         assert!(r.sliced.sliced > 0, "hot windows must take the sliced path");
         assert!(

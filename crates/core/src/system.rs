@@ -29,7 +29,7 @@ use presto_reliability::{
 };
 use presto_sensor::{PushPolicy, SensorConfig, SensorNode};
 use presto_sim::{EnergyCategory, EnergyLedger, FaultPlan, SimDuration, SimRng, SimTime};
-use presto_telemetry::{EpochProfiler, Snapshot};
+use presto_telemetry::{EpochProfiler, PrestoScope, ScopeConfig, Snapshot};
 use presto_workloads::{LabDeployment, LabParams};
 
 /// Event type code used for rare-event reports.
@@ -66,6 +66,10 @@ pub struct SystemConfig {
     /// counts). On by default — the timers cost one `Instant` read per
     /// phase; disabled, the profiler never touches the clock.
     pub profile: bool,
+    /// `presto-scope` time-series sampling and SLO watchdogs over the
+    /// telemetry snapshot, ticked once per epoch. Disabled by default:
+    /// an enabled scope builds a snapshot every sampled epoch.
+    pub scope: ScopeConfig,
 }
 
 impl Default for SystemConfig {
@@ -88,6 +92,7 @@ impl Default for SystemConfig {
             reliability: ReliabilityConfig::default(),
             faults: FaultPlan::none(),
             profile: true,
+            scope: ScopeConfig::default(),
         }
     }
 }
@@ -171,6 +176,8 @@ pub struct PrestoSystem {
     last_fault_check: SimTime,
     /// Phase timers over the epoch pump.
     profiler: EpochProfiler,
+    /// Time-series sampler + SLO watchdogs over the snapshot tree.
+    scope: PrestoScope,
 }
 
 impl PrestoSystem {
@@ -303,6 +310,7 @@ impl PrestoSystem {
             last_beacon: SimTime::ZERO,
             last_fault_check: SimTime::ZERO,
             profiler: EpochProfiler::new(config.profile),
+            scope: PrestoScope::new(config.scope.clone()),
             config,
         }
     }
@@ -351,6 +359,7 @@ impl PrestoSystem {
     pub fn step_epoch(&mut self) {
         let t = self.step_epoch_core();
         self.pump_pipelines(t);
+        self.scope_tick(t);
     }
 
     /// Advances everything except the query-pipeline pump by one epoch:
@@ -861,29 +870,103 @@ impl PrestoSystem {
         &mut self.profiler
     }
 
+    /// The `presto-scope` sampler + watchdogs.
+    pub fn scope(&self) -> &PrestoScope {
+        &self.scope
+    }
+
+    /// Mutable scope access (external feeds, deployment-tier ticks).
+    pub fn scope_mut(&mut self) -> &mut PrestoScope {
+        &mut self.scope
+    }
+
+    /// One scope tick at epoch time `t`: builds the telemetry snapshot
+    /// and feeds it to the sampler and watchdogs with the fault plan as
+    /// blame context. No-op (no snapshot built) when the scope is
+    /// disabled. Deployment-tier drivers that pump the pipelines
+    /// themselves call this after their own pump instead.
+    pub fn scope_tick(&mut self, t: SimTime) {
+        if !self.scope.enabled() {
+            return;
+        }
+        // Observe only the subtrees the scope's paths reach: a tick
+        // costs a partial tree build plus a few walks, not the full
+        // every-component snapshot.
+        let snap = self.snapshot_filtered(&|root| self.scope.needs_root(root));
+        self.scope.sample(t, &snap, &self.config.faults);
+    }
+
     /// One unified metrics snapshot across every tier this system
     /// holds. Per-proxy and per-sensor counters are *observed* into
     /// shared sections, which sums them — the same aggregation a
     /// multi-proxy fleet report needs, with `max`-annotated fields
     /// (peak in-flight) taking the maximum instead.
     pub fn telemetry_snapshot(&self) -> Snapshot {
+        self.snapshot_filtered(&|_| true)
+    }
+
+    /// Builds the snapshot tree, observing only top-level sections
+    /// `want` accepts. `telemetry_snapshot` passes the accept-all
+    /// filter; `scope_tick` (and the fleet deployment's own tick)
+    /// passes the scope's followed roots so the per-epoch sample skips
+    /// every subtree it would never read.
+    pub fn snapshot_filtered(&self, want: &dyn Fn(&str) -> bool) -> Snapshot {
         let mut snap = Snapshot::new();
         let root = &mut snap.root;
         for p in &self.proxies {
-            root.observe("proxy", &p.stats());
-            root.observe("pipeline", &p.pipeline().stats());
-            root.observe("slice", &p.pipeline().slice_cache().stats());
+            if want("proxy") {
+                root.observe("proxy", &p.stats());
+            }
+            if want("pipeline") {
+                root.observe("pipeline", &p.pipeline().stats());
+            }
+            if want("slice") {
+                root.observe("slice", &p.pipeline().slice_cache().stats());
+            }
         }
-        root.observe("downlink", &self.downlink_stats());
-        root.observe("fabric", &self.fabric.stats());
-        root.observe("liveness", &self.liveness.stats());
-        root.observe("recovery", &self.gaps.stats());
-        for n in self.nodes.iter().flatten() {
-            root.observe("sensor", &n.stats());
-            root.observe("flash", &n.archive().flash_stats());
-            root.observe("archive", &n.archive().stats());
+        // Live trace-retention gauges: drop counts are the honest
+        // "recorder overflowed" signal the scope's leak probes read.
+        if want("trace") {
+            let tr = root.child("trace");
+            for p in &self.proxies {
+                let tracer = p.pipeline().tracer();
+                tr.counter("finished_dropped", tracer.finished_dropped());
+                tr.counter("recorder_dropped", tracer.recorder().dropped());
+                tr.counter("recorder_len", tracer.recorder().len() as u64);
+                tr.counter("open", tracer.open_count() as u64);
+            }
         }
-        root.observe("profiler", &self.profiler);
+        if want("downlink") {
+            root.observe("downlink", &self.downlink_stats());
+        }
+        if want("fabric") {
+            root.observe("fabric", &self.fabric.stats());
+        }
+        if want("liveness") {
+            root.observe("liveness", &self.liveness.stats());
+        }
+        if want("recovery") {
+            root.observe("recovery", &self.gaps.stats());
+        }
+        if want("sensor") || want("flash") || want("archive") {
+            for n in self.nodes.iter().flatten() {
+                if want("sensor") {
+                    root.observe("sensor", &n.stats());
+                }
+                if want("flash") {
+                    root.observe("flash", &n.archive().flash_stats());
+                }
+                if want("archive") {
+                    root.observe("archive", &n.archive().stats());
+                }
+            }
+        }
+        if want("profiler") {
+            root.observe("profiler", &self.profiler);
+        }
+        if want("scope") {
+            root.observe("scope", &self.scope);
+        }
         snap
     }
 

@@ -507,17 +507,74 @@ impl FleetDeployment {
         let pressures: Vec<ProxyPressure> = (0..proxies).map(|p| self.pressure(p)).collect();
         self.router.observe_pressures(t, &pressures);
         self.system.profiler_mut().end("fleet_collect", collect_timer);
+
+        // 11. presto-scope tick over the *fleet* snapshot (router,
+        // membership, mesh, and live fleet gauges included), so the
+        // sampled series and watchdog rules see the deployment tier,
+        // not just the underlying system.
+        if self.system.scope().enabled() {
+            let scope_timer = self.system.profiler().begin();
+            let snap = self.snapshot_filtered(&|root| self.system.scope().needs_root(root));
+            self.system.scope_mut().sample(t, &snap, &faults);
+            self.system.profiler_mut().end("fleet_scope", scope_timer);
+        }
     }
 
     /// One unified metrics snapshot across every tier: the system's
     /// (proxies, pipelines, downlinks, fabric, sensors, profiler) plus
-    /// the fleet tier's router, membership, and mesh counters.
+    /// the fleet tier's router, membership, and mesh counters, the
+    /// serve-time latency/answer-age histograms, and the live fleet
+    /// gauges (leak probes, pressure, fencing) the scope watchdogs
+    /// read.
     pub fn telemetry_snapshot(&self) -> Snapshot {
-        let mut snap = self.system.telemetry_snapshot();
+        self.snapshot_filtered(&|_| true)
+    }
+
+    /// [`FleetDeployment::telemetry_snapshot`] gated per top-level
+    /// section, mirroring `PrestoSystem::snapshot_filtered`: the
+    /// per-epoch scope tick only pays for the subtrees it reads.
+    fn snapshot_filtered(&self, want: &dyn Fn(&str) -> bool) -> Snapshot {
+        let mut snap = self.system.snapshot_filtered(want);
         let root = &mut snap.root;
-        root.observe("fleet_router", &self.router.stats());
-        root.observe("membership", &self.membership.stats());
-        root.observe("interlink", &self.mesh.stats());
+        if want("fleet_router") {
+            root.observe("fleet_router", &self.router.stats());
+            let fr = root.child("fleet_router");
+            fr.histogram("latency_us", self.router.latency_hist());
+            fr.histogram("answer_age_us", self.router.answer_age_hist());
+        }
+        if want("membership") {
+            root.observe("membership", &self.membership.stats());
+        }
+        if want("interlink") {
+            root.observe("interlink", &self.mesh.stats());
+        }
+        if want("fleet") {
+            let leaks = self.leaks();
+            let fl = root.child("fleet");
+            fl.gauge("leak_router_open", leaks.router_open as f64);
+            fl.gauge("leak_pipeline_pending", leaks.pipeline_pending as f64);
+            fl.gauge("leak_rpcs_in_flight", leaks.rpcs_in_flight as f64);
+            fl.gauge("leak_mesh_in_flight", leaks.mesh_in_flight as f64);
+            let proxies = self.system.config().proxies;
+            let pressure_max = (0..proxies)
+                .map(|p| self.pressure(p).score())
+                .fold(0.0, f64::max);
+            fl.gauge("pressure_max", pressure_max);
+            fl.gauge(
+                "fenced_count",
+                self.fenced.iter().filter(|&&f| f).count() as f64,
+            );
+            // Radio driven by a fenced proxy this epoch — the PR 6
+            // invariant says this is identically zero; the scope
+            // watches it.
+            fl.gauge(
+                "fenced_pumping",
+                self.pump_log
+                    .iter()
+                    .filter(|(p, _, _)| self.fenced[*p])
+                    .count() as f64,
+            );
+        }
         snap
     }
 

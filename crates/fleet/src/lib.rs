@@ -44,8 +44,10 @@ pub mod deployment;
 pub mod interlink;
 pub mod membership;
 pub mod router;
+pub mod scope;
 
 pub use deployment::{FleetConfig, FleetDeployment, FleetLeaks};
+pub use scope::{fleet_scope_config, FleetScopeBounds, FEED_STALE_CONFIDENT};
 pub use interlink::{FleetMsg, InterLinkConfig, InterLinkMesh, InterLinkStats};
 pub use membership::{FleetMembership, FleetMembershipConfig, MembershipStats};
 pub use router::{FleetCompletion, FleetRouter, FleetRouterConfig, FleetRouterStats};

@@ -80,6 +80,11 @@ pub struct FleetRouterConfig {
     /// the fleet tier is deployment-scale, not hot-path, and the
     /// flight recorder is the partition post-mortem record.
     pub trace: bool,
+    /// Bound on finished fleet traces awaiting collection (evictions
+    /// counted, never silent).
+    pub trace_finished_cap: usize,
+    /// Bound on the fleet flight recorder (evictions counted).
+    pub trace_recorder_cap: usize,
 }
 
 impl Default for FleetRouterConfig {
@@ -96,6 +101,8 @@ impl Default for FleetRouterConfig {
             shed_exit_margin: 3.0,
             shed_episode_window: SimDuration::from_mins(2),
             trace: true,
+            trace_finished_cap: presto_telemetry::trace::FINISHED_CAP,
+            trace_recorder_cap: presto_telemetry::trace::RECORDER_CAP,
         }
     }
 }
@@ -272,7 +279,11 @@ impl FleetRouter {
         for class in &config.latency_classes {
             matcher.register(*class);
         }
-        let tracer = QueryTracer::new(config.trace);
+        let tracer = QueryTracer::with_caps(
+            config.trace,
+            config.trace_finished_cap,
+            config.trace_recorder_cap,
+        );
         FleetRouter {
             matcher,
             next_ticket: 1,

@@ -57,6 +57,12 @@ pub struct PipelineConfig {
     /// tracer then never allocates and the pump skips the attempt-log
     /// plumbing entirely.
     pub trace: bool,
+    /// Bound on finished traces awaiting collection; evictions beyond
+    /// it are counted (`finished_dropped`), never silent.
+    pub trace_finished_cap: usize,
+    /// Bound on the anomalous-outcome flight recorder; evictions are
+    /// counted (`recorder_dropped`).
+    pub trace_recorder_cap: usize,
     /// Sliced archive-range execution (see [`crate::slice`]): PAST
     /// windows spanning enough fixed time-aligned slices are fetched
     /// slice-by-slice and cached at slice granularity in a two-tier
@@ -72,6 +78,8 @@ impl Default for PipelineConfig {
             epoch_attempt_budget: 16,
             reply_cache_capacity: 128,
             trace: false,
+            trace_finished_cap: presto_telemetry::trace::FINISHED_CAP,
+            trace_recorder_cap: presto_telemetry::trace::RECORDER_CAP,
             slice: None,
         }
     }
@@ -488,7 +496,11 @@ impl QueryPipeline {
             .as_ref()
             .map(TieredSliceCache::for_config)
             .unwrap_or_else(|| TieredSliceCache::new(1, 0));
-        let tracer = QueryTracer::new(config.trace);
+        let tracer = QueryTracer::with_caps(
+            config.trace,
+            config.trace_finished_cap,
+            config.trace_recorder_cap,
+        );
         QueryPipeline {
             config,
             pending: Vec::new(),

@@ -81,6 +81,94 @@ pub struct MeshLinkCut {
     pub to: SimTime,
 }
 
+/// One fault instance for attribution: a structured name for an
+/// injected window, carried by observability incidents so an alarm
+/// raised during a fault is *blamed* on it (and an alarm outside every
+/// window is an unexplained regression).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum ActiveFault {
+    /// A sensor-node crash window ([`CrashWindow`]).
+    NodeCrash {
+        /// The crashed node.
+        node: usize,
+        /// Window start.
+        from: SimTime,
+        /// Window end (first instant back up).
+        to: SimTime,
+    },
+    /// A link blackout window ([`Blackout`]); `nodes` empty means all.
+    LinkBlackout {
+        /// Affected nodes (empty = every link).
+        nodes: Vec<usize>,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+    },
+    /// A shared-fading burst ([`SharedBurst`]).
+    SharedBurst {
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+    },
+    /// A proxy-process crash window.
+    ProxyCrash {
+        /// The crashed proxy.
+        proxy: usize,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+    },
+    /// A split-brain mesh partition ([`MeshPartition`]).
+    MeshPartition {
+        /// Proxies on the minority side of the cut.
+        group: Vec<usize>,
+        /// Window start.
+        from: SimTime,
+        /// Window end (heal).
+        to: SimTime,
+    },
+    /// A single-link mesh cut ([`MeshLinkCut`]).
+    MeshLinkCut {
+        /// One endpoint proxy.
+        a: usize,
+        /// The other endpoint proxy.
+        b: usize,
+        /// Window start.
+        from: SimTime,
+        /// Window end.
+        to: SimTime,
+    },
+}
+
+impl ActiveFault {
+    /// The fault's injection window `[from, to)`.
+    pub fn window(&self) -> (SimTime, SimTime) {
+        match self {
+            ActiveFault::NodeCrash { from, to, .. }
+            | ActiveFault::LinkBlackout { from, to, .. }
+            | ActiveFault::SharedBurst { from, to }
+            | ActiveFault::ProxyCrash { from, to, .. }
+            | ActiveFault::MeshPartition { from, to, .. }
+            | ActiveFault::MeshLinkCut { from, to, .. } => (*from, *to),
+        }
+    }
+
+    /// A short stable label for reports (`mesh_partition`, `proxy_crash`, …).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ActiveFault::NodeCrash { .. } => "node_crash",
+            ActiveFault::LinkBlackout { .. } => "link_blackout",
+            ActiveFault::SharedBurst { .. } => "shared_burst",
+            ActiveFault::ProxyCrash { .. } => "proxy_crash",
+            ActiveFault::MeshPartition { .. } => "mesh_partition",
+            ActiveFault::MeshLinkCut { .. } => "mesh_link_cut",
+        }
+    }
+}
+
 /// A deterministic schedule of crashes and blackouts.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct FaultPlan {
@@ -262,6 +350,75 @@ impl FaultPlan {
     /// `t` — either a single-link cut names the pair, or a split-brain
     /// window puts `a` and `b` on opposite sides of the boundary. The
     /// cut is symmetric: `mesh_link_cut(a, b, t) == mesh_link_cut(b, a, t)`.
+    /// Every scheduled fault whose window `[from, to)` overlaps the
+    /// query interval `[lo, hi]` — the attribution set an observability
+    /// incident in that interval carries. Stable order: plan insertion
+    /// order within each fault class, classes in declaration order.
+    pub fn active_in(&self, lo: SimTime, hi: SimTime) -> Vec<ActiveFault> {
+        let overlaps = |from: SimTime, to: SimTime| from <= hi && lo < to;
+        let mut out = Vec::new();
+        for c in &self.crashes {
+            if overlaps(c.down_from, c.up_at) {
+                out.push(ActiveFault::NodeCrash {
+                    node: c.node,
+                    from: c.down_from,
+                    to: c.up_at,
+                });
+            }
+        }
+        for b in &self.blackouts {
+            if overlaps(b.from, b.to) {
+                out.push(ActiveFault::LinkBlackout {
+                    nodes: b.nodes.clone().unwrap_or_default(),
+                    from: b.from,
+                    to: b.to,
+                });
+            }
+        }
+        for s in &self.shared_bursts {
+            if overlaps(s.from, s.to) {
+                out.push(ActiveFault::SharedBurst {
+                    from: s.from,
+                    to: s.to,
+                });
+            }
+        }
+        for c in &self.proxy_crashes {
+            if overlaps(c.down_from, c.up_at) {
+                out.push(ActiveFault::ProxyCrash {
+                    proxy: c.node,
+                    from: c.down_from,
+                    to: c.up_at,
+                });
+            }
+        }
+        for p in &self.mesh_partitions {
+            if overlaps(p.from, p.to) {
+                out.push(ActiveFault::MeshPartition {
+                    group: p.group.clone(),
+                    from: p.from,
+                    to: p.to,
+                });
+            }
+        }
+        for c in &self.mesh_link_cuts {
+            if overlaps(c.from, c.to) {
+                out.push(ActiveFault::MeshLinkCut {
+                    a: c.a,
+                    b: c.b,
+                    from: c.from,
+                    to: c.to,
+                });
+            }
+        }
+        out
+    }
+
+    /// Every scheduled fault active at the instant `t`.
+    pub fn active_at(&self, t: SimTime) -> Vec<ActiveFault> {
+        self.active_in(t, t)
+    }
+
     pub fn mesh_link_cut(&self, a: usize, b: usize, t: SimTime) -> bool {
         self.mesh_partitions.iter().any(|p| {
             p.from <= t && t < p.to && (p.group.contains(&a) != p.group.contains(&b))
@@ -373,6 +530,35 @@ mod tests {
         assert!(!p.mesh_link_cut(0, 2, t(20)));
         assert!(!p.mesh_link_cut(0, 1, t(15)));
         assert!(!p.mesh_link_cut(1, 2, t(15)));
+    }
+
+    #[test]
+    fn active_in_names_exactly_the_overlapping_faults() {
+        let p = FaultPlan::none()
+            .with_crash(3, t(10), t(20))
+            .with_shared_burst(t(50), t(60))
+            .with_proxy_crash(1, t(100), t(200))
+            .with_mesh_partition(vec![2], t(150), t(250))
+            .with_mesh_link_cut(0, 1, t(300), t(310));
+        assert!(p.active_in(t(25), t(45)).is_empty(), "gap between faults");
+        assert_eq!(
+            p.active_at(t(15)),
+            vec![ActiveFault::NodeCrash {
+                node: 3,
+                from: t(10),
+                to: t(20),
+            }]
+        );
+        // A query spanning the proxy crash and the partition names both,
+        // in class-declaration order.
+        let both = p.active_in(t(190), t(210));
+        assert_eq!(both.len(), 2);
+        assert_eq!(both[0].kind(), "proxy_crash");
+        assert_eq!(both[1].kind(), "mesh_partition");
+        assert_eq!(both[1].window(), (t(150), t(250)));
+        // Half-open windows: the heal instant is out, the start is in.
+        assert!(p.active_at(t(250)).is_empty());
+        assert_eq!(p.active_at(t(300)).len(), 1);
     }
 
     #[test]

@@ -31,7 +31,9 @@ pub mod time;
 
 pub use energy::{EnergyCategory, EnergyLedger};
 pub use events::{EventQueue, Simulation};
-pub use faults::{Blackout, CrashWindow, FaultPlan, MeshLinkCut, MeshPartition, SharedBurst};
+pub use faults::{
+    ActiveFault, Blackout, CrashWindow, FaultPlan, MeshLinkCut, MeshPartition, SharedBurst,
+};
 pub use queries::{
     FleetArrival, FleetLoadConfig, FleetQueryLoad, QueryArrival, QueryKind, QueryLoad,
     QueryLoadConfig,

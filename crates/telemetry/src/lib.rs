@@ -28,10 +28,15 @@
 pub mod alloc;
 pub mod metrics;
 pub mod profiler;
+pub mod scope;
 pub mod trace;
 
 pub use metrics::{LogHistogram, Observe, Section, Snapshot};
-pub use profiler::{EpochProfiler, PhaseStat};
+pub use profiler::{EpochProfiler, PhaseStat, PhaseToken};
+pub use scope::{
+    Incident, PrestoScope, RingSeries, RuleCheck, ScopeConfig, SeriesBin, SeriesKind, SeriesSpec,
+    TimeSeriesSampler, WatchdogEngine, WatchdogRule,
+};
 pub use trace::{
     CompletionCause, FlightRecorder, QueryTrace, QueryTracer, SpanEvent, TraceEvent,
 };

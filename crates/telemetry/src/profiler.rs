@@ -11,6 +11,7 @@
 
 use std::time::{Duration, Instant};
 
+use crate::alloc::allocation_count;
 use crate::metrics::{Observe, Section};
 
 /// Accumulated cost of one named phase.
@@ -22,6 +23,18 @@ pub struct PhaseStat {
     pub micros: u64,
     /// Items processed (attempts, messages — phase-defined).
     pub items: u64,
+    /// Heap allocations made inside the phase (0 unless the binary
+    /// installed [`crate::alloc::CountingAlloc`]).
+    pub allocs: u64,
+}
+
+/// An in-flight phase measurement: wall-clock start plus the global
+/// allocation count at entry. Opaque to call sites — pass it straight
+/// from [`EpochProfiler::begin`] to [`EpochProfiler::end`].
+#[derive(Clone, Copy, Debug)]
+pub struct PhaseToken {
+    started: Instant,
+    allocs_at_start: u64,
 }
 
 /// The per-deployment phase profiler.
@@ -48,23 +61,28 @@ impl EpochProfiler {
         self.enabled
     }
 
-    /// Starts a phase timer (`None` when disabled — pass it straight
-    /// to [`EpochProfiler::end`]).
-    pub fn begin(&self) -> Option<Instant> {
+    /// Starts a phase measurement (`None` when disabled — pass it
+    /// straight to [`EpochProfiler::end`]).
+    pub fn begin(&self) -> Option<PhaseToken> {
         if self.enabled {
-            Some(Instant::now())
+            Some(PhaseToken {
+                started: Instant::now(),
+                allocs_at_start: allocation_count(),
+            })
         } else {
             None
         }
     }
 
-    /// Stops a phase timer started by [`EpochProfiler::begin`].
-    pub fn end(&mut self, name: &'static str, started: Option<Instant>) {
-        let Some(started) = started else { return };
-        let elapsed = started.elapsed();
+    /// Stops a phase measurement started by [`EpochProfiler::begin`].
+    pub fn end(&mut self, name: &'static str, token: Option<PhaseToken>) {
+        let Some(token) = token else { return };
+        let elapsed = token.started.elapsed();
+        let allocs = allocation_count().saturating_sub(token.allocs_at_start);
         let stat = self.entry(name);
         stat.calls += 1;
         stat.micros += elapsed.as_micros() as u64;
+        stat.allocs += allocs;
     }
 
     /// Adds `n` items to a phase's work count.
@@ -118,6 +136,7 @@ impl Observe for EpochProfiler {
             c.counter("calls", stat.calls);
             c.counter("micros", stat.micros);
             c.counter("items", stat.items);
+            c.counter("allocs", stat.allocs);
         }
     }
 }

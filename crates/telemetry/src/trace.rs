@@ -224,9 +224,9 @@ impl FlightRecorder {
 }
 
 /// Default bound on finished traces awaiting collection.
-const FINISHED_CAP: usize = 4096;
+pub const FINISHED_CAP: usize = 4096;
 /// Default flight-recorder bound.
-const RECORDER_CAP: usize = 4096;
+pub const RECORDER_CAP: usize = 4096;
 
 /// The per-tier trace collector: open event logs keyed by ticket, a
 /// bounded FIFO of finished traces for the harness to drain, and the
@@ -243,16 +243,24 @@ pub struct QueryTracer {
 }
 
 impl QueryTracer {
-    /// Creates a tracer; when `enabled` is false every method is a
-    /// no-op and nothing ever allocates.
+    /// Creates a tracer with the default caps; when `enabled` is false
+    /// every method is a no-op and nothing ever allocates.
     pub fn new(enabled: bool) -> Self {
+        Self::with_caps(enabled, FINISHED_CAP, RECORDER_CAP)
+    }
+
+    /// Creates a tracer with explicit bounds on the finished-trace FIFO
+    /// and the flight recorder. Evictions beyond either bound are
+    /// counted ([`QueryTracer::finished_dropped`],
+    /// [`FlightRecorder::dropped`]) rather than silent.
+    pub fn with_caps(enabled: bool, finished_cap: usize, recorder_cap: usize) -> Self {
         QueryTracer {
             enabled,
             open: BTreeMap::new(),
             finished: VecDeque::new(),
-            finished_cap: FINISHED_CAP,
+            finished_cap,
             finished_dropped: 0,
-            recorder: FlightRecorder::new(RECORDER_CAP),
+            recorder: FlightRecorder::new(recorder_cap),
         }
     }
 
@@ -445,6 +453,26 @@ mod tests {
         assert_eq!(rec.dropped(), 1);
         assert!(rec.find(0).is_none(), "oldest evicted");
         assert!(rec.find(2).is_some());
+    }
+
+    #[test]
+    fn configured_caps_bound_both_queues_and_count_evictions() {
+        // Tiny caps so both eviction paths trip: 2 finished, 1 recorded.
+        let mut tr = QueryTracer::with_caps(true, 2, 1);
+        for i in 0..4u64 {
+            tr.record(i, t(i), SpanEvent::Submitted);
+            tr.finish(i, t(i + 1), CompletionCause::Failed, None, f64::INFINITY);
+        }
+        // Finished FIFO: 4 closed, cap 2 → 2 dropped, newest retained.
+        assert_eq!(tr.finished_dropped(), 2);
+        let kept: Vec<u64> = tr.take_finished().iter().map(|q| q.ticket).collect();
+        assert_eq!(kept, vec![2, 3]);
+        // Recorder: every Failed trace was offered, cap 1 → 3 dropped,
+        // and the drop count is exported rather than silent.
+        assert_eq!(tr.recorder().len(), 1);
+        assert_eq!(tr.recorder().dropped(), 3);
+        assert!(tr.recorder().find(3).is_some(), "newest survives");
+        assert!(tr.recorder().find(0).is_none(), "oldest evicted");
     }
 
     #[test]
